@@ -1,0 +1,111 @@
+"""Ablations over cache_ext's design choices.
+
+The paper motivates several design constants without sweeping them;
+these benchmarks measure what each one buys on a fixed YCSB-C-style
+workload:
+
+* **eviction batch size** (§4.2.3 fixes 32 candidates per request) —
+  smaller batches mean more hook crossings per reclaimed page;
+* **scoring sample size** (the LFU example uses N=512) — the
+  quality/CPU trade-off of batch-scoring eviction;
+* **candidate validation** (§4.4's folio registry) — the safety check
+  the paper hopes future "trusted pointer" support could remove.
+"""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, make_db_env
+from repro.policies.lfu import make_lfu_policy
+from repro.cache_ext import load_policy
+from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
+
+from conftest import run_once
+
+NKEYS = 16000
+CGROUP = 400
+OPS = 10000
+WARMUP = 8000
+
+
+def _run_lfu(nr_scan=512, batch=None, validate=True):
+    import repro.kernel.page_cache as pc
+    env = make_db_env("default", cgroup_pages=CGROUP, nkeys=NKEYS,
+                      compaction_thread=True)
+    ops = make_lfu_policy(map_entries=4 * CGROUP, nr_scan=nr_scan)
+    load_policy(env.machine, env.cgroup, ops)
+    env.machine.page_cache.validate_registry = validate
+    if batch is not None:
+        original = pc.EVICTION_BATCH
+        pc.EVICTION_BATCH = batch
+    try:
+        result = YcsbRunner(env.db, YCSB_WORKLOADS["C"], nkeys=NKEYS,
+                            nops=OPS, nthreads=8, warmup_ops=WARMUP,
+                            zipf_theta=1.1).run()
+    finally:
+        if batch is not None:
+            pc.EVICTION_BATCH = original
+    return result, env
+
+
+def test_ablation_eviction_batch_size(benchmark, record_table):
+    def run():
+        out = ExperimentResult(
+            "Ablation: eviction-candidate batch size",
+            headers=["batch", "ops_per_sec", "hook_cpu_us",
+                     "hit_ratio"])
+        for batch in (1, 8, 32):
+            result, env = _run_lfu(batch=batch)
+            out.add_row(batch, round(result.throughput, 1),
+                        round(env.cgroup.stats.hook_cpu_us, 1),
+                        round(env.cgroup.stats.hit_ratio, 4))
+        return out
+
+    result = run_once(benchmark, run)
+    record_table(result)
+    hook = dict(zip(result.column("batch"),
+                    result.column("hook_cpu_us")))
+    # Batching amortizes hook crossings: batch=1 burns far more hook
+    # CPU than the paper's 32.
+    assert hook[1] > hook[32] * 1.5
+
+
+def test_ablation_scoring_sample_size(benchmark, record_table):
+    def run():
+        out = ExperimentResult(
+            "Ablation: LFU batch-scoring sample size (N)",
+            headers=["nr_scan", "ops_per_sec", "hit_ratio",
+                     "hook_cpu_us"])
+        for nr_scan in (32, 128, 512):
+            result, env = _run_lfu(nr_scan=nr_scan)
+            out.add_row(nr_scan, round(result.throughput, 1),
+                        round(env.cgroup.stats.hit_ratio, 4),
+                        round(env.cgroup.stats.hook_cpu_us, 1))
+        return out
+
+    result = run_once(benchmark, run)
+    record_table(result)
+    hits = dict(zip(result.column("nr_scan"),
+                    result.column("hit_ratio")))
+    # Larger samples select better victims (the paper's 512 default).
+    assert hits[512] >= hits[32]
+
+
+def test_ablation_registry_validation(benchmark, record_table):
+    def run():
+        out = ExperimentResult(
+            "Ablation: valid-folio registry check (§4.4)",
+            headers=["validation", "ops_per_sec", "hit_ratio"])
+        for validate in (True, False):
+            result, env = _run_lfu(validate=validate)
+            out.add_row("on" if validate else "off",
+                        round(result.throughput, 1),
+                        round(env.cgroup.stats.hit_ratio, 4))
+        return out
+
+    result = run_once(benchmark, run)
+    record_table(result)
+    tput = dict(zip(result.column("validation"),
+                    result.column("ops_per_sec")))
+    # The safety check is cheap: within a few percent, matching the
+    # paper's "minimal overhead" claim for the registry.
+    assert tput["on"] > tput["off"] * 0.93

@@ -1,0 +1,20 @@
+"""§6.1.5 — compaction admission filter benchmark."""
+
+from repro.experiments import admission
+
+from conftest import run_once
+
+SCALE = {"nkeys": 20000, "cgroup_pages": 500, "nops": 20000,
+         "warmup_ops": 5000, "nthreads": 8}
+
+
+def test_admission_filter(benchmark, record_table):
+    result = run_once(benchmark, lambda: admission.run(scale=SCALE))
+    record_table(result)
+    rows = {r[0]: dict(zip(result.headers, r)) for r in result.rows}
+    filtered = rows["admission-filter"]
+    baseline = rows["baseline"]
+    # P99 improves (paper: -17%) and throughput does not regress.
+    assert filtered["p99_read_us"] < baseline["p99_read_us"]
+    assert filtered["ops_per_sec"] > baseline["ops_per_sec"] * 0.95
+    assert filtered["admission_rejects"] > 0

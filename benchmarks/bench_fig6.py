@@ -1,0 +1,33 @@
+"""Figure 6 — YCSB throughput and P99 across policies."""
+
+from repro.experiments import fig6
+
+from conftest import run_once
+
+SCALE = {"nkeys": 20000, "cgroup_pages": 500, "nops": 16000,
+         "warmup_ops": 12000, "nthreads": 8, "zipf_theta": 1.1}
+
+WORKLOADS = ("A", "B", "C", "D", "uniform")
+POLICIES = ("default", "mglru", "fifo", "mru", "lfu", "s3fifo", "lhd",
+            "mglru-bpf")
+
+
+def test_fig6_ycsb(benchmark, record_table):
+    result = run_once(benchmark, lambda: fig6.run(
+        policies=POLICIES, workloads=WORKLOADS, scale=SCALE))
+    record_table(result)
+
+    def tput(workload, policy):
+        return result.find_rows(workload=workload,
+                                policy=policy)[0]["ops_per_sec"]
+
+    # Paper shapes on the zipfian read workload:
+    assert tput("C", "lfu") > tput("C", "default")      # LFU wins
+    assert tput("C", "mru") < tput("C", "default")      # MRU worst
+    assert tput("C", "fifo") < tput("C", "lfu")
+    # YCSB D mostly fits in memory: LRU/frequency policies tie within
+    # noise (paper: "cached entirely in-memory"; our scaled cache
+    # leaves ~10% misses, enough for MRU's inverted ordering to still
+    # lose, so it is excluded from the tie check).
+    d_values = [tput("D", p) for p in POLICIES if p != "mru"]
+    assert max(d_values) / min(d_values) < 1.4

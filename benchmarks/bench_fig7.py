@@ -1,0 +1,23 @@
+"""Figure 7 — throughput vs. total disk I/O (inverse relationship)."""
+
+from repro.experiments import fig6, fig7
+
+from conftest import run_once
+
+POLICIES = ("default", "mglru", "fifo", "mru", "lfu", "s3fifo")
+
+
+def test_fig7_throughput_vs_disk(benchmark, record_table, monkeypatch):
+    scale = {"nkeys": 20000, "cgroup_pages": 500, "nops": 16000,
+             "warmup_ops": 12000, "nthreads": 8, "zipf_theta": 1.1}
+    monkeypatch.setattr(fig6, "FULL_SCALE", scale)
+    result = run_once(benchmark, lambda: fig7.run(
+        policies=POLICIES, workloads=("A", "C")))
+    record_table(result)
+    # The paper's claim: inverse throughput <-> disk-I/O relationship.
+    for workload in ("A", "C"):
+        rows = result.find_rows(workload=workload)
+        tputs = [r["ops_per_sec"] for r in rows]
+        pages = [r["disk_pages"] for r in rows]
+        rho = fig7.spearman_rank_correlation(tputs, pages)
+        assert rho < -0.5, f"YCSB {workload}: rho={rho}"

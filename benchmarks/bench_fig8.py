@@ -1,0 +1,26 @@
+"""Figure 8 — Twitter cluster traces: no single policy wins."""
+
+from repro.experiments import fig8
+
+from conftest import run_once
+
+SCALE = {"nkeys": 20000, "cgroup_pages": 500, "nops": 20000,
+         "warmup_ops": 12000}
+
+
+def test_fig8_twitter_clusters(benchmark, record_table):
+    result = run_once(benchmark, lambda: fig8.run(scale=SCALE))
+    record_table(result)
+    winners = {}
+    spreads = {}
+    for cluster in (17, 18, 24, 34, 52):
+        rows = result.find_rows(cluster=cluster)
+        best = max(rows, key=lambda r: r["ops_per_sec"])
+        worst = min(rows, key=lambda r: r["ops_per_sec"])
+        winners[cluster] = best["policy"]
+        spreads[cluster] = (best["ops_per_sec"]
+                            / max(worst["ops_per_sec"], 1e-9))
+    # Takeaway 2: there is no one-size-fits-all policy.
+    assert len(set(winners.values())) >= 2, winners
+    # The policy choice matters: every cluster shows a real spread.
+    assert all(s > 1.1 for s in spreads.values()), spreads

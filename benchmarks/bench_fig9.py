@@ -1,0 +1,18 @@
+"""Figure 9 — file search: MRU ~2x over default and MGLRU."""
+
+from repro.experiments import fig9
+
+from conftest import run_once
+
+SCALE = {"nfiles": 300, "passes": 8, "cgroup_frac": 0.7, "nthreads": 4}
+
+
+def test_fig9_file_search(benchmark, record_table):
+    result = run_once(benchmark, lambda: fig9.run(scale=SCALE))
+    record_table(result)
+    rows = {r[0]: dict(zip(result.headers, r)) for r in result.rows}
+    # MRU is substantially faster than both LRU-family baselines.
+    assert rows["mru"]["speedup_vs_default"] > 1.5
+    assert rows["mru"]["seconds"] < rows["mglru"]["seconds"]
+    # And it does far less disk I/O.
+    assert rows["mru"]["disk_pages"] < rows["default"]["disk_pages"]

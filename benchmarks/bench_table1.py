@@ -1,0 +1,23 @@
+"""Table 1 — userspace-dispatch overhead benchmark."""
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+#: The KV cgroup must hold the whole (preheated) working set: Table 1
+#: measures a CPU tax, visible only when the workload is CPU-bound.
+SCALE = {"nkeys": 20000, "cgroup_pages": 7000, "nops": 20000,
+         "warmup_ops": 5000, "nthreads": 8,
+         "search_files": 200, "search_passes": 3,
+         "search_cgroup_frac": 0.7}
+
+
+def test_table1_userspace_dispatch(benchmark, record_table):
+    result = run_once(benchmark,
+                      lambda: table1.run(scale=SCALE))
+    record_table(result)
+    degradations = result.column("degradation_pct")
+    # The KV rows must degrade under event dispatch (paper: -16.6% to
+    # -20.6% on KV, -4.7% on search).
+    assert min(degradations[:3]) < -3.0
+    assert all(d < 3.0 for d in degradations)

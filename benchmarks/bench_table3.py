@@ -1,0 +1,19 @@
+"""Table 3 — policy implementation complexity (LoC)."""
+
+from repro.experiments import table3
+
+from conftest import run_once
+
+
+def test_table3_policy_loc(benchmark, record_table):
+    result = run_once(benchmark, lambda: table3.run())
+    record_table(result)
+    loc = {r[0]: r[1] for r in result.rows}
+    # Paper's qualitative findings: the admission filter is the
+    # smallest policy, MGLRU the largest, and everything fits in
+    # tens-to-hundreds of lines.
+    assert loc["admission-filter"] == min(loc.values())
+    assert loc["mglru-bpf"] == max(loc.values())
+    assert all(loc_value < 1000 for loc_value in loc.values())
+    # Relative ordering broadly tracks the paper's table.
+    assert loc["fifo"] < loc["s3fifo"] < loc["mglru-bpf"]

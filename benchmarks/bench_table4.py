@@ -1,0 +1,21 @@
+"""Table 4 — no-op cache_ext CPU overhead (fio randread)."""
+
+from repro.experiments import table4
+
+from conftest import run_once
+
+SIZES = (("5GiB", 1280, 8192), ("10GiB", 2560, 8192),
+         ("30GiB", 7680, 8192))
+
+
+def test_table4_noop_overhead(benchmark, record_table):
+    result = run_once(benchmark, lambda: table4.run(sizes=SIZES))
+    record_table(result)
+    overheads = result.column("overhead_pct")
+    # Paper: at most 1.7% CPU per I/O; allow a modest margin for the
+    # simulator's coarser cost model.
+    assert all(o < 4.0 for o in overheads)
+    assert all(o > -1.0 for o in overheads)
+    # Registry memory matches the paper's §6.3.1 arithmetic (1.2%).
+    for mem in result.column("registry_mem_pct"):
+        assert abs(mem - 1.17) < 0.05

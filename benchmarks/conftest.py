@@ -1,0 +1,34 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*.py`` module regenerates one table or figure from the
+paper through :mod:`repro.experiments` and prints the resulting rows
+(run with ``-s`` to see them; they are also attached to the benchmark
+record as ``extra_info``).
+
+Scales here sit between the experiments' ``quick`` (CI smoke) and
+``full`` (EXPERIMENTS.md) settings so the whole suite completes in a
+few minutes while preserving the paper's qualitative shapes.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def record_table(benchmark, capsys):
+    """Attach an ExperimentResult to the benchmark and print it."""
+    def _record(result):
+        benchmark.extra_info["table"] = result.format_table()
+        with capsys.disabled():
+            print()
+            print(result.format_table())
+        return result
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiment runs are deterministic and internally repeat thousands
+    of operations, so one round is the meaningful unit.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Writing your own eviction policy against the cache_ext API.
+
+This example builds **SIEVE** [Zhang et al., NSDI '24 — cited by the
+paper as recent eviction research that frameworks like cache_ext make
+deployable] from scratch using the public kfunc API:
+
+* one eviction list (FIFO order) and one "visited" BPF map;
+* accesses set the visited bit — no list movement on the hot path;
+* eviction scans from the head: visited folios get their bit cleared
+  and are rotated; unvisited folios are evicted.
+
+It also demonstrates the verifier rejecting an unsafe variant of the
+same policy.
+
+Run it::
+
+    python examples/custom_policy.py
+"""
+
+from repro import CacheExtOps, Machine, load_policy
+from repro.cache_ext.kfuncs import (ITER_EVICT, ITER_ROTATE, MODE_SIMPLE,
+                                    list_add, list_create, list_iterate)
+from repro.ebpf import HashMap, VerificationError, bpf_program
+from repro.ebpf.maps import ArrayMap
+
+
+def make_sieve_policy(map_entries: int = 8192) -> CacheExtOps:
+    """SIEVE: lazy promotion + quick demotion on a single FIFO."""
+    visited = HashMap(max_entries=map_entries, name="sieve_visited")
+    bss = ArrayMap(1, name="sieve_bss")
+
+    @bpf_program
+    def sieve_init(memcg):
+        sieve_list = list_create(memcg)
+        if sieve_list < 0:
+            return sieve_list
+        bss.update(0, sieve_list)
+        return 0
+
+    @bpf_program
+    def sieve_added(folio):
+        list_add(bss.lookup(0), folio, True)
+        visited.update(folio.id, 0)
+
+    @bpf_program
+    def sieve_accessed(folio):
+        # The whole hot path is one map write: no locks, no list moves.
+        visited.update(folio.id, 1)
+
+    @bpf_program
+    def sieve_scan(i, folio):
+        if visited.lookup(folio.id) == 1:
+            visited.update(folio.id, 0)
+            return ITER_ROTATE      # second chance, retained
+        return ITER_EVICT
+
+    @bpf_program
+    def sieve_evict(ctx, memcg):
+        list_iterate(memcg, bss.lookup(0), sieve_scan, ctx, MODE_SIMPLE)
+
+    @bpf_program
+    def sieve_removed(folio):
+        visited.delete(folio.id)
+
+    return CacheExtOps(
+        name="sieve",
+        policy_init=sieve_init,
+        evict_folios=sieve_evict,
+        folio_added=sieve_added,
+        folio_accessed=sieve_accessed,
+        folio_removed=sieve_removed,
+    )
+
+
+def make_broken_policy() -> CacheExtOps:
+    """A policy the verifier must refuse: float math + open loop."""
+
+    @bpf_program
+    def broken_accessed(folio):
+        score = 0.9  # floats do not exist in BPF
+        while folio.index > 0:  # unbounded loop without allow_loops
+            score += 1
+        return score
+
+    return CacheExtOps(name="broken", folio_accessed=broken_accessed)
+
+
+def run_workload(machine, cgroup, f):
+    import random
+    rng = random.Random(7)
+
+    def step(thread, state={"i": 0}):
+        if state["i"] >= 8000:
+            return False
+        # Mixed pattern: hot points + one-touch scans.
+        if rng.random() < 0.7:
+            machine.fs.read_page(f, rng.randrange(24))
+        else:
+            machine.fs.read_page(f, rng.randrange(f.npages))
+        state["i"] += 1
+        return True
+
+    machine.spawn("app", step, cgroup=cgroup)
+    machine.run()
+
+
+def build(policy_factory=None):
+    machine = Machine()
+    cgroup = machine.new_cgroup("app", limit_pages=48)
+    f = machine.fs.create("data")
+    for i in range(512):
+        f.store[i] = i
+    f.npages = 512
+    f.ra_enabled = False
+    if policy_factory is not None:
+        load_policy(machine, cgroup, policy_factory())
+    return machine, cgroup, f
+
+
+def main():
+    print("A custom SIEVE policy in ~40 lines of verified code\n")
+    machine, cgroup, f = build()
+    run_workload(machine, cgroup, f)
+    print(f"default LRU : hit ratio {cgroup.stats.hit_ratio:6.3f}")
+
+    machine, cgroup, f = build(make_sieve_policy)
+    run_workload(machine, cgroup, f)
+    print(f"SIEVE       : hit ratio {cgroup.stats.hit_ratio:6.3f}")
+
+    print("\nAnd the verifier protecting the kernel from a bad policy:")
+    machine = Machine()
+    cgroup = machine.new_cgroup("victim", limit_pages=48)
+    try:
+        load_policy(machine, cgroup, make_broken_policy())
+    except VerificationError as exc:
+        print(f"  rejected: {exc}")
+    assert cgroup.ext_policy is None
+
+
+if __name__ == "__main__":
+    main()

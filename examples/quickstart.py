@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: attach a custom eviction policy to a cgroup.
+
+This walks the core cache_ext flow from the paper:
+
+1. boot a simulated machine (kernel + page cache + block device);
+2. create a memory cgroup for an application;
+3. load an eviction policy — a set of verified BPF programs — onto
+   that cgroup;
+4. run a workload and watch the policy change cache behaviour.
+
+The workload is the paper's Figure 9 pathology: an analytics job that
+repeatedly scans a dataset slightly larger than its memory allowance.
+Under LRU-family policies every pass evicts exactly the pages the next
+pass needs first; an MRU policy keeps a stable prefix resident and is
+roughly twice as fast.
+
+Run it::
+
+    python examples/quickstart.py
+"""
+
+from repro import Machine, load_policy
+from repro.policies import make_mru_policy
+
+DATASET_PAGES = 96      # dataset size
+CGROUP_PAGES = 64       # ... of which 2/3 fits in memory
+PASSES = 8
+
+
+def run_workload(machine, cgroup, f):
+    """Scan the whole dataset PASSES times (a nightly report job)."""
+    def step(thread, state={"i": 0}):
+        if state["i"] >= PASSES * DATASET_PAGES:
+            return False
+        machine.fs.read_page(f, state["i"] % DATASET_PAGES)
+        state["i"] += 1
+        return True
+
+    thread = machine.spawn("report-job", step, cgroup=cgroup)
+    machine.run()
+    return thread
+
+
+def build_machine(policy_factory=None):
+    machine = Machine()                       # Linux-like kernel substrate
+    cgroup = machine.new_cgroup("analytics", limit_pages=CGROUP_PAGES)
+
+    f = machine.fs.create("dataset")
+    for i in range(DATASET_PAGES):
+        f.store[i] = f"block-{i}"
+    f.npages = DATASET_PAGES
+
+    if policy_factory is not None:
+        # The loader verifies every BPF program (no floats, no
+        # unbounded loops, only kfunc/map access) and attaches the
+        # policy to this cgroup only.
+        load_policy(machine, cgroup, policy_factory())
+    return machine, cgroup, f
+
+
+def main():
+    print("cache_ext quickstart: default kernel LRU vs cache_ext MRU\n")
+
+    machine, cgroup, f = build_machine()
+    thread = run_workload(machine, cgroup, f)
+    base_ms = thread.clock_us / 1000
+    print(f"default LRU : hit ratio {cgroup.stats.hit_ratio:6.3f}, "
+          f"run time {base_ms:8.1f} ms (simulated)")
+
+    machine, cgroup, f = build_machine(make_mru_policy)
+    thread = run_workload(machine, cgroup, f)
+    mru_ms = thread.clock_us / 1000
+    print(f"cache_ext MRU: hit ratio {cgroup.stats.hit_ratio:6.3f}, "
+          f"run time {mru_ms:8.1f} ms (simulated)")
+
+    print(f"\nspeedup: {base_ms / mru_ms:.2f}x — MRU keeps a stable "
+          f"{CGROUP_PAGES}/{DATASET_PAGES} of the dataset resident\n"
+          f"instead of evicting exactly what the next pass needs "
+          f"(paper Figure 9: ~2x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65.5 without the ``wheel``
+package, so PEP 660 editable installs cannot build; this shim enables
+the legacy ``pip install -e . --no-use-pep517`` path.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Application substrates.
+
+The paper evaluates cache_ext through real storage applications whose
+I/O flows through the page cache:
+
+* LevelDB / RocksDB — reproduced by :mod:`repro.apps.lsm`, an LSM-tree
+  key-value store with memtable, WAL, SSTables (data/index/bloom
+  pages), leveled compaction and background compaction threads;
+* ripgrep file search — :mod:`repro.apps.filesearch`;
+* fio — :mod:`repro.apps.fio`.
+
+All of them perform ``pread``-style page I/O against
+:class:`repro.kernel.vfs.Filesystem`, never touching the block device
+directly, so every policy decision shows up in their performance.
+"""
+
+from repro.apps.filesearch import FileSearcher, make_source_tree
+from repro.apps.fio import FioJob
+from repro.apps.lsm import DbOptions, LsmDb
+
+__all__ = ["LsmDb", "DbOptions", "FileSearcher", "make_source_tree",
+           "FioJob"]

@@ -1,0 +1,89 @@
+"""fio-style microbenchmark (§6.3.2 / Table 4).
+
+A multi-threaded random-read job over one large file, used to measure
+cache_ext's per-I/O CPU overhead: the same I/O stream is replayed
+against the default kernel policy and against a no-op cache_ext
+policy, and the difference in CPU microseconds per operation is the
+framework's baseline cost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import SimThread
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.cgroup import MemCgroup
+    from repro.kernel.machine import Machine
+    from repro.kernel.vfs import SimFile
+
+
+@dataclass
+class FioResult:
+    ops: int = 0
+    elapsed_us: float = 0.0
+    cpu_us: float = 0.0
+
+    @property
+    def iops(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.ops / (self.elapsed_us / 1e6)
+
+    @property
+    def cpu_us_per_op(self) -> float:
+        """CPU microseconds per I/O — the Table 4 metric (µCPU/IO)."""
+        if self.ops == 0:
+            return 0.0
+        return self.cpu_us / self.ops
+
+
+class FioJob:
+    """``fio --rw=randread --numjobs=nthreads`` over one file."""
+
+    def __init__(self, machine: "Machine", cgroup: "MemCgroup",
+                 file_pages: int, nthreads: int = 8,
+                 ops_per_thread: int = 2000, seed: int = 99,
+                 name: str = "fio") -> None:
+        self.machine = machine
+        self.cgroup = cgroup
+        self.nthreads = nthreads
+        self.ops_per_thread = ops_per_thread
+        self.seed = seed
+        self.file: "SimFile" = machine.fs.create(f"{name}/data")
+        for idx in range(file_pages):
+            self.file.store[idx] = idx
+        self.file.npages = file_pages
+        self.file.ra_enabled = False  # random I/O: no readahead
+        self.result = FioResult()
+
+    def run(self) -> FioResult:
+        machine = self.machine
+        file = self.file
+
+        def make_step(thread_seed: int):
+            rng = random.Random(thread_seed)
+            remaining = [self.ops_per_thread]
+
+            def step(thread: SimThread) -> bool:
+                if remaining[0] <= 0:
+                    return False
+                thread.advance(machine.costs.syscall_us)
+                machine.fs.read_page(file,
+                                     rng.randrange(file.npages))
+                remaining[0] -= 1
+                self.result.ops += 1
+                return True
+            return step
+
+        threads = [
+            machine.spawn(f"fio-{i}", make_step(self.seed + i),
+                          cgroup=self.cgroup)
+            for i in range(self.nthreads)]
+        machine.run()
+        self.result.elapsed_us = max(t.finish_us for t in threads)
+        self.result.cpu_us = sum(t.cpu_us for t in threads)
+        return self.result

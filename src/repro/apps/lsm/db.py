@@ -1,0 +1,358 @@
+"""The LSM database facade.
+
+Put/get/scan/delete over a memtable + leveled SSTables, with leveled
+compaction on a background daemon thread.  All data-page I/O goes
+through the simulated page cache, charged to the cgroup of the calling
+thread, so eviction policy quality translates directly into operation
+latency — the causal chain behind every DB experiment in the paper.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.apps.lsm.compaction import CompactionJob
+from repro.apps.lsm.format import RecordFormat
+from repro.apps.lsm.memtable import MemTable, WriteAheadLog
+from repro.apps.lsm.sstable import SSTable, SSTableWriter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.cgroup import MemCgroup
+    from repro.kernel.machine import Machine
+
+_db_ids = itertools.count(1)
+
+#: Background thread idle sleep when there is no compaction work.
+COMPACTION_IDLE_US = 500.0
+
+
+@dataclass
+class DbOptions:
+    """Tuning knobs, scaled down ~64x from LevelDB defaults.
+
+    ``memtable_entries`` controls table size (one flush = one L0
+    table); level targets grow by ``level_multiplier``.
+    """
+
+    fmt: RecordFormat = field(default_factory=RecordFormat)
+    memtable_entries: int = 2048
+    l0_compaction_trigger: int = 4
+    level_multiplier: int = 10
+    max_levels: int = 4
+    #: L1 size target, expressed in tables (of memtable size each).
+    level1_tables: int = 5
+
+    @property
+    def table_pages(self) -> int:
+        """Data pages per table at the configured record size."""
+        return max(1, self.memtable_entries // self.fmt.entries_per_page)
+
+    def level_target_pages(self, level: int) -> int:
+        """Size target for level >= 1, in data pages."""
+        base = self.level1_tables * self.table_pages
+        return base * (self.level_multiplier ** (level - 1))
+
+
+class LsmDb:
+    """An LSM-tree key-value store on one machine/cgroup."""
+
+    def __init__(self, machine: "Machine", cgroup: "MemCgroup",
+                 name: Optional[str] = None,
+                 options: Optional[DbOptions] = None) -> None:
+        self.machine = machine
+        self.cgroup = cgroup
+        self.name = name or f"db{next(_db_ids)}"
+        self.opts = options or DbOptions()
+        self.mem = MemTable(self.opts.fmt)
+        self.wal = WriteAheadLog(machine.fs, f"{self.name}/wal",
+                                 self.opts.fmt)
+        #: ``levels[0]`` holds overlapping tables, newest first;
+        #: deeper levels are sorted and non-overlapping.
+        self.levels: list[list[SSTable]] = [
+            [] for _ in range(self.opts.max_levels + 1)]
+        self._sst_counter = itertools.count(1)
+        self._job: Optional[CompactionJob] = None
+        self._job_target_level = 0
+        self.compaction_threads: list = []
+        self.closed = False
+        # Counters.
+        self.n_puts = 0
+        self.n_gets = 0
+        self.n_scans = 0
+        self.n_flushes = 0
+        self.n_compactions = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _next_sst_name(self) -> str:
+        return f"{self.name}/sst-{next(self._sst_counter):06d}"
+
+    def _all_tables(self) -> Iterable[SSTable]:
+        for level in self.levels:
+            yield from level
+
+    @property
+    def total_data_pages(self) -> int:
+        return sum(t.n_data_pages for t in self._all_tables())
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put(self, key: str, value) -> None:
+        if self.closed:
+            raise RuntimeError("db is closed")
+        self.wal.append(key, value)
+        self.mem.put(key, value)
+        self.n_puts += 1
+        if len(self.mem) >= self.opts.memtable_entries:
+            self.flush_memtable()
+
+    def delete(self, key: str) -> None:
+        """Tombstone write; compaction erases it at the bottom level."""
+        self.put(key, None)
+
+    def flush_memtable(self) -> Optional[SSTable]:
+        """Write the memtable as a new L0 table (write-stall style:
+        synchronous in the calling thread, as LevelDB stalls do)."""
+        if len(self.mem) == 0:
+            return None
+        writer = SSTableWriter(self.machine.fs, self._next_sst_name(),
+                               self.opts.fmt,
+                               expected_entries=len(self.mem),
+                               through_cache=True)
+        for key, value in self.mem.sorted_items():
+            writer.add(key, value)
+        table = writer.finish()
+        self.levels[0].insert(0, table)  # newest first
+        self.mem.clear()
+        self.wal.rotate()
+        self.n_flushes += 1
+        return table
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[object]:
+        """Point lookup; None for missing or tombstoned keys."""
+        self.n_gets += 1
+        found, value = self.mem.get(key)
+        if found:
+            return value
+        for table in self.levels[0]:  # newest first
+            found, value = table.get(key)
+            if found:
+                return value
+        for level in self.levels[1:]:
+            table = self._table_for_key(level, key)
+            if table is not None:
+                found, value = table.get(key)
+                if found:
+                    return value
+        return None
+
+    @staticmethod
+    def _table_for_key(level: list[SSTable], key: str) -> Optional[SSTable]:
+        """Binary search over a sorted, non-overlapping level."""
+        if not level:
+            return None
+        pos = bisect.bisect_right([t.min_key for t in level], key) - 1
+        if pos < 0:
+            return None
+        table = level[pos]
+        return table if key <= table.max_key else None
+
+    def scan_iter(self, start_key: str,
+                  advice: Optional[str] = None):
+        """Lazy range scan from ``start_key``.
+
+        Yields live ``(key, value)`` records in order: the memtable and
+        every overlapping table are merged, the newest version wins,
+        tombstones are skipped.  Data pages are read *as the iterator
+        is consumed*, so long scans interleave with foreground traffic
+        the way a real iterator-based scan does — drivers (e.g. the
+        GET-SCAN workload) consume a bounded chunk per scheduling step.
+
+        ``advice`` applies one of the fadvise strategies of §6.1.4 to
+        the scan's reads: ``"noreuse"`` reads without recency updates,
+        ``"dontneed"`` drops the touched pages when the iterator is
+        exhausted or closed, ``"sequential"`` widens readahead on the
+        scanned files.
+        """
+        self.n_scans += 1
+        noreuse = advice == "noreuse"
+        touched: Optional[list] = [] if advice == "dontneed" else None
+        sources = [self.mem.iter_from(start_key)]
+        sources += [t.iter_from(start_key, noreuse, touched)
+                    for t in self.levels[0]]
+        for level in self.levels[1:]:
+            start = bisect.bisect_right(
+                [t.min_key for t in level], start_key) - 1
+            for table in level[max(start, 0):]:
+                if table.max_key >= start_key:
+                    sources.append(
+                        t_iter(table, start_key, noreuse, touched))
+        # Priority: memtable (0) newest, then L0 newest-first, then
+        # deeper levels; lower priority index wins on key ties.  The
+        # tagging must go through a function call to bind `prio` per
+        # source (a bare nested genexp would capture the loop variable
+        # by reference and give every source the same priority).
+        merged = heapq.merge(*[_tag_entries(prio, src)
+                               for prio, src in enumerate(sources)])
+        last_key = None
+        try:
+            for key, _prio, value in merged:
+                if key == last_key:
+                    continue
+                last_key = key
+                if value is None:
+                    continue  # tombstone
+                yield (key, value)
+        finally:
+            if touched:
+                self._drop_scanned(touched)
+
+    def scan(self, start_key: str, count: int,
+             advice: Optional[str] = None) -> list[tuple]:
+        """Eager range scan: ``count`` records via :meth:`scan_iter`."""
+        it = self.scan_iter(start_key, advice=advice)
+        out = []
+        try:
+            for entry in it:
+                out.append(entry)
+                if len(out) >= count:
+                    break
+        finally:
+            it.close()
+        return out
+
+    def _drop_scanned(self, touched: list) -> None:
+        """FADV_DONTNEED the pages a scan read (grouped per file)."""
+        from repro.kernel.vfs import FAdvice
+        by_file: dict = {}
+        for file, idx in touched:
+            by_file.setdefault(file, []).append(idx)
+        for file, indices in by_file.items():
+            lo, hi = min(indices), max(indices)
+            self.machine.fs.fadvise(file, FAdvice.DONTNEED, lo, hi - lo + 1)
+
+    # ------------------------------------------------------------------
+    # bulk load
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: list[tuple]) -> None:
+        """Pre-create the database without simulated I/O.
+
+        Writes sorted ``(key, value)`` records directly into
+        bottom-level tables, bypassing the page cache — the equivalent
+        of loading the database before the experiment and dropping
+        caches, which is the paper's methodology.
+        """
+        items = sorted(items)
+        per_table = self.opts.table_pages * self.opts.fmt.entries_per_page
+        bottom = self.opts.max_levels
+        for start in range(0, len(items), per_table):
+            chunk = items[start:start + per_table]
+            writer = SSTableWriter(self.machine.fs, self._next_sst_name(),
+                                   self.opts.fmt,
+                                   expected_entries=len(chunk),
+                                   through_cache=False)
+            for key, value in chunk:
+                writer.add(key, value)
+            self.levels[bottom].append(writer.finish())
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def _pick_compaction(self) -> Optional[tuple]:
+        """Choose (inputs, target_level, drop_tombstones) or None."""
+        if len(self.levels[0]) > self.opts.l0_compaction_trigger:
+            inputs = list(self.levels[0])
+            min_key = min(t.min_key for t in inputs)
+            max_key = max(t.max_key for t in inputs)
+            overlaps = [t for t in self.levels[1]
+                        if t.overlaps(min_key, max_key)]
+            return (inputs + overlaps, 1, self.opts.max_levels == 1)
+        for level in range(1, self.opts.max_levels):
+            pages = sum(t.n_data_pages for t in self.levels[level])
+            if pages > self.opts.level_target_pages(level):
+                victim = self.levels[level][0]
+                overlaps = [t for t in self.levels[level + 1]
+                            if t.overlaps(victim.min_key, victim.max_key)]
+                drop = (level + 1) == self.opts.max_levels
+                return ([victim] + overlaps, level + 1, drop)
+        return None
+
+    def compaction_step(self) -> bool:
+        """One increment of background compaction; True if work ran."""
+        if self._job is None:
+            picked = self._pick_compaction()
+            if picked is None:
+                return False
+            inputs, target, drop = picked
+            self._job = CompactionJob(
+                self.machine.fs, inputs, self.opts.fmt,
+                max_table_pages=self.opts.table_pages,
+                name_fn=self._next_sst_name,
+                drop_tombstones=drop)
+            self._job_target_level = target
+        if self._job.step():
+            self._install_compaction(self._job, self._job_target_level)
+            self._job = None
+        return True
+
+    def _install_compaction(self, job: CompactionJob, target: int) -> None:
+        input_set = {t.file.file_id for t in job.inputs}
+        for level in self.levels:
+            level[:] = [t for t in level
+                        if t.file.file_id not in input_set]
+        merged = sorted(self.levels[target] + job.outputs,
+                        key=lambda t: t.min_key)
+        self.levels[target] = merged
+        for table in job.inputs:
+            self.machine.fs.delete(table.file.name)
+        self.n_compactions += 1
+
+    def spawn_compaction_thread(self, name: Optional[str] = None):
+        """Start a background compaction daemon; returns the thread.
+
+        The thread's TID is what the admission filter (§5.6) registers
+        in its ``compaction_tids`` map.
+        """
+        def step(thread) -> bool:
+            if self.closed:
+                return False
+            if not self.compaction_step():
+                thread.advance(COMPACTION_IDLE_US)
+            return True
+
+        thread = self.machine.spawn(
+            name or f"{self.name}-compaction", step,
+            cgroup=self.cgroup, daemon=True)
+        self.compaction_threads.append(thread)
+        return thread
+
+    def drain_compaction(self, max_rounds: int = 10000) -> None:
+        """Synchronously run compaction until no work remains (setup)."""
+        for _round in range(max_rounds):
+            if not self.compaction_step():
+                return
+        raise RuntimeError("compaction did not converge")
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def t_iter(table: SSTable, start_key: str, noreuse: bool = False,
+           touched=None):
+    """Module-level iterator shim (keeps scan() free of closures)."""
+    return table.iter_from(start_key, noreuse, touched)
+
+
+def _tag_entries(prio: int, src):
+    """Yield (key, prio, value) with ``prio`` bound at call time."""
+    for key, value in src:
+        yield (key, prio, value)

@@ -1,0 +1,93 @@
+"""On-disk format shared by the SSTable writer and reader.
+
+Pages hold Python objects standing in for serialized bytes; the
+*accounted* sizes (entries per 4 KiB page, bloom bits, index fan-out)
+follow the configured key/value sizes so I/O volumes match what a real
+LevelDB with the same record sizes would issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.folio import PAGE_SIZE
+
+#: Bits of bloom filter per key (LevelDB's default is 10).
+BLOOM_BITS_PER_KEY = 10
+#: Bloom hash probes.
+BLOOM_HASHES = 4
+#: Bits per bloom page.
+BLOOM_PAGE_BITS = PAGE_SIZE * 8
+#: Index entries per index page (first_key + page number comfortably
+#: fit 16 bytes each at our key sizes).
+INDEX_ENTRIES_PER_PAGE = 256
+
+import zlib
+
+
+def fnv1a(key: str, salt: int = 0) -> int:
+    """Deterministic 64-bit string hash.
+
+    Builtin ``hash`` is process-randomized for strings, which would
+    break run-to-run reproducibility, so we derive a 64-bit value from
+    two salted CRC32 passes (C-speed, unlike a per-character pure-Python
+    FNV loop — bloom probes and key scrambling sit on hot paths).
+    """
+    data = key.encode()
+    lo = zlib.crc32(data, salt & 0xFFFFFFFF)
+    hi = zlib.crc32(data, (salt ^ 0x9E3779B9) & 0xFFFFFFFF)
+    return (hi << 32) | lo
+
+
+@dataclass(frozen=True)
+class RecordFormat:
+    """Sizing of one key-value record.
+
+    ``entries_per_page`` is how many records fit one 4 KiB data page;
+    the paper's YCSB setup uses ~1 KiB values, i.e. 4 records per page.
+    """
+
+    key_size: int = 24
+    value_size: int = 1000
+
+    @property
+    def record_bytes(self) -> int:
+        return self.key_size + self.value_size + 8  # + seq/len overhead
+
+    @property
+    def entries_per_page(self) -> int:
+        return max(1, PAGE_SIZE // self.record_bytes)
+
+
+class BloomFilter:
+    """Paged bloom filter.
+
+    Bits are split into page-sized chunks; the reader learns which
+    pages a probe touches without materializing the whole filter.
+    Built in memory by the writer, stored one chunk per bloom page.
+    """
+
+    def __init__(self, nkeys: int) -> None:
+        nbits = max(BLOOM_PAGE_BITS, nkeys * BLOOM_BITS_PER_KEY)
+        self.npages = (nbits + BLOOM_PAGE_BITS - 1) // BLOOM_PAGE_BITS
+        self.nbits = self.npages * BLOOM_PAGE_BITS
+        self.chunks = [bytearray(PAGE_SIZE) for _ in range(self.npages)]
+
+    def _positions(self, key: str):
+        for probe in range(BLOOM_HASHES):
+            yield fnv1a(key, probe) % self.nbits
+
+    def add(self, key: str) -> None:
+        for pos in self._positions(key):
+            chunk, bit = divmod(pos, BLOOM_PAGE_BITS)
+            self.chunks[chunk][bit // 8] |= 1 << (bit % 8)
+
+    @staticmethod
+    def test_chunks(chunks: list, nbits: int, key: str) -> bool:
+        """Membership probe against already-loaded chunks."""
+        for probe in range(BLOOM_HASHES):
+            pos = fnv1a(key, probe) % nbits
+            chunk, bit = divmod(pos, BLOOM_PAGE_BITS)
+            if not chunks[chunk][bit // 8] & (1 << (bit % 8)):
+                return False
+        return True

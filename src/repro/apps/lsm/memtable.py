@@ -1,0 +1,89 @@
+"""Memtable and write-ahead log."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.apps.lsm.format import RecordFormat
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.vfs import Filesystem, SimFile
+
+
+class MemTable:
+    """In-memory write buffer.
+
+    A plain dict (point lookups dominate); sorted views are
+    materialized only at flush/scan time.  Tombstones are stored as
+    ``None`` values and must survive until compaction discards them at
+    the bottom level.
+    """
+
+    def __init__(self, fmt: RecordFormat) -> None:
+        self.fmt = fmt
+        self._data: dict[str, object] = {}
+
+    def put(self, key: str, value) -> None:
+        self._data[key] = value
+
+    def get(self, key: str) -> tuple[bool, Optional[object]]:
+        if key in self._data:
+            return (True, self._data[key])
+        return (False, None)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def approx_bytes(self) -> int:
+        return len(self._data) * self.fmt.record_bytes
+
+    def sorted_items(self) -> list[tuple]:
+        return sorted(self._data.items())
+
+    def iter_from(self, start_key: str) -> Iterator[tuple]:
+        for key, value in self.sorted_items():
+            if key >= start_key:
+                yield (key, value)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class WriteAheadLog:
+    """Append-only log making memtable contents durable.
+
+    Each record lands in the current log page; a full page is written
+    through the page cache (dirty folio -> eventual writeback), which
+    is how LevelDB's default non-synced WAL behaves.  ``rotate()``
+    deletes the log after a successful flush — exercising the
+    truncation/removal path of the page cache.
+    """
+
+    def __init__(self, fs: "Filesystem", name: str,
+                 fmt: RecordFormat) -> None:
+        self.fs = fs
+        self.name = name
+        self.fmt = fmt
+        self.file: "SimFile" = fs.create(name)
+        self._page: list = []
+        self._generation = 0
+        self.records = 0
+
+    @property
+    def entries_per_page(self) -> int:
+        return self.fmt.entries_per_page
+
+    def append(self, key: str, value) -> None:
+        self._page.append((key, value))
+        self.records += 1
+        if len(self._page) >= self.entries_per_page:
+            self.fs.append_page(self.file, self._page)
+            self._page = []
+
+    def rotate(self) -> None:
+        """Discard the current log and start a fresh one."""
+        self.fs.delete(self.file.name)
+        self._generation += 1
+        self._page = []
+        self.file = self.fs.create(f"{self.name}.{self._generation}")

@@ -1,0 +1,225 @@
+"""SSTables: immutable sorted tables backed by simulated files.
+
+File layout (page-granular)::
+
+    [ data pages | bloom pages | index pages | footer page ]
+
+Data pages hold sorted ``(key, value)`` runs and are always read
+through the page cache — they are the folios the eviction policies
+fight over.  Bloom, index and footer pages are read through the cache
+once at ``open()`` and then held parsed in the table object, matching
+LevelDB's table cache (index/filter blocks pinned per open table).
+
+Tombstones are ``(key, None)`` records; they survive until compaction
+merges them away at the bottom level.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.apps.lsm.format import (BLOOM_PAGE_BITS, INDEX_ENTRIES_PER_PAGE,
+                                   BloomFilter, RecordFormat)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.vfs import Filesystem, SimFile
+
+_table_seq = itertools.count(1)
+
+
+class SSTable:
+    """One immutable sorted table."""
+
+    def __init__(self, fs: "Filesystem", file: "SimFile", seq: int,
+                 n_data_pages: int, index: list, bloom_chunks: list,
+                 bloom_nbits: int, min_key: str, max_key: str,
+                 n_entries: int) -> None:
+        self.fs = fs
+        self.file = file
+        #: Creation sequence; higher seq shadows lower on key collisions.
+        self.seq = seq
+        self.n_data_pages = n_data_pages
+        #: ``index[i]`` = first key of data page ``i``.
+        self.index = index
+        self.bloom_chunks = bloom_chunks
+        self.bloom_nbits = bloom_nbits
+        self.min_key = min_key
+        self.max_key = max_key
+        self.n_entries = n_entries
+
+    # ------------------------------------------------------------------
+    @property
+    def total_pages(self) -> int:
+        return self.file.npages
+
+    def overlaps(self, min_key: str, max_key: str) -> bool:
+        return not (self.max_key < min_key or max_key < self.min_key)
+
+    def may_contain(self, key: str) -> bool:
+        """Bloom + key-range check, no data I/O."""
+        if key < self.min_key or key > self.max_key:
+            return False
+        return BloomFilter.test_chunks(self.bloom_chunks,
+                                       self.bloom_nbits, key)
+
+    def _page_for_key(self, key: str) -> int:
+        """Index binary search: the data page whose run may hold key."""
+        pos = bisect.bisect_right(self.index, key) - 1
+        return max(pos, 0)
+
+    def get(self, key: str) -> tuple[bool, Optional[object]]:
+        """Point lookup; returns (found, value).
+
+        Touches at most one data page through the page cache (plus
+        nothing if the bloom filter says no).
+        """
+        if not self.may_contain(key):
+            return (False, None)
+        page = self._page_for_key(key)
+        entries = self.fs.read_page(self.file, page)
+        pos = bisect.bisect_left(entries, (key,))
+        if pos < len(entries) and entries[pos][0] == key:
+            return (True, entries[pos][1])
+        return (False, None)
+
+    def iter_from(self, start_key: str, noreuse: bool = False,
+                  touched: Optional[list] = None) -> Iterator[tuple]:
+        """Yield (key, value) >= start_key in order, reading data pages
+        sequentially through the page cache (the scan path).
+
+        ``noreuse`` propagates FADV_NOREUSE semantics to each read;
+        ``touched`` (if given) collects (file, page) pairs so the
+        caller can FADV_DONTNEED them afterwards.
+        """
+        page = self._page_for_key(start_key)
+        for idx in range(page, self.n_data_pages):
+            entries = self.fs.read_page(self.file, idx, noreuse=noreuse)
+            if touched is not None:
+                touched.append((self.file, idx))
+            for entry in entries:
+                if entry[0] >= start_key:
+                    yield entry
+
+    def iter_pages(self) -> Iterator[list]:
+        """Yield whole data pages in order (the compaction read path)."""
+        for idx in range(self.n_data_pages):
+            yield self.fs.read_page(self.file, idx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SSTable({self.file.name!r}, seq={self.seq}, "
+                f"[{self.min_key}..{self.max_key}], "
+                f"{self.n_entries} entries)")
+
+
+class SSTableWriter:
+    """Builds one SSTable.
+
+    Two modes:
+
+    * ``through_cache=True`` — pages are written through the page cache
+      (dirty folios, writeback on fsync/eviction): the flush and
+      compaction write path;
+    * ``through_cache=False`` — pages go straight to the backing store
+      with no simulated I/O: the *bulk-load* path used to pre-create
+      databases before an experiment, mirroring the paper's
+      "drop the page cache before each test" methodology.
+    """
+
+    def __init__(self, fs: "Filesystem", name: str, fmt: RecordFormat,
+                 expected_entries: int,
+                 through_cache: bool = True) -> None:
+        self.fs = fs
+        self.file = fs.create(name)
+        self.fmt = fmt
+        self.through_cache = through_cache
+        self.bloom = BloomFilter(max(expected_entries, 1))
+        self._page: list = []
+        self._index: list = []
+        self._n_entries = 0
+        self._min_key: Optional[str] = None
+        self._max_key: Optional[str] = None
+        self._last_key: Optional[str] = None
+        self._n_data_pages = 0
+
+    # ------------------------------------------------------------------
+    def _emit_page(self, obj) -> None:
+        if self.through_cache:
+            self.fs.append_page(self.file, obj)
+        else:
+            index = self.file.npages
+            self.file.store[index] = obj
+            self.file.npages = index + 1
+
+    def add(self, key: str, value) -> None:
+        """Append one record; keys must arrive in strictly sorted order."""
+        if self._last_key is not None and key <= self._last_key:
+            raise ValueError(
+                f"keys out of order: {key!r} after {self._last_key!r}")
+        self._last_key = key
+        if self._min_key is None:
+            self._min_key = key
+        self._max_key = key
+        if not self._page:
+            self._index.append(key)
+        self._page.append((key, value))
+        self.bloom.add(key)
+        self._n_entries += 1
+        if len(self._page) >= self.fmt.entries_per_page:
+            self._emit_page(self._page)
+            self._page = []
+            self._n_data_pages += 1
+
+    def finish(self) -> SSTable:
+        """Flush metadata pages and return the readable table."""
+        if self._n_entries == 0:
+            raise ValueError("cannot finish an empty SSTable")
+        if self._page:
+            self._emit_page(self._page)
+            self._n_data_pages += 1
+        for chunk in self.bloom.chunks:
+            self._emit_page(chunk)
+        for start in range(0, len(self._index), INDEX_ENTRIES_PER_PAGE):
+            self._emit_page(self._index[start:start +
+                                        INDEX_ENTRIES_PER_PAGE])
+        footer = {
+            "n_data_pages": self._n_data_pages,
+            "n_bloom_pages": self.bloom.npages,
+            "bloom_nbits": self.bloom.nbits,
+            "n_entries": self._n_entries,
+            "min_key": self._min_key,
+            "max_key": self._max_key,
+        }
+        self._emit_page(footer)
+        if self.through_cache:
+            self.fs.fsync(self.file)
+        return SSTable(
+            self.fs, self.file, next(_table_seq),
+            n_data_pages=self._n_data_pages,
+            index=list(self._index),
+            bloom_chunks=list(self.bloom.chunks),
+            bloom_nbits=self.bloom.nbits,
+            min_key=self._min_key, max_key=self._max_key,
+            n_entries=self._n_entries)
+
+
+def open_sstable(fs: "Filesystem", name: str) -> SSTable:
+    """Open a table by reading its metadata pages through the cache.
+
+    Data pages are *not* touched; they fault in on demand.
+    """
+    file = fs.open(name)
+    footer = fs.read_page(file, file.npages - 1)
+    n_data = footer["n_data_pages"]
+    n_bloom = footer["n_bloom_pages"]
+    bloom_chunks = [fs.read_page(file, n_data + i) for i in range(n_bloom)]
+    index: list = []
+    for idx in range(n_data + n_bloom, file.npages - 1):
+        index.extend(fs.read_page(file, idx))
+    return SSTable(fs, file, next(_table_seq),
+                   n_data_pages=n_data, index=index,
+                   bloom_chunks=bloom_chunks,
+                   bloom_nbits=footer["bloom_nbits"],
+                   min_key=footer["min_key"], max_key=footer["max_key"],
+                   n_entries=footer["n_entries"])

@@ -1,0 +1,30 @@
+"""cache_ext: the paper's primary contribution.
+
+An eBPF framework for custom page-cache eviction policies:
+
+* policies are sets of BPF programs registered through a
+  ``cache_ext_ops`` struct_ops interface (:mod:`repro.cache_ext.ops`);
+* they operate on kernel-managed, variable-sized **eviction lists** of
+  folio pointers through a kfunc API (:mod:`repro.cache_ext.lists`,
+  :mod:`repro.cache_ext.kfuncs`);
+* on memory pressure the kernel asks the policy for up to 32 eviction
+  *candidates*, validates every returned folio reference against a
+  **valid-folio registry** (:mod:`repro.cache_ext.registry`), and falls
+  back to the kernel's own LRU when the policy underdelivers
+  (:mod:`repro.cache_ext.framework`);
+* policies attach **per cgroup** (:mod:`repro.cache_ext.loader`), so
+  different applications customize eviction without interfering.
+"""
+
+from repro.cache_ext.kfuncs import (ITER_EVICT, ITER_MOVE, ITER_SKIP,
+                                    ITER_STOP, MODE_SCORING, MODE_SIMPLE)
+from repro.cache_ext.loader import load_policy, unload_policy
+from repro.cache_ext.ops import CacheExtOps, EvictionCtx
+from repro.cache_ext.registry import FolioRegistry
+
+__all__ = [
+    "CacheExtOps", "EvictionCtx", "FolioRegistry",
+    "load_policy", "unload_policy",
+    "MODE_SIMPLE", "MODE_SCORING",
+    "ITER_SKIP", "ITER_EVICT", "ITER_MOVE", "ITER_STOP",
+]

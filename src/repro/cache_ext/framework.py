@@ -1,0 +1,184 @@
+"""The cache_ext framework: hook dispatch and kernel-side safety.
+
+:class:`CacheExtPolicy` is the object the reclaim driver talks to when
+a cgroup has a custom policy attached.  It implements the kernel side
+of the contract from §4 of the paper:
+
+* registry bookkeeping on every insertion/removal (memory safety);
+* dispatching the policy's BPF programs on the five events, charging
+  the hook-dispatch CPU cost that Table 4 measures;
+* the eviction-candidate request (``evict_folios``) with the 32-entry
+  batch context;
+* kernel-side cleanup on removal — *the kernel*, not the policy,
+  removes evicted folios from eviction lists ("it is not necessary to
+  remove the folio from the list upon eviction, as this is done by
+  cache_ext", §4.2.5);
+* the admission-filter extension (§5.6).
+
+The eviction *fallback* (underdelivering policies) lives in the reclaim
+driver (:meth:`repro.kernel.page_cache.PageCache._shrink_batch`), which
+is where the kernel implements it too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cache_ext.lists import EvictionList
+from repro.cache_ext.ops import CacheExtOps, EvictionCtx
+from repro.cache_ext.registry import FolioRegistry
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.cgroup import MemCgroup
+from repro.kernel.folio import Folio
+from repro.kernel.page_cache import ExtPolicyBase
+from repro.sim.engine import current_thread
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.machine import Machine
+
+#: Registry sizing when the cgroup is unlimited (root attach in tests).
+DEFAULT_REGISTRY_BUCKETS = 4096
+
+
+class CacheExtPolicy(ExtPolicyBase):
+    """One attached policy instance for one cgroup."""
+
+    def __init__(self, machine: "Machine", memcg: MemCgroup,
+                 ops: CacheExtOps) -> None:
+        self.machine = machine
+        self.memcg = memcg
+        self.ops = ops
+        self.name = ops.name
+        nbuckets = memcg.limit_pages or DEFAULT_REGISTRY_BUCKETS
+        self.registry = FolioRegistry(nbuckets)
+        self.lists: list[EvictionList] = []
+        #: kfunc calls that returned an error (policy bug indicator).
+        self.kfunc_errors = 0
+        self.attached = False
+
+    # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+    def _charge(self, us: float) -> None:
+        thread = current_thread()
+        if thread is not None:
+            thread.advance(us)
+        self.memcg.stats.hook_cpu_us += us
+        self.machine.page_cache.stats.hook_cpu_us += us
+
+    def charge_hook(self) -> None:
+        self._charge(self.machine.costs.bpf_hook_us)
+
+    def charge_kfunc(self) -> None:
+        self._charge(self.machine.costs.kfunc_op_us)
+
+    # ------------------------------------------------------------------
+    # watchdog
+    # ------------------------------------------------------------------
+    def _run_prog(self, prog, *args, default=None):
+        """Invoke a policy program under the watchdog.
+
+        A verified eBPF program cannot crash the kernel, but a policy
+        can still misbehave at run time (bad map usage, helper misuse).
+        Mirroring sched_ext's watchdog — which the paper points to as
+        the model for handling misbehaving policies — a faulting
+        program gets its whole policy forcibly detached and the cgroup
+        falls back to the kernel's own eviction.
+        """
+        try:
+            return prog(*args)
+        except Exception:
+            self.memcg.stats.ext_policy_faults += 1
+            self.machine.page_cache.stats.ext_policy_faults += 1
+            self._watchdog_detach()
+            return default
+
+    def _watchdog_detach(self) -> None:
+        """Forcibly remove this policy (kernel-side, no loader help)."""
+        if self.memcg.ext_policy is self:
+            self.memcg.ext_policy = None
+        self.attached = False
+        handle = getattr(self, "_struct_ops_handle", None)
+        if handle is not None:
+            self.machine.struct_ops.unregister(handle)
+        for lst in self.lists:
+            node = lst.pop_head()
+            while node is not None:
+                if node.item is not None:
+                    node.item.ext_node = None
+                node = lst.pop_head()
+
+    # ------------------------------------------------------------------
+    # list ownership
+    # ------------------------------------------------------------------
+    def create_list(self, name: str = "") -> EvictionList:
+        lst = EvictionList(self, name or f"{self.name}-list{len(self.lists)}")
+        self.lists.append(lst)
+        return lst
+
+    # ------------------------------------------------------------------
+    # hook dispatch (ExtPolicyBase interface)
+    # ------------------------------------------------------------------
+    def admit(self, mapping: AddressSpace, index: int) -> bool:
+        if self.ops.admit is None:
+            return True
+        self.charge_hook()
+        thread = current_thread()
+        tid = thread.tid if thread is not None else 0
+        return bool(self._run_prog(self.ops.admit, mapping.file_id,
+                                   index, tid, default=1))
+
+    def readahead_hint(self, mapping: AddressSpace, index: int,
+                       seq_streak: int):
+        if self.ops.readahead is None:
+            return None
+        self.charge_hook()
+        pages = self._run_prog(self.ops.readahead, mapping.file_id,
+                               index, seq_streak)
+        if not isinstance(pages, int) or pages < 0:
+            return None  # malformed hint: keep the kernel heuristic
+        return pages
+
+    def folio_added(self, folio: Folio) -> None:
+        # Registry first (memory safety), then the policy's program.
+        self.registry.insert(folio)
+        self.charge_hook()
+        if self.ops.folio_added is not None:
+            self._run_prog(self.ops.folio_added, folio)
+
+    def folio_accessed(self, folio: Folio) -> None:
+        self.charge_hook()
+        if self.ops.folio_accessed is not None:
+            self._run_prog(self.ops.folio_accessed, folio)
+
+    def folio_removed(self, folio: Folio) -> None:
+        # Kernel-side cleanup: detach the folio's eviction-list node and
+        # drop the registry entry *before* the policy program runs, so a
+        # buggy program cannot resurrect a stale reference.
+        node = self.registry.remove(folio)
+        if node is not None and node.owner is not None:
+            node.owner.remove(node)
+        folio.ext_node = None
+        self.charge_hook()
+        if self.ops.folio_removed is not None:
+            self._run_prog(self.ops.folio_removed, folio)
+
+    def propose_candidates(self, nr: int) -> list[Folio]:
+        if self.ops.evict_folios is None:
+            return []
+        ctx = EvictionCtx(nr)
+        self.charge_hook()
+        self._run_prog(self.ops.evict_folios, ctx, self.memcg)
+        return list(ctx.candidates)
+
+    def holds_reference(self, folio: Folio) -> bool:
+        return self.registry.contains(folio)
+
+    # ------------------------------------------------------------------
+    def nr_listed(self) -> int:
+        """Total folios across this policy's eviction lists."""
+        return sum(len(lst) for lst in self.lists)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CacheExtPolicy({self.name!r}, cgroup={self.memcg.name!r}, "
+                f"lists={len(self.lists)}, registry={len(self.registry)})")

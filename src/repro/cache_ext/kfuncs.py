@@ -1,0 +1,268 @@
+"""The cache_ext kfunc API (Table 2 of the paper).
+
+These are the "kernel functions exposed to eBPF" that policy programs
+call to manipulate eviction lists.  Following §4.4, every kfunc
+validates its inputs and returns an error code instead of raising (BPF
+programs cannot throw): ``0``/positive on success, negative errno on
+failure.  All iteration is bounded kernel-side.
+
+The real functions carry a ``cache_ext_`` prefix to avoid symbol
+collisions; as in the paper's listings, we omit it for brevity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache_ext.lists import (EvictionList, attach_folio, detach_folio,
+                                   resolve_list)
+from repro.cache_ext.ops import EvictionCtx
+from repro.ebpf.runtime import bpf_kfunc
+from repro.kernel.folio import Folio
+from repro.sim.engine import current_thread
+
+# Error codes (negative errno, as returned to BPF programs).
+EINVAL = -22
+ENOENT = -2
+EPERM = -1
+
+# Iteration modes (the iter_opts "mode" field).
+MODE_SIMPLE = 0
+MODE_SCORING = 1
+
+# Callback verdicts in MODE_SIMPLE.  The paper expresses per-folio
+# treatment through the iter_opts struct plus callback return values;
+# we fold both into a single verdict enum, which covers every use the
+# paper describes (leave in place, rotate, move to another list,
+# propose for eviction).
+ITER_SKIP = 0      # leave the folio where it is
+ITER_EVICT = 1     # propose as candidate; rotate to tail of its list
+ITER_MOVE = 2      # move to the tail of iter's dst_list
+ITER_STOP = 3      # stop iterating early
+ITER_ROTATE = 4    # move to the tail of its current list
+
+#: Bound on nodes examined per list_iterate call when the caller does
+#: not specify nr_scan ("enforce loop termination", §4.4).
+DEFAULT_MAX_SCAN = 1024
+
+
+def _policy_of_memcg(memcg):
+    policy = getattr(memcg, "ext_policy", None)
+    if policy is None:
+        policy = getattr(memcg, "_cache_ext_loading", None)
+    return policy
+
+
+def _owned_list(policy, list_id: int) -> Optional[EvictionList]:
+    lst = resolve_list(list_id)
+    if lst is None or lst.policy is not policy:
+        return None
+    return lst
+
+
+def _policy_of_folio(folio):
+    if not isinstance(folio, Folio):
+        return None
+    return _policy_of_memcg(folio.memcg)
+
+
+# ----------------------------------------------------------------------
+# list management
+# ----------------------------------------------------------------------
+@bpf_kfunc
+def list_create(memcg) -> int:
+    """Create a new eviction list for this cgroup's policy.
+
+    Returns the list id (> 0) or a negative errno.  Typically called
+    from ``policy_init``.
+    """
+    policy = _policy_of_memcg(memcg)
+    if policy is None:
+        return EINVAL
+    policy.charge_kfunc()
+    lst = policy.create_list()
+    return lst.id
+
+
+@bpf_kfunc
+def list_add(list_id: int, folio, tail: bool = True) -> int:
+    """Link ``folio`` onto a list (tail by default, like the paper's
+    ``list_add(lfu_list, folio, true)``).
+
+    A folio has exactly one list node; adding a folio that is already
+    on some list moves it.
+    """
+    policy = _policy_of_folio(folio)
+    if policy is None:
+        return EINVAL
+    lst = _owned_list(policy, list_id)
+    if lst is None:
+        return EPERM
+    policy.charge_kfunc()
+    if not attach_folio(lst, folio, tail):
+        return ENOENT
+    return 0
+
+
+@bpf_kfunc
+def list_del(folio) -> int:
+    """Remove ``folio`` from whatever eviction list holds it."""
+    policy = _policy_of_folio(folio)
+    if policy is None:
+        return EINVAL
+    policy.charge_kfunc()
+    if not detach_folio(policy, folio):
+        return ENOENT
+    return 0
+
+
+@bpf_kfunc
+def list_move(list_id: int, folio, tail: bool = True) -> int:
+    """Move ``folio``'s node to another list (or rotate within one)."""
+    return list_add(list_id, folio, tail)
+
+
+@bpf_kfunc
+def list_size(list_id: int) -> int:
+    """Number of folios on the list, or negative errno."""
+    lst = resolve_list(list_id)
+    if lst is None:
+        return EINVAL
+    lst.policy.charge_kfunc()
+    return len(lst)
+
+
+# ----------------------------------------------------------------------
+# iteration (§4.2.3 "List iteration")
+# ----------------------------------------------------------------------
+@bpf_kfunc
+def list_iterate(memcg, list_id: int, callback, ctx,
+                 mode: int = MODE_SIMPLE, nr_scan: int = 0,
+                 dst_list: int = 0) -> int:
+    """Iterate an eviction list, proposing candidates into ``ctx``.
+
+    ``callback`` is itself a BPF program invoked as ``callback(i,
+    folio)``.  In :data:`MODE_SIMPLE` it returns an ``ITER_*`` verdict;
+    in :data:`MODE_SCORING` it returns an integer *score* and, after
+    ``nr_scan`` folios have been examined, the lowest-scored folios are
+    selected as candidates (the paper's "batch scoring mode", used by
+    LFU-style policies).  Non-selected scanned folios rotate to the
+    list tail.
+
+    Returns the number of candidates appended, or a negative errno.
+    """
+    policy = _policy_of_memcg(memcg)
+    if policy is None or not isinstance(ctx, EvictionCtx):
+        return EINVAL
+    lst = _owned_list(policy, list_id)
+    if lst is None:
+        return EPERM
+    dst = None
+    if dst_list:
+        dst = _owned_list(policy, dst_list)
+        if dst is None:
+            return EPERM
+    want = ctx.nr_candidates_requested - ctx.nr_candidates_proposed
+    if want <= 0:
+        return 0
+    limit = min(nr_scan if nr_scan > 0 else DEFAULT_MAX_SCAN, len(lst))
+    if mode == MODE_SIMPLE:
+        return _iterate_simple(policy, lst, callback, ctx, limit, dst)
+    if mode == MODE_SCORING:
+        return _iterate_scoring(policy, lst, callback, ctx, limit, want)
+    return EINVAL
+
+
+def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
+                    limit: int, dst: Optional[EvictionList]) -> int:
+    added = 0
+    node = lst.head()
+    for position in range(limit):
+        if node is None or ctx.full:
+            break
+        nxt = node.next if node.next is not lst._head else None
+        folio: Folio = node.item
+        policy.charge_kfunc()
+        verdict = callback(position, folio)
+        if verdict == ITER_EVICT:
+            ctx.add_candidate(folio)
+            added += 1
+            lst.move_to_tail(node)
+        elif verdict == ITER_MOVE:
+            if dst is None:
+                return EINVAL
+            dst.move_to_tail(node)
+        elif verdict == ITER_ROTATE:
+            lst.move_to_tail(node)
+        elif verdict == ITER_STOP:
+            break
+        # ITER_SKIP (and unknown verdicts, defensively): leave in place.
+        node = nxt
+    return added
+
+
+def _iterate_scoring(policy, lst: EvictionList, callback, ctx: EvictionCtx,
+                     limit: int, want: int) -> int:
+    scored: list[tuple[int, int]] = []  # (score, position)
+    nodes = []
+    node = lst.head()
+    for position in range(limit):
+        if node is None:
+            break
+        nxt = node.next if node.next is not lst._head else None
+        policy.charge_kfunc()
+        score = callback(position, node.item)
+        if not isinstance(score, int):
+            return EINVAL
+        scored.append((score, position))
+        nodes.append(node)
+        node = nxt
+    if not nodes:
+        return 0
+    # Lowest score wins eviction; ties broken towards the list head
+    # (older entries first), matching the kernel implementation.
+    scored.sort()
+    selected = {position for _score, position in scored[:want]}
+    added = 0
+    for position, scanned in enumerate(nodes):
+        if position in selected:
+            if ctx.add_candidate(scanned.item):
+                added += 1
+        else:
+            lst.move_to_tail(scanned)
+    return added
+
+
+# ----------------------------------------------------------------------
+# context helpers
+# ----------------------------------------------------------------------
+@bpf_kfunc
+def ctx_add_candidate(ctx, folio) -> int:
+    """Directly append an eviction candidate (outside list_iterate)."""
+    if not isinstance(ctx, EvictionCtx) or not isinstance(folio, Folio):
+        return EINVAL
+    policy = _policy_of_folio(folio)
+    if policy is None:
+        return EINVAL
+    policy.charge_kfunc()
+    return 1 if ctx.add_candidate(folio) else 0
+
+
+@bpf_kfunc
+def folio_key(folio) -> tuple:
+    """Stable (file, offset) key for ghost entries (§5.1)."""
+    return folio.key()
+
+
+@bpf_kfunc
+def current_tid() -> int:
+    """``bpf_get_current_pid_tgid`` analogue: the running task's TID."""
+    thread = current_thread()
+    return thread.tid if thread is not None else 0
+
+
+@bpf_kfunc
+def ktime_us() -> int:
+    """``bpf_ktime_get_ns`` analogue, in integer microseconds."""
+    thread = current_thread()
+    return int(thread.clock_us) if thread is not None else 0

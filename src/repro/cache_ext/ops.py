@@ -1,0 +1,112 @@
+"""``struct cache_ext_ops`` and the eviction context (Figure 3).
+
+A policy is a named set of BPF programs filling the slots below.  All
+slots are optional: a policy that fills none of them behaves exactly
+like the paper's *no-op* policy (framework bookkeeping runs, eviction
+falls back to the kernel), and the admission filter of §5.6 fills only
+``admit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ebpf.runtime import BpfProgram
+from repro.ebpf.struct_ops import StructOpsSpec
+from repro.kernel.folio import Folio
+
+#: Maximum candidates per eviction request (Figure 3's candidates[32]).
+MAX_EVICTION_CANDIDATES = 32
+
+#: The struct_ops interface shape registered with the eBPF subsystem.
+#: ``readahead`` is the FetchBPF-style prefetching hook the paper
+#: suggests integrating (§7: FetchBPF "could easily be integrated into
+#: cache_ext as an additional hook").
+CACHE_EXT_OPS_SPEC = StructOpsSpec(
+    name="cache_ext_ops",
+    required_slots=(),
+    optional_slots=("policy_init", "evict_folios", "folio_added",
+                    "folio_accessed", "folio_removed", "admit",
+                    "readahead"),
+)
+
+
+@dataclass
+class CacheExtOps:
+    """One policy's callback set.
+
+    Slots mirror Figure 3 of the paper:
+
+    * ``policy_init(memcg)`` — create eviction lists, seed maps;
+    * ``evict_folios(ctx, memcg)`` — propose eviction candidates;
+    * ``folio_added(folio)`` — a folio entered the page cache;
+    * ``folio_accessed(folio)`` — a resident folio was hit;
+    * ``folio_removed(folio)`` — a folio left the page cache (by any
+      path, including truncation) — clean up metadata;
+    * ``admit(mapping_id, index, tid)`` — the §5.6 extension: return 0
+      to keep the folio out of the cache (direct-I/O-style service);
+    * ``readahead(mapping_id, index, seq_streak)`` — the FetchBPF-style
+      prefetching extension (§7): return the number of pages to
+      prefetch after a miss, or a negative value to keep the kernel's
+      own readahead heuristic.
+    """
+
+    name: str
+    policy_init: Optional[BpfProgram] = None
+    evict_folios: Optional[BpfProgram] = None
+    folio_added: Optional[BpfProgram] = None
+    folio_accessed: Optional[BpfProgram] = None
+    folio_removed: Optional[BpfProgram] = None
+    admit: Optional[BpfProgram] = None
+    readahead: Optional[BpfProgram] = None
+    #: Userspace-visible maps (pinned maps in the real system): the
+    #: application-informed policies expose their TID maps here, and
+    #: LHD exposes its reconfiguration ring buffer and syscall program.
+    user_maps: dict = field(default_factory=dict)
+
+    def programs(self) -> dict:
+        """Slot name -> program mapping (Nones included) for struct_ops."""
+        return {
+            "policy_init": self.policy_init,
+            "evict_folios": self.evict_folios,
+            "folio_added": self.folio_added,
+            "folio_accessed": self.folio_accessed,
+            "folio_removed": self.folio_removed,
+            "admit": self.admit,
+            "readahead": self.readahead,
+        }
+
+    def loaded_programs(self) -> list[BpfProgram]:
+        return [p for p in self.programs().values() if p is not None]
+
+
+class EvictionCtx:
+    """``struct eviction_ctx``: the kernel's request for candidates.
+
+    ``nr_candidates_requested`` is the input; programs append folios
+    via kfuncs (``list_iterate`` does it for them) and the kernel reads
+    ``candidates`` back.  The array is hard-capped at 32 entries.
+    """
+
+    def __init__(self, nr_candidates_requested: int) -> None:
+        if nr_candidates_requested <= 0:
+            raise ValueError("must request at least one candidate")
+        self.nr_candidates_requested = min(nr_candidates_requested,
+                                           MAX_EVICTION_CANDIDATES)
+        self.candidates: list[Folio] = []
+
+    @property
+    def nr_candidates_proposed(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def full(self) -> bool:
+        return len(self.candidates) >= self.nr_candidates_requested
+
+    def add_candidate(self, folio: Folio) -> bool:
+        """Append one proposal; returns False once the batch is full."""
+        if self.full:
+            return False
+        self.candidates.append(folio)
+        return True

@@ -1,0 +1,39 @@
+"""eBPF runtime analogue.
+
+cache_ext policies in the paper are eBPF programs: they are *verified*
+before loading, they keep state in *BPF maps*, they call into the kernel
+through *kfuncs*, and they are registered as *struct_ops* callback sets.
+This package reproduces those mechanics for policy code written in
+(restricted) Python:
+
+* :mod:`repro.ebpf.verifier` — a ``dis``-based static verifier enforcing
+  the restrictions the paper leans on: no floating point (§5.2 "eBPF
+  does not support floating-point operations"), no unbounded loops, no
+  imports or global stores, and no calls outside the helper/kfunc
+  allowlist;
+* :mod:`repro.ebpf.maps` — HASH, LRU_HASH, ARRAY, QUEUE and STACK map
+  types with eBPF update-flag semantics and capacity limits;
+* :mod:`repro.ebpf.ringbuf` — the lockless ring buffer used for
+  kernel-to-userspace notification (LHD reconfiguration, Table 1's
+  userspace-dispatch strawman);
+* :mod:`repro.ebpf.runtime` — the ``@bpf_program`` decorator, program
+  objects, helpers, and the BPF_PROG_TYPE_SYSCALL analogue;
+* :mod:`repro.ebpf.struct_ops` — struct_ops registration, including the
+  per-cgroup attachment the paper adds to the kernel (§4.3).
+"""
+
+from repro.ebpf.errors import MapFullError, ProgramError, VerificationError
+from repro.ebpf.maps import (BPF_ANY, BPF_EXIST, BPF_NOEXIST, ArrayMap,
+                             HashMap, LruHashMap, QueueMap, StackMap)
+from repro.ebpf.ringbuf import RingBuffer
+from repro.ebpf.runtime import BpfProgram, bpf_program, run_syscall_prog
+from repro.ebpf.struct_ops import StructOpsSpec
+from repro.ebpf.verifier import verify_program
+
+__all__ = [
+    "VerificationError", "MapFullError", "ProgramError",
+    "HashMap", "LruHashMap", "ArrayMap", "QueueMap", "StackMap",
+    "BPF_ANY", "BPF_NOEXIST", "BPF_EXIST",
+    "RingBuffer", "bpf_program", "BpfProgram", "run_syscall_prog",
+    "StructOpsSpec", "verify_program",
+]

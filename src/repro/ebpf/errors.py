@@ -1,0 +1,27 @@
+"""eBPF error types."""
+
+
+class BpfError(Exception):
+    """Base class for eBPF runtime failures."""
+
+
+class VerificationError(BpfError):
+    """The verifier rejected a program.
+
+    Carries a list of individual findings so loaders can report all
+    problems at once, the way ``bpftool`` surfaces verifier logs.
+    """
+
+    def __init__(self, program_name: str, findings: list[str]) -> None:
+        self.program_name = program_name
+        self.findings = list(findings)
+        details = "; ".join(self.findings)
+        super().__init__(f"program {program_name!r} rejected: {details}")
+
+
+class MapFullError(BpfError):
+    """An update on a full map with no eviction semantics (E2BIG)."""
+
+
+class ProgramError(BpfError):
+    """A program misbehaved at run time (bad helper usage, budget)."""

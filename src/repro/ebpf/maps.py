@@ -1,0 +1,232 @@
+"""BPF map types.
+
+The paper's policies keep all their state in maps: LFU's frequency map,
+S3-FIFO's ghost FIFO (a ``BPF_MAP_TYPE_LRU_HASH``), LHD's class
+statistics, MGLRU-on-cache_ext's per-folio generation/frequency map,
+and the PID/TID maps of the application-informed policies.
+
+Semantics follow the kernel:
+
+* ``update`` takes a flag — :data:`BPF_ANY` (upsert), :data:`BPF_NOEXIST`
+  (insert only), :data:`BPF_EXIST` (replace only);
+* a full HASH map rejects inserts with :class:`MapFullError` (the
+  kernel's ``-E2BIG``), while a full **LRU_HASH** silently evicts its
+  least-recently-*updated* entry — the property S3-FIFO's ghost list
+  relies on ("the map then automatically removes entries from the ghost
+  FIFO in LRU order when it hits capacity", §5.1);
+* values must be integers or fixed-shape tuples/lists of integers:
+  eBPF maps hold plain memory, not object graphs, and keeping this
+  restriction honest is what forces the fixed-point arithmetic in the
+  LHD policy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator, Optional
+
+from repro.ebpf.errors import MapFullError, ProgramError
+
+BPF_ANY = 0
+BPF_NOEXIST = 1
+BPF_EXIST = 2
+
+
+def _check_scalar(value: Any, what: str) -> None:
+    """Reject non-integer leaves; floats don't exist in BPF memory."""
+    if isinstance(value, bool) or isinstance(value, int):
+        return
+    if isinstance(value, (tuple, list)):
+        for leaf in value:
+            _check_scalar(leaf, what)
+        return
+    raise ProgramError(
+        f"{what} must be an int or a tuple/list of ints, got "
+        f"{type(value).__name__}")
+
+
+class BpfMap:
+    """Common bookkeeping for all map types."""
+
+    map_type = "BPF_MAP_TYPE_UNSPEC"
+
+    def __init__(self, max_entries: int, name: str = "") -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive: {max_entries}")
+        self.max_entries = max_entries
+        self.name = name or self.map_type.lower()
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class HashMap(BpfMap):
+    """``BPF_MAP_TYPE_HASH``: random access, no ordering."""
+
+    map_type = "BPF_MAP_TYPE_HASH"
+
+    def __init__(self, max_entries: int, name: str = "") -> None:
+        super().__init__(max_entries, name)
+        self._data: dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, key: Any) -> Optional[Any]:
+        return self._data.get(key)
+
+    def update(self, key: Any, value: Any, flags: int = BPF_ANY) -> None:
+        _check_scalar(value, f"map {self.name}: value")
+        exists = key in self._data
+        if flags == BPF_NOEXIST and exists:
+            raise ProgramError(f"map {self.name}: key exists (BPF_NOEXIST)")
+        if flags == BPF_EXIST and not exists:
+            raise ProgramError(f"map {self.name}: no such key (BPF_EXIST)")
+        if not exists and len(self._data) >= self.max_entries:
+            self._on_full(key, value)
+            return
+        self._store(key, value)
+
+    def _store(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+
+    def _on_full(self, key: Any, value: Any) -> None:
+        raise MapFullError(
+            f"map {self.name}: full at {self.max_entries} entries")
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        return self._data.pop(key, None) is not None
+
+    def atomic_add(self, key: Any, delta: int) -> Optional[int]:
+        """``__sync_fetch_and_add`` on an integer value.
+
+        Returns the new value, or None if the key is absent (matching
+        the NULL-check-then-add idiom in the paper's Figure 4).
+        """
+        if key not in self._data:
+            return None
+        value = self._data[key]
+        if not isinstance(value, int):
+            raise ProgramError(
+                f"map {self.name}: atomic_add on non-int value")
+        self._data[key] = value + delta
+        return value + delta
+
+    def keys(self) -> Iterator[Any]:
+        """Userspace-side iteration (``bpf_map_get_next_key`` loop)."""
+        return iter(list(self._data.keys()))
+
+    def items(self) -> Iterator[tuple]:
+        return iter(list(self._data.items()))
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class LruHashMap(HashMap):
+    """``BPF_MAP_TYPE_LRU_HASH``: evicts least-recently-updated on full.
+
+    Lookup also refreshes recency, as the kernel implementation bumps
+    entries on access.
+    """
+
+    map_type = "BPF_MAP_TYPE_LRU_HASH"
+
+    def __init__(self, max_entries: int, name: str = "") -> None:
+        super().__init__(max_entries, name)
+        self._data: OrderedDict = OrderedDict()
+
+    def lookup(self, key: Any) -> Optional[Any]:
+        if key in self._data:
+            self._data.move_to_end(key)
+            return self._data[key]
+        return None
+
+    def _store(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+
+    def _on_full(self, key: Any, value: Any) -> None:
+        self._data.popitem(last=False)  # evict the LRU entry
+        self._store(key, value)
+
+
+class ArrayMap(BpfMap):
+    """``BPF_MAP_TYPE_ARRAY``: dense integer-indexed slots, zeroed."""
+
+    map_type = "BPF_MAP_TYPE_ARRAY"
+
+    def __init__(self, max_entries: int, name: str = "") -> None:
+        super().__init__(max_entries, name)
+        self._data = [0] * max_entries
+
+    def __len__(self) -> int:
+        return self.max_entries
+
+    def _check_index(self, index: Any) -> int:
+        if not isinstance(index, int) or not 0 <= index < self.max_entries:
+            raise ProgramError(
+                f"map {self.name}: index {index!r} out of range "
+                f"[0, {self.max_entries})")
+        return index
+
+    def lookup(self, index: int) -> Any:
+        return self._data[self._check_index(index)]
+
+    def update(self, index: int, value: Any, flags: int = BPF_ANY) -> None:
+        _check_scalar(value, f"map {self.name}: value")
+        self._data[self._check_index(index)] = value
+
+    def atomic_add(self, index: int, delta: int) -> int:
+        index = self._check_index(index)
+        value = self._data[index]
+        if not isinstance(value, int):
+            raise ProgramError(f"map {self.name}: atomic_add on non-int")
+        self._data[index] = value + delta
+        return value + delta
+
+
+class QueueMap(BpfMap):
+    """``BPF_MAP_TYPE_QUEUE``: FIFO push/pop, no random access.
+
+    Provided for completeness — §4.2.4 explains why these maps are
+    *insufficient* for eviction lists; tests demonstrate exactly that.
+    """
+
+    map_type = "BPF_MAP_TYPE_QUEUE"
+
+    def __init__(self, max_entries: int, name: str = "") -> None:
+        super().__init__(max_entries, name)
+        self._data: list = []
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def push(self, value: Any) -> None:
+        _check_scalar(value, f"map {self.name}: value")
+        if len(self._data) >= self.max_entries:
+            raise MapFullError(f"map {self.name}: full")
+        self._data.append(value)
+
+    def pop(self) -> Optional[Any]:
+        if not self._data:
+            return None
+        return self._data.pop(0)
+
+    def peek(self) -> Optional[Any]:
+        return self._data[0] if self._data else None
+
+
+class StackMap(QueueMap):
+    """``BPF_MAP_TYPE_STACK``: LIFO variant of :class:`QueueMap`."""
+
+    map_type = "BPF_MAP_TYPE_STACK"
+
+    def pop(self) -> Optional[Any]:
+        if not self._data:
+            return None
+        return self._data.pop()
+
+    def peek(self) -> Optional[Any]:
+        return self._data[-1] if self._data else None

@@ -1,0 +1,76 @@
+"""BPF ring buffer: kernel-to-userspace event channel.
+
+Two call sites in the paper use it:
+
+* the **userspace-dispatch strawman** (Table 1): tracepoint programs
+  post one event per page-cache action, and the measured overhead of
+  just *notifying* userspace motivates running policies in the kernel;
+* **LHD reconfiguration** (§5.2): the hot path posts a "please
+  reconfigure" event; a userspace thread wakes and triggers a
+  BPF_PROG_TYPE_SYSCALL program.
+
+Producers pay a fixed CPU cost per event (reserve + commit on the
+lockless buffer); that cost, multiplied by millions of events, is
+Table 1's degradation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.engine import current_thread
+
+
+class RingBuffer:
+    """Bounded single-producer-per-call ring buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum buffered events; further ``output`` calls drop the event
+        and count it (the kernel returns -ENOSPC and the producer simply
+        loses the notification).
+    produce_cost_us:
+        CPU charged to the producing thread per successful event.
+    """
+
+    #: Ring buffers are maps (BPF_MAP_TYPE_RINGBUF); the verifier
+    #: accepts references to them in programs.
+    __bpf_map__ = True
+
+    def __init__(self, capacity: int = 4096,
+                 produce_cost_us: float = 0.0, name: str = "rb") -> None:
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self.produce_cost_us = produce_cost_us
+        self.name = name
+        self._buf: list[Any] = []
+        self.produced = 0
+        self.dropped = 0
+        self.consumed = 0
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def output(self, record: Any) -> bool:
+        """Post one event; returns False if the buffer was full."""
+        thread = current_thread()
+        if thread is not None and self.produce_cost_us:
+            thread.advance(self.produce_cost_us)
+        if len(self._buf) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._buf.append(record)
+        self.produced += 1
+        return True
+
+    def drain(self, max_events: Optional[int] = None) -> list:
+        """Userspace consumption: pop up to ``max_events`` records."""
+        if max_events is None or max_events >= len(self._buf):
+            out, self._buf = self._buf, []
+        else:
+            out = self._buf[:max_events]
+            del self._buf[:max_events]
+        self.consumed += len(out)
+        return out

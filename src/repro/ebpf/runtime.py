@@ -1,0 +1,91 @@
+"""BPF program objects, helpers and the syscall-program analogue."""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Optional
+
+from repro.ebpf.errors import ProgramError
+
+
+class BpfProgram:
+    """A loadable BPF program wrapping a restricted Python function.
+
+    Attributes
+    ----------
+    allow_loops:
+        Whether the verifier accepts backward jumps in this program.
+        The kfunc layer still bounds all list iteration.
+    verified:
+        Set by :func:`repro.ebpf.verifier.verify_program`; the cache_ext
+        loader refuses to attach unverified programs.
+    invocations:
+        Run-time call counter, used by the overhead experiments.
+    """
+
+    __bpf_program__ = True
+
+    def __init__(self, fn: Callable, allow_loops: bool = False,
+                 name: Optional[str] = None) -> None:
+        self.fn = fn
+        self.allow_loops = allow_loops
+        self.name = name or fn.__name__
+        self.verified = False
+        self.invocations = 0
+        functools.update_wrapper(self, fn)
+
+    def __call__(self, *args: Any) -> Any:
+        self.invocations += 1
+        return self.fn(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "verified" if self.verified else "unverified"
+        return f"BpfProgram({self.name!r}, {state})"
+
+
+def bpf_program(fn: Optional[Callable] = None, *,
+                allow_loops: bool = False,
+                name: Optional[str] = None):
+    """Decorator declaring a function as a BPF program.
+
+    Usage::
+
+        @bpf_program
+        def lfu_folio_added(folio): ...
+
+        @bpf_program(allow_loops=True)
+        def lhd_reconfigure(): ...
+    """
+    def wrap(f: Callable) -> BpfProgram:
+        return BpfProgram(f, allow_loops=allow_loops, name=name)
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap
+
+
+def bpf_helper(fn: Callable) -> Callable:
+    """Mark a callable as a stable BPF helper (callable from programs)."""
+    fn.__bpf_helper__ = True
+    return fn
+
+
+def bpf_kfunc(fn: Callable) -> Callable:
+    """Mark a callable as a kfunc (kernel function exposed to BPF)."""
+    fn.__bpf_kfunc__ = True
+    return fn
+
+
+def run_syscall_prog(prog: BpfProgram, *args: Any) -> Any:
+    """Run a program BPF_PROG_TYPE_SYSCALL-style.
+
+    Userspace invokes these without attaching them to a hook; the LHD
+    policy uses one for its periodic reconfiguration step (§5.2), which
+    is too expensive for the page-cache hot path.
+    """
+    if not isinstance(prog, BpfProgram):
+        raise ProgramError("run_syscall_prog requires a BpfProgram")
+    if not prog.verified:
+        raise ProgramError(
+            f"program {prog.name!r} must be verified before syscall run")
+    return prog(*args)

@@ -1,0 +1,100 @@
+"""struct_ops: callback-set registration.
+
+struct_ops is how modern eBPF exposes "a table of function pointers the
+kernel will call" (TCP congestion control, sched_ext, and cache_ext).
+The paper extends struct_ops with **per-cgroup** attachment: upstream
+struct_ops maps are system-wide, cache_ext adds a cgroup file
+descriptor to the loading interface so each cgroup can run its own
+policy (§4.3).  This module reproduces both flavours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ebpf.errors import VerificationError
+from repro.ebpf.runtime import BpfProgram
+from repro.ebpf.verifier import verify_program
+
+
+@dataclass(frozen=True)
+class StructOpsSpec:
+    """The shape of one struct_ops interface (e.g. ``cache_ext_ops``)."""
+
+    name: str
+    required_slots: tuple
+    optional_slots: tuple = ()
+
+    @property
+    def all_slots(self) -> tuple:
+        return self.required_slots + self.optional_slots
+
+    def validate(self, programs: dict) -> list[str]:
+        """Check slot completeness; returns findings."""
+        findings = []
+        for slot in self.required_slots:
+            if slot not in programs or programs[slot] is None:
+                findings.append(f"missing required slot {slot!r}")
+        for slot in programs:
+            if slot not in self.all_slots:
+                findings.append(f"unknown slot {slot!r}")
+        for slot, prog in programs.items():
+            if prog is not None and not isinstance(prog, BpfProgram):
+                findings.append(
+                    f"slot {slot!r} is not a BPF program "
+                    f"({type(prog).__name__})")
+        return findings
+
+
+@dataclass
+class StructOpsHandle:
+    """A live attachment; detach through the registry."""
+
+    spec: StructOpsSpec
+    programs: dict
+    cgroup_id: Optional[int]
+    attached: bool = True
+
+
+class StructOpsRegistry:
+    """Tracks attachments and enforces exclusivity.
+
+    One system-wide attachment per spec, or one per-cgroup attachment
+    per (spec, cgroup).  Programs are verified at registration time
+    (the kernel loads + verifies struct_ops programs like any other).
+    """
+
+    def __init__(self) -> None:
+        self._attachments: dict[tuple, StructOpsHandle] = {}
+
+    def register(self, spec: StructOpsSpec, programs: dict,
+                 cgroup_id: Optional[int] = None,
+                 extra_globals: Optional[dict] = None) -> StructOpsHandle:
+        findings = spec.validate(programs)
+        if findings:
+            raise VerificationError(spec.name, findings)
+        key = (spec.name, cgroup_id)
+        live = self._attachments.get(key)
+        if live is not None and live.attached:
+            where = ("system-wide" if cgroup_id is None
+                     else f"cgroup {cgroup_id}")
+            raise VerificationError(
+                spec.name, [f"already attached {where}"])
+        for prog in programs.values():
+            if prog is not None:
+                verify_program(prog, extra_globals=extra_globals)
+        handle = StructOpsHandle(spec, dict(programs), cgroup_id)
+        self._attachments[key] = handle
+        return handle
+
+    def unregister(self, handle: StructOpsHandle) -> None:
+        handle.attached = False
+        self._attachments.pop((handle.spec.name, handle.cgroup_id), None)
+
+    def attached(self, spec_name: str,
+                 cgroup_id: Optional[int] = None) -> Optional[StructOpsHandle]:
+        handle = self._attachments.get((spec_name, cgroup_id))
+        if handle is not None and handle.attached:
+            return handle
+        return None

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per table/figure in the paper.
+
+Every module exposes ``run(quick=False, ...) -> ExperimentResult``.
+``quick=True`` shrinks sizes for CI smoke tests; the default sizes are
+what ``EXPERIMENTS.md`` and the benchmark suite use.  All runs are
+deterministic (seeded RNGs + virtual time).
+
+==============  =====================================================
+Module          Reproduces
+==============  =====================================================
+``table1``      Table 1 — userspace-dispatch overhead
+``fig6``        Figure 6 — YCSB throughput and P99 across policies
+``fig7``        Figure 7 — YCSB throughput vs. total disk I/O
+``fig8``        Figure 8 — Twitter cluster traces across policies
+``fig9``        Figure 9 — file search (MRU vs default vs MGLRU)
+``fig10``       Figure 10 — GET-SCAN mix incl. fadvise variants
+``admission``   §6.1.5 — compaction admission filter
+``table3``      Table 3 — policy implementation LoC
+``fig11``       Figure 11 — per-cgroup policy isolation
+``table4``      Table 4 — no-op policy CPU overhead (fio)
+``table5``      Table 5 — cache_ext MGLRU vs native MGLRU fidelity
+==============  =====================================================
+"""
+
+from repro.experiments.harness import (ExperimentResult, attach_policy,
+                                       build_machine, make_db_env)
+
+__all__ = ["ExperimentResult", "build_machine", "attach_policy",
+           "make_db_env"]

@@ -1,0 +1,67 @@
+"""§6.1.5 — application-informed admission filter.
+
+Uniform read/write workload on the LSM store (the paper uses RocksDB)
+with background compaction running.  The admission filter keeps pages
+fetched *by compaction threads* out of the page cache, so compaction's
+bulk reads stop evicting the folios the read path needs.
+
+Paper result: P99 read latency improves 17% (2.61 ms -> 2.16 ms);
+throughput is roughly unchanged because compaction is infrequent.
+"""
+
+from __future__ import annotations
+
+from repro.cache_ext import load_policy
+from repro.experiments.harness import ExperimentResult, make_db_env
+from repro.policies.admission import make_admission_filter_policy
+from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
+
+FULL_SCALE = {"nkeys": 40000, "cgroup_pages": 1000, "nops": 40000,
+              "warmup_ops": 10000, "nthreads": 8}
+QUICK_SCALE = {"nkeys": 6000, "cgroup_pages": 192, "nops": 4000,
+               "warmup_ops": 1000, "nthreads": 4}
+
+
+def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
+            warmup_ops: int, nthreads: int, seed: int = 42):
+    from repro.apps.lsm import DbOptions
+    # A small memtable keeps flushes frequent so background compaction
+    # actually runs inside the measured window (the paper's RocksDB
+    # compacts continuously under its uniform R/W load).
+    env = make_db_env("default", cgroup_pages=cgroup_pages,
+                      nkeys=nkeys, compaction_thread=True,
+                      db_options=DbOptions(memtable_entries=256))
+    if filtered:
+        ops = make_admission_filter_policy()
+        load_policy(env.machine, env.cgroup, ops)
+        tid_map = ops.user_maps["compaction_tids"]
+        for thread in env.db.compaction_threads:
+            tid_map.update(thread.tid, 1)
+    runner = YcsbRunner(env.db, YCSB_WORKLOADS["uniform-rw"],
+                        nkeys=nkeys, nops=nops, nthreads=nthreads,
+                        warmup_ops=warmup_ops, seed=seed)
+    return runner.run(), env
+
+
+def run(quick: bool = False, scale: dict = None) -> ExperimentResult:
+    params = dict(QUICK_SCALE if quick else FULL_SCALE)
+    if scale:
+        params.update(scale)
+    out = ExperimentResult(
+        "§6.1.5: compaction admission filter (uniform R/W)",
+        headers=["variant", "ops_per_sec", "p99_read_us",
+                 "admission_rejects", "hit_ratio"])
+    for filtered in (False, True):
+        result, env = run_one(filtered, **params)
+        out.add_row("admission-filter" if filtered else "baseline",
+                    round(result.throughput, 1),
+                    round(result.p99_read_us, 1),
+                    env.cgroup.stats.admission_rejects,
+                    round(env.cgroup.stats.hit_ratio, 4))
+    out.notes.append(
+        "paper: P99 -17% (2.61ms -> 2.16ms), throughput ~unchanged")
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    print(run().format_table())

@@ -1,0 +1,184 @@
+"""Shared experiment plumbing.
+
+Builds machines/cgroups/databases for a named policy and formats
+results.  Policy names:
+
+* ``"default"`` — the kernel's two-list LRU (no cache_ext);
+* ``"mglru"`` — the kernel's native MGLRU (no cache_ext);
+* ``"fifo" | "mru" | "lfu" | "s3fifo" | "lhd" | "mglru-bpf"`` —
+  cache_ext policies on top of the default kernel (fallback) lists;
+* ``"noop"`` — the no-op cache_ext policy (overhead baseline);
+* ``"userspace"`` — the Table 1 dispatch strawman.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.lsm import DbOptions, LsmDb
+from repro.cache_ext import load_policy
+from repro.cache_ext.ops import CacheExtOps
+from repro.kernel import Machine
+from repro.kernel.cgroup import MemCgroup
+from repro.policies import (make_fifo_policy, make_get_scan_policy,
+                            make_lfu_policy, make_mglru_policy,
+                            make_mru_policy, make_noop_policy,
+                            make_s3fifo_policy,
+                            make_userspace_dispatch_policy)
+from repro.policies.lhd import attach_lhd
+from repro.policies.userspace import spawn_drainer
+from repro.workloads.ycsb import load_items
+
+#: Policies applicable to the generic (application-agnostic) sweeps.
+GENERIC_POLICY_NAMES = ("default", "mglru", "fifo", "mru", "lfu",
+                        "s3fifo", "lhd", "mglru-bpf")
+
+KERNEL_POLICIES = ("default", "mglru")
+
+
+#: Experiment disks model the paper's SATA-class 480 GB SSD: modest
+#: internal parallelism, so concurrent misses queue and tail latency
+#: becomes hit-ratio-sensitive (the effect behind the P99 plots).
+EXPERIMENT_DISK = dict(read_us=95.0, write_us=30.0, channels=2)
+
+
+def build_machine(policy: str) -> Machine:
+    """A machine booted with the right kernel policy for ``policy``."""
+    from repro.kernel.block import BlockDevice
+    kernel = "mglru" if policy == "mglru" else "default"
+    return Machine(kernel_policy=kernel,
+                   disk=BlockDevice(**EXPERIMENT_DISK))
+
+
+def attach_policy(machine: Machine, cgroup: MemCgroup, policy: str,
+                  cgroup_pages: int) -> Optional[CacheExtOps]:
+    """Attach the named cache_ext policy (None for kernel policies).
+
+    Map capacities are sized from the cgroup so hash maps never
+    overflow and ghost FIFOs approximate the cache size, the way the
+    paper's loaders size maps from the cgroup configuration.
+    """
+    if policy in KERNEL_POLICIES:
+        return None
+    map_entries = max(4 * cgroup_pages, 1024)
+    ghost_entries = max(cgroup_pages, 256)
+    if policy == "fifo":
+        ops = make_fifo_policy()
+    elif policy == "mru":
+        ops = make_mru_policy()
+    elif policy == "lfu":
+        ops = make_lfu_policy(map_entries=map_entries)
+    elif policy == "s3fifo":
+        ops = make_s3fifo_policy(map_entries=map_entries,
+                                 ghost_entries=ghost_entries)
+    elif policy == "lhd":
+        return attach_lhd(machine, cgroup, map_entries=map_entries)
+    elif policy == "mglru-bpf":
+        ops = make_mglru_policy(map_entries=map_entries,
+                                ghost_entries=ghost_entries)
+    elif policy == "noop":
+        ops = make_noop_policy()
+    elif policy == "get-scan":
+        ops = make_get_scan_policy(map_entries=map_entries)
+    elif policy == "userspace":
+        ops = make_userspace_dispatch_policy()
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    load_policy(machine, cgroup, ops)
+    if policy == "userspace":
+        spawn_drainer(machine, ops)
+    return ops
+
+
+@dataclass
+class DbEnv:
+    """One machine + cgroup + pre-loaded LSM store."""
+
+    machine: Machine
+    cgroup: MemCgroup
+    db: LsmDb
+    ops: Optional[CacheExtOps]
+
+
+def make_db_env(policy: str, cgroup_pages: int, nkeys: int,
+                db_options: Optional[DbOptions] = None,
+                compaction_thread: bool = False,
+                cgroup_name: str = "app") -> DbEnv:
+    """Build the standard DB experiment environment.
+
+    The database is bulk-loaded (no simulated I/O, cold cache), then
+    the policy attaches — equivalent to the paper's create-database /
+    drop-caches / load-policy sequence.
+
+    The default memtable is scaled down so one flush is a small
+    fraction of the cgroup (as at paper scale, where a 4 MiB memtable
+    meets a 10 GiB cgroup); otherwise write workloads are dominated by
+    flush bursts no real deployment would see.
+    """
+    machine = build_machine(policy)
+    cgroup = machine.new_cgroup(cgroup_name, limit_pages=cgroup_pages)
+    if db_options is None:
+        db_options = DbOptions(memtable_entries=512)
+    db = LsmDb(machine, cgroup, options=db_options)
+    db.bulk_load(load_items(nkeys))
+    ops = attach_policy(machine, cgroup, policy, cgroup_pages)
+    if compaction_thread:
+        db.spawn_compaction_thread()
+    return DbEnv(machine, cgroup, db, ops)
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular experiment output."""
+
+    name: str
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"{self.name}: row width {len(values)} != "
+                f"{len(self.headers)} headers")
+        self.rows.append(list(values))
+
+    def column(self, header: str) -> list:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def row_dict(self, index: int) -> dict:
+        return dict(zip(self.headers, self.rows[index]))
+
+    def find_rows(self, **match) -> list[dict]:
+        out = []
+        for i in range(len(self.rows)):
+            d = self.row_dict(i)
+            if all(d.get(k) == v for k, v in match.items()):
+                out.append(d)
+        return out
+
+    def format_table(self) -> str:
+        """Fixed-width text table (the experiment's printed artifact)."""
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:,.2f}"
+            if isinstance(value, int):
+                return f"{value:,}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(str(h)), *(len(r[i]) for r in cells))
+                  if cells else len(str(h))
+                  for i, h in enumerate(self.headers)]
+        lines = [f"== {self.name} =="]
+        lines.append("  ".join(str(h).ljust(w)
+                               for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.rjust(w)
+                                   for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

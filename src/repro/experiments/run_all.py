@@ -1,0 +1,58 @@
+"""Regenerate the paper's entire evaluation in one command.
+
+Runs every table/figure module (full scale by default) and writes the
+formatted tables to stdout and, optionally, a results file::
+
+    python -m repro.experiments.run_all                 # full, ~10 min
+    python -m repro.experiments.run_all --quick         # CI smoke
+    python -m repro.experiments.run_all -o results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (admission, fig6, fig7, fig8, fig9, fig10,
+                               fig11, table1, table3, table4, table5)
+
+#: Execution order: cheap first, so early output appears quickly.
+MODULES = (table3, table4, fig9, admission, table1, fig10, fig11, fig7,
+           fig8, table5, fig6)
+
+
+def run_all(quick: bool = False, out_path: str | None = None) -> int:
+    lines: list[str] = []
+    failures = 0
+    for mod in MODULES:
+        started = time.time()
+        name = mod.__name__.rsplit(".", 1)[-1]
+        try:
+            result = mod.run(quick=quick)
+            block = result.format_table()
+        except Exception as exc:  # keep going; report at the end
+            failures += 1
+            block = f"== {name} FAILED ==\n{type(exc).__name__}: {exc}"
+        block += f"\n[{name}: {time.time() - started:.1f}s]\n"
+        print(block, flush=True)
+        lines.append(block)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write("\n".join(lines))
+        print(f"results written to {out_path}")
+    return failures
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate every table/figure of the paper")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes (CI smoke)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="also write the tables to this file")
+    args = parser.parse_args(argv)
+    return run_all(quick=args.quick, out_path=args.output)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Simulated Linux kernel substrate.
+
+This package reimplements, at decision-level fidelity, the parts of the
+Linux kernel (v6.6.8, the version the paper builds on) that the paper's
+evaluation depends on:
+
+* the page cache: per-file mappings, folio lifecycle, reclaim driver
+  (:mod:`repro.kernel.page_cache`);
+* the default eviction policy: the two-list (active/inactive) LRU
+  approximation with workingset shadow entries and refault-driven
+  activation (:mod:`repro.kernel.default_policy`);
+* the Multi-Generational LRU as merged upstream
+  (:mod:`repro.kernel.mglru`);
+* memory cgroups with per-cgroup charging, limits and reclaim
+  (:mod:`repro.kernel.cgroup`);
+* a VFS layer exposing ``pread``/``pwrite``/``fsync``/``fadvise``
+  (:mod:`repro.kernel.vfs`);
+* a block device with contention (:mod:`repro.kernel.block`).
+
+Everything runs on the virtual-time engine in :mod:`repro.sim`, so all
+throughput and latency measurements are deterministic.
+"""
+
+from repro.kernel.cgroup import MemCgroup
+from repro.kernel.folio import Folio
+from repro.kernel.machine import Machine
+from repro.kernel.page_cache import PageCache
+from repro.kernel.vfs import FAdvice, Filesystem, SimFile
+
+__all__ = [
+    "Machine",
+    "MemCgroup",
+    "Folio",
+    "PageCache",
+    "Filesystem",
+    "SimFile",
+    "FAdvice",
+]

@@ -1,0 +1,73 @@
+"""Per-file page-cache mappings (``struct address_space``).
+
+In Linux the address_space's xarray maps file offsets to folios and,
+after eviction, to *shadow entries* that enable refault-distance
+computation.  We model the xarray with two dictionaries: one for
+resident folios, one for shadow entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.kernel.folio import Folio
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.shadow import ShadowEntry
+
+
+class AddressSpace:
+    """Maps page indices of one file to resident folios/shadow entries."""
+
+    def __init__(self, file_id: int) -> None:
+        self.file_id = file_id
+        self._folios: dict[int, Folio] = {}
+        self._shadows: dict[int, "ShadowEntry"] = {}
+
+    # ------------------------------------------------------------------
+    # resident folios
+    # ------------------------------------------------------------------
+    def lookup(self, index: int) -> Optional[Folio]:
+        return self._folios.get(index)
+
+    def insert(self, folio: Folio) -> None:
+        if folio.index in self._folios:
+            raise RuntimeError(
+                f"mapping {self.file_id}: duplicate insert at {folio.index}")
+        self._folios[folio.index] = folio
+        # Insertion consumes any shadow entry at this offset; the caller
+        # reads it first for refault detection.
+        self._shadows.pop(folio.index, None)
+
+    def remove(self, folio: Folio) -> None:
+        present = self._folios.get(folio.index)
+        if present is not folio:
+            raise RuntimeError(
+                f"mapping {self.file_id}: remove of non-resident folio")
+        del self._folios[folio.index]
+        folio.mapping = None
+
+    def folios(self) -> Iterator[Folio]:
+        """Iterate resident folios (snapshot; safe to mutate during)."""
+        return iter(list(self._folios.values()))
+
+    @property
+    def nr_folios(self) -> int:
+        return len(self._folios)
+
+    # ------------------------------------------------------------------
+    # shadow entries
+    # ------------------------------------------------------------------
+    def store_shadow(self, index: int, entry: "ShadowEntry") -> None:
+        self._shadows[index] = entry
+
+    def take_shadow(self, index: int) -> Optional["ShadowEntry"]:
+        """Pop and return the shadow entry at ``index``, if any."""
+        return self._shadows.pop(index, None)
+
+    def peek_shadow(self, index: int) -> Optional["ShadowEntry"]:
+        return self._shadows.get(index)
+
+    @property
+    def nr_shadows(self) -> int:
+        return len(self._shadows)

@@ -1,0 +1,90 @@
+"""Memory cgroups.
+
+cgroups are the paper's isolation boundary: each cgroup owns its own
+page-cache lists, is charged for the folios its tasks fault in, and is
+reclaimed independently when it reaches its memory limit.  cache_ext
+attaches eviction policies per cgroup (§4.3).
+
+As in Linux, a task in cgroup A may access a folio charged to cgroup B;
+the access updates the folio's recency metadata in B's lists but does
+not move the charge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel.errors import EINVAL
+from repro.kernel.stats import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.page_cache import KernelPolicy
+
+_cgroup_ids = itertools.count(1)
+
+
+class MemCgroup:
+    """A memory control group.
+
+    Parameters
+    ----------
+    name:
+        cgroupfs-style name, e.g. ``"ycsb"``.
+    limit_pages:
+        ``memory.max`` expressed in 4 KiB pages.  ``None`` means
+        unlimited (the root cgroup).
+    parent:
+        Hierarchy parent.  Only one level below root is exercised by the
+        experiments, matching the paper's container deployments.
+    """
+
+    def __init__(self, name: str, limit_pages: Optional[int] = None,
+                 parent: Optional["MemCgroup"] = None) -> None:
+        if limit_pages is not None and limit_pages <= 0:
+            raise EINVAL(f"cgroup limit must be positive: {limit_pages}")
+        self.id = next(_cgroup_ids)
+        self.name = name
+        self.limit_pages = limit_pages
+        self.parent = parent
+        self.charged_pages = 0
+        self.stats = CacheStats()
+        #: The kernel-resident policy maintaining this cgroup's LRU
+        #: structures (default two-list LRU or native MGLRU).  Always
+        #: present: cache_ext keeps the kernel structures as fallback.
+        self.kernel_policy: Optional["KernelPolicy"] = None
+        #: The attached cache_ext policy, if any.
+        self.ext_policy = None
+        #: Eviction clock for workingset shadow entries: increments on
+        #: every eviction from this cgroup.
+        self.eviction_clock = 0
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def charge(self, pages: int = 1) -> None:
+        """Account ``pages`` newly inserted folios to this cgroup."""
+        self.charged_pages += pages
+
+    def uncharge(self, pages: int = 1) -> None:
+        if self.charged_pages < pages:
+            raise RuntimeError(
+                f"cgroup {self.name}: uncharge below zero "
+                f"({self.charged_pages} - {pages})")
+        self.charged_pages -= pages
+
+    @property
+    def over_limit(self) -> bool:
+        return (self.limit_pages is not None
+                and self.charged_pages > self.limit_pages)
+
+    def excess_pages(self) -> int:
+        """How many pages must be reclaimed to get back under the limit."""
+        if self.limit_pages is None:
+            return 0
+        return max(0, self.charged_pages - self.limit_pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        lim = "max" if self.limit_pages is None else str(self.limit_pages)
+        return (f"MemCgroup(name={self.name!r}, "
+                f"charged={self.charged_pages}/{lim})")

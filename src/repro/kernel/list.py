@@ -1,0 +1,140 @@
+"""Intrusive doubly-linked lists (``struct list_head`` analogue).
+
+Both the kernel's LRU lists and cache_ext's eviction lists need O(1)
+removal given a node reference, plus head/tail insertion and rotation.
+Python's ``collections.deque`` cannot delete from the middle in O(1), so
+we implement the kernel idiom directly: a circular doubly-linked list
+with a sentinel head.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class ListNode:
+    """One membership of an item (usually a folio) on one list."""
+
+    __slots__ = ("item", "prev", "next", "owner")
+
+    def __init__(self, item: Any = None) -> None:
+        self.item = item
+        self.prev: Optional["ListNode"] = None
+        self.next: Optional["ListNode"] = None
+        #: The IntrusiveList currently containing this node (None when
+        #: detached).  Used for sanity checks and "which list is this
+        #: folio on" queries.
+        self.owner: Optional["IntrusiveList"] = None
+
+    @property
+    def linked(self) -> bool:
+        return self.owner is not None
+
+
+class IntrusiveList:
+    """Circular doubly-linked list with a sentinel, tracking its length."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._head = ListNode()          # sentinel
+        self._head.prev = self._head
+        self._head.next = self._head
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def empty(self) -> bool:
+        return self._size == 0
+
+    def _insert_between(self, node: ListNode, prev: ListNode,
+                        nxt: ListNode) -> None:
+        if node.linked:
+            raise RuntimeError("node is already on a list")
+        node.prev = prev
+        node.next = nxt
+        prev.next = node
+        nxt.prev = node
+        node.owner = self
+        self._size += 1
+
+    def add_head(self, node: ListNode) -> None:
+        """Insert at the head (the next element returned by pop_head)."""
+        self._insert_between(node, self._head, self._head.next)
+
+    def add_tail(self, node: ListNode) -> None:
+        self._insert_between(node, self._head.prev, self._head)
+
+    def remove(self, node: ListNode) -> None:
+        """Unlink ``node``; O(1)."""
+        if node.owner is not self:
+            raise RuntimeError("node is not on this list")
+        node.prev.next = node.next
+        node.next.prev = node.prev
+        node.prev = None
+        node.next = None
+        node.owner = None
+        self._size -= 1
+
+    def head(self) -> Optional[ListNode]:
+        """The oldest element for FIFO semantics (None when empty)."""
+        return None if self.empty else self._head.next
+
+    def tail(self) -> Optional[ListNode]:
+        return None if self.empty else self._head.prev
+
+    def pop_head(self) -> Optional[ListNode]:
+        node = self.head()
+        if node is not None:
+            self.remove(node)
+        return node
+
+    def pop_tail(self) -> Optional[ListNode]:
+        node = self.tail()
+        if node is not None:
+            self.remove(node)
+        return node
+
+    def move_to_tail(self, node: ListNode) -> None:
+        """Rotate ``node`` to this list's tail (it may come from another
+        list)."""
+        if node.owner is not None:
+            node.owner.remove(node)
+        self.add_tail(node)
+
+    def move_to_head(self, node: ListNode) -> None:
+        if node.owner is not None:
+            node.owner.remove(node)
+        self.add_head(node)
+
+    def iter_from_head(self) -> Iterator[ListNode]:
+        """Iterate head -> tail.
+
+        Snapshot-free: tolerates removal of the *current* node but not
+        of the next one; callers that mutate aggressively should collect
+        nodes first (as cache_ext's list_iterate kfunc does).
+        """
+        node = self._head.next
+        while node is not self._head:
+            nxt = node.next
+            yield node
+            node = nxt
+
+    def items(self) -> list:
+        return [node.item for node in self.iter_from_head()]
+
+    def check_consistency(self) -> None:
+        """Walk the list verifying link structure; test helper."""
+        count = 0
+        node = self._head.next
+        while node is not self._head:
+            assert node.owner is self, "node owner mismatch"
+            assert node.next.prev is node, "broken forward link"
+            assert node.prev.next is node, "broken backward link"
+            count += 1
+            if count > self._size:
+                raise AssertionError("list longer than recorded size")
+            node = node.next
+        assert count == self._size, f"size mismatch: {count} != {self._size}"

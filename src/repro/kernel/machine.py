@@ -1,0 +1,92 @@
+"""The Machine: one simulated host wiring all kernel components.
+
+A :class:`Machine` is the top-level object experiments build: it owns
+the virtual-time engine, the block device, the filesystem, the page
+cache and the cgroup hierarchy.  Think of it as one CloudLab node from
+the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.ebpf.struct_ops import StructOpsRegistry
+from repro.kernel.block import BlockDevice
+from repro.kernel.cgroup import MemCgroup
+from repro.kernel.page_cache import PageCache
+from repro.kernel.vfs import Filesystem
+from repro.sim.engine import Engine, SimThread
+from repro.sim.resources import CpuCosts
+
+
+class Machine:
+    """One simulated host.
+
+    Parameters
+    ----------
+    kernel_policy:
+        Which kernel-resident eviction policy newly created cgroups get
+        by default: ``"default"`` (two-list LRU) or ``"mglru"``.  This
+        mirrors booting the paper's testbed with or without
+        ``lru_gen`` enabled.
+    disk / costs:
+        Hardware model overrides; defaults approximate the paper's
+        enterprise SSD.
+    """
+
+    def __init__(self, kernel_policy: str = "default",
+                 disk: Optional[BlockDevice] = None,
+                 costs: Optional[CpuCosts] = None) -> None:
+        self.engine = Engine()
+        self.costs = costs if costs is not None else CpuCosts()
+        self.disk = disk if disk is not None else BlockDevice()
+        self.page_cache = PageCache(self)
+        self.fs = Filesystem(self)
+        self.struct_ops = StructOpsRegistry()
+        self.default_kernel_policy = kernel_policy
+        self.root_cgroup = MemCgroup("root", limit_pages=None)
+        self.root_cgroup.kernel_policy = PageCache.make_kernel_policy(
+            kernel_policy, self.root_cgroup)
+        self._cgroups: dict[str, MemCgroup] = {"root": self.root_cgroup}
+
+    # ------------------------------------------------------------------
+    # cgroups
+    # ------------------------------------------------------------------
+    def new_cgroup(self, name: str, limit_pages: Optional[int],
+                   kernel_policy: Optional[str] = None) -> MemCgroup:
+        """Create a memory cgroup below root with its own LRU state."""
+        if name in self._cgroups:
+            raise ValueError(f"cgroup exists: {name}")
+        memcg = MemCgroup(name, limit_pages=limit_pages,
+                          parent=self.root_cgroup)
+        kind = kernel_policy or self.default_kernel_policy
+        memcg.kernel_policy = PageCache.make_kernel_policy(kind, memcg)
+        self._cgroups[name] = memcg
+        return memcg
+
+    def cgroup(self, name: str) -> MemCgroup:
+        return self._cgroups[name]
+
+    def cgroups(self) -> list[MemCgroup]:
+        return list(self._cgroups.values())
+
+    # ------------------------------------------------------------------
+    # threads
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, step_fn: Callable[[SimThread], bool],
+              cgroup: Optional[MemCgroup] = None,
+              tid: Optional[int] = None,
+              daemon: bool = False) -> SimThread:
+        """Start a simulated thread charged to ``cgroup`` (root if None)."""
+        return self.engine.spawn(
+            name, step_fn,
+            cgroup=cgroup if cgroup is not None else self.root_cgroup,
+            tid=tid, daemon=daemon)
+
+    def run(self, until_us: Optional[float] = None,
+            max_steps: Optional[int] = None) -> None:
+        self.engine.run(until_us=until_us, max_steps=max_steps)
+
+    @property
+    def now_us(self) -> float:
+        return self.engine.now_us

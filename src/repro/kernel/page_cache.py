@@ -1,0 +1,364 @@
+"""The page cache: folio lifecycle, reclaim driver, policy dispatch.
+
+This module is the seam where everything meets.  It owns:
+
+* the **insert path**: admission (including the cache_ext admission
+  filter of §5.6), refault detection against shadow entries, cgroup
+  charging, and policy notification;
+* the **access path**: hit accounting and ``folio_mark_accessed``
+  semantics;
+* the **reclaim driver**: per-cgroup direct reclaim in 32-folio batches
+  through the eviction-candidate interface (§4.2.3), candidate
+  *validation* against the valid-folio registry and pin counts (§4.4),
+  and the **eviction fallback** to the kernel policy when a custom
+  policy underdelivers;
+* the **removal path** shared by eviction and truncation — the paper's
+  distinction between "request for eviction" and "folio removal".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.cgroup import MemCgroup
+from repro.kernel.default_policy import DefaultLruPolicy, KernelPolicy
+from repro.kernel.errors import ENOMEM
+from repro.kernel.folio import Folio
+from repro.kernel.mglru import MgLruPolicy
+from repro.kernel.shadow import make_shadow, refault_should_activate
+from repro.kernel.stats import CacheStats
+from repro.sim.engine import current_thread
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.machine import Machine
+
+#: Eviction candidates are proposed to the kernel in batches of up to 32
+#: folios (struct eviction_ctx in Figure 3 of the paper).
+EVICTION_BATCH = 32
+
+
+class ExtPolicyBase:
+    """Hook surface a cache_ext policy presents to the reclaim driver.
+
+    The real framework lives in :mod:`repro.cache_ext.framework`; this
+    base class only defines the contract (and the no-hook defaults) so
+    the kernel layer has no import dependency on cache_ext.
+    """
+
+    name = "ext-policy"
+
+    def admit(self, mapping: AddressSpace, index: int) -> bool:
+        """Admission filter: False means serve the I/O uncached."""
+        return True
+
+    def readahead_hint(self, mapping: AddressSpace, index: int,
+                       seq_streak: int) -> Optional[int]:
+        """Custom readahead window for a miss (the FetchBPF-style
+        extension hook); None keeps the kernel heuristic."""
+        return None
+
+    def folio_added(self, folio: Folio) -> None:
+        raise NotImplementedError
+
+    def folio_accessed(self, folio: Folio) -> None:
+        raise NotImplementedError
+
+    def folio_removed(self, folio: Folio) -> None:
+        raise NotImplementedError
+
+    def propose_candidates(self, nr: int) -> list[Folio]:
+        """Run the policy's evict_folios program; returns raw proposals
+        (the kernel validates them afterwards)."""
+        raise NotImplementedError
+
+    def holds_reference(self, folio: Folio) -> bool:
+        """Registry membership test used during validation."""
+        raise NotImplementedError
+
+
+class PageCache:
+    """The machine-wide page cache."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.stats = CacheStats()
+        #: Ablation switch for §4.4's safety/overhead trade-off: when
+        #: False, candidate folios skip the registry lookup (pin and
+        #: residency checks remain — the simulator must not crash).
+        #: The paper anticipates removing the registry check once eBPF
+        #: can track trusted pointers; this measures what that buys.
+        self.validate_registry = True
+        #: CPU cost of one registry validation (hash lookup under a
+        #: bucket lock).
+        self.registry_check_us = 0.05
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _charge_cpu(self, us: float) -> None:
+        thread = current_thread()
+        if thread is not None:
+            thread.advance(us)
+
+    def _current_cgroup(self) -> MemCgroup:
+        thread = current_thread()
+        if thread is not None and thread.cgroup is not None:
+            return thread.cgroup
+        return self.machine.root_cgroup
+
+    @staticmethod
+    def make_kernel_policy(kind: str, memcg: MemCgroup) -> KernelPolicy:
+        """Instantiate the kernel-resident policy for a cgroup.
+
+        ``kind`` selects between the default two-list LRU and MGLRU,
+        mirroring the ``lru_gen`` boot/runtime switch.
+        """
+        if kind == "default":
+            return DefaultLruPolicy(memcg)
+        if kind == "mglru":
+            return MgLruPolicy(memcg)
+        raise ValueError(f"unknown kernel policy: {kind!r}")
+
+    # ------------------------------------------------------------------
+    # access path
+    # ------------------------------------------------------------------
+    def lookup(self, mapping: AddressSpace, index: int) -> Optional[Folio]:
+        """Find a resident folio without touching recency state."""
+        return mapping.lookup(index)
+
+    def mark_accessed(self, folio: Folio, update_recency: bool = True) -> None:
+        """``folio_mark_accessed``: record a hit on a resident folio.
+
+        Hit statistics accrue to the *accessing* cgroup (a task in
+        cgroup A hitting cgroup B's folio counts towards A's workload),
+        while the recency update lands in the owning cgroup's lists —
+        the cross-cgroup sharing semantics of §2.1.
+
+        ``update_recency=False`` implements FADV_NOREUSE semantics: the
+        data is read but the folio earns no promotion.
+        """
+        accessor = self._current_cgroup()
+        accessor.stats.hits += 1
+        accessor.stats.lookups += 1
+        self.stats.hits += 1
+        self.stats.lookups += 1
+        self._charge_cpu(self.machine.costs.cache_hit_us)
+        if not update_recency:
+            return
+        owner = folio.memcg
+        owner.kernel_policy.folio_accessed(folio)
+        if owner.ext_policy is not None:
+            owner.ext_policy.folio_accessed(folio)
+
+    # ------------------------------------------------------------------
+    # insert path
+    # ------------------------------------------------------------------
+    def add_folio(self, mapping: AddressSpace, index: int,
+                  memcg: Optional[MemCgroup] = None) -> Optional[Folio]:
+        """Insert a freshly read page into the cache.
+
+        Returns the new folio, or ``None`` if the cgroup's admission
+        filter rejected it (the caller then treats the read as direct
+        I/O: the device transfer has already happened, nothing is
+        cached).
+
+        Runs refault detection, charges the cgroup, notifies both the
+        kernel policy and any attached cache_ext policy, and triggers
+        direct reclaim if the charge pushed the cgroup over its limit.
+        """
+        if memcg is None:
+            memcg = self._current_cgroup()
+
+        if (memcg.ext_policy is not None
+                and not memcg.ext_policy.admit(mapping, index)):
+            memcg.stats.admission_rejects += 1
+            self.stats.admission_rejects += 1
+            return None
+
+        folio = Folio(mapping, index, memcg)
+        folio.uptodate = True
+        folio.inserted_at = self.machine.engine.now_us
+
+        refault_activate = False
+        shadow = mapping.take_shadow(index)
+        if shadow is not None and shadow.memcg_id == memcg.id:
+            memcg.stats.refaults += 1
+            self.stats.refaults += 1
+            kernel_policy = memcg.kernel_policy
+            if isinstance(kernel_policy, MgLruPolicy):
+                kernel_policy.record_refault(shadow.tier)
+            refault_activate = refault_should_activate(shadow, memcg)
+            if refault_activate:
+                memcg.stats.activations += 1
+                self.stats.activations += 1
+
+        mapping.insert(folio)
+        memcg.charge()
+        memcg.kernel_policy.folio_inserted(folio, refault_activate)
+        if memcg.ext_policy is not None:
+            memcg.ext_policy.folio_added(folio)
+        memcg.stats.insertions += 1
+        self.stats.insertions += 1
+        self._charge_cpu(self.machine.costs.cache_miss_us)
+
+        if memcg.over_limit:
+            # Direct reclaim with slack: reclaim a little beyond the
+            # excess (SWAP_CLUSTER_MAX-style, but proportional so tiny
+            # cgroups aren't flushed wholesale) so steady-state
+            # insertions don't pay a reclaim pass each — kernel
+            # watermark hysteresis.
+            slack = min(EVICTION_BATCH,
+                        max(1, (memcg.limit_pages or 4096) // 32))
+            self.reclaim_cgroup(
+                memcg, nr_pages=max(memcg.excess_pages(), slack))
+        return folio
+
+    # ------------------------------------------------------------------
+    # reclaim
+    # ------------------------------------------------------------------
+    def reclaim_cgroup(self, memcg: MemCgroup,
+                       nr_pages: Optional[int] = None) -> int:
+        """Direct reclaim: evict until the cgroup is under its limit.
+
+        Raises :class:`ENOMEM` if repeated passes make no progress (the
+        cgroup OOM case).  Returns the number of folios evicted.
+        """
+        if nr_pages is None:
+            target = memcg.excess_pages()
+        else:
+            target = min(nr_pages, memcg.charged_pages)
+        total_evicted = 0
+        stalled_passes = 0
+        while total_evicted < target or memcg.over_limit:
+            remaining = max(target - total_evicted, memcg.excess_pages())
+            batch = min(EVICTION_BATCH, remaining)
+            if batch <= 0:
+                break
+            evicted = self._shrink_batch(memcg, batch)
+            total_evicted += evicted
+            if evicted == 0:
+                stalled_passes += 1
+                # The kernel retries reclaim many times before OOMing;
+                # policies like MGLRU legitimately need several passes
+                # when a scan keeps promoting protected folios.
+                if stalled_passes >= 16:
+                    if memcg.over_limit:
+                        raise ENOMEM(
+                            f"cgroup {memcg.name}: cannot reclaim "
+                            f"{remaining} pages "
+                            f"({memcg.charged_pages}/{memcg.limit_pages})")
+                    break  # slack portion is best-effort
+            else:
+                stalled_passes = 0
+        return total_evicted
+
+    def _shrink_batch(self, memcg: MemCgroup, nr: int) -> int:
+        """One batched pass of the eviction-candidate interface."""
+        candidates: list[Folio] = []
+        seen: set[int] = set()
+
+        ext = memcg.ext_policy
+        if ext is not None:
+            proposals = ext.propose_candidates(nr)
+            memcg.stats.ext_candidates += len(proposals)
+            self.stats.ext_candidates += len(proposals)
+            for folio in proposals:
+                if not self._validate_candidate(folio, memcg, ext):
+                    memcg.stats.ext_invalid_candidates += 1
+                    self.stats.ext_invalid_candidates += 1
+                    continue
+                if folio.id in seen:
+                    continue
+                seen.add(folio.id)
+                candidates.append(folio)
+
+        shortfall = nr - len(candidates)
+        fallback_from = len(candidates)
+        if shortfall > 0:
+            # Eviction fallback (§4.4): the kernel's own lists fill the
+            # gap left by an absent, lazy, or adversarial policy.
+            for folio in memcg.kernel_policy.evict_candidates(shortfall):
+                if folio.id in seen:
+                    continue
+                seen.add(folio.id)
+                candidates.append(folio)
+
+        evicted = 0
+        for pos, folio in enumerate(candidates):
+            if self.evict_folio(folio, memcg):
+                evicted += 1
+                if ext is not None and pos >= fallback_from:
+                    memcg.stats.fallback_evictions += 1
+                    self.stats.fallback_evictions += 1
+        return evicted
+
+    def _validate_candidate(self, folio: Folio, memcg: MemCgroup,
+                            ext: ExtPolicyBase) -> bool:
+        """The kernel-side safety checks of §4.4.
+
+        A candidate is acceptable only if the registry still holds the
+        reference (i.e., the pointer is a live folio of this policy's
+        cgroup), the folio is resident, charged to this cgroup, and not
+        pinned by the kernel.
+        """
+        if not isinstance(folio, Folio):
+            return False
+        if self.validate_registry:
+            self._charge_cpu(self.registry_check_us)
+            if not ext.holds_reference(folio):
+                return False
+        if folio.mapping is None:
+            return False
+        if folio.memcg is not memcg:
+            return False
+        if folio.pinned:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # removal path
+    # ------------------------------------------------------------------
+    def evict_folio(self, folio: Folio, memcg: MemCgroup) -> bool:
+        """Complete one eviction; returns False if the folio cannot go.
+
+        Dirty folios are written back first (counted disk I/O — this is
+        how write-heavy workloads show up on Figure 7's x-axis).
+        """
+        if folio.mapping is None or folio.pinned or folio.memcg is not memcg:
+            return False
+        if folio.dirty:
+            self.machine.disk.write(current_thread(), 1)
+            folio.dirty = False
+            memcg.stats.writebacks += 1
+            self.stats.writebacks += 1
+        shadow = make_shadow(
+            memcg,
+            workingset=folio.active or folio.workingset,
+            tier=memcg.kernel_policy.eviction_tier(folio))
+        folio.mapping.store_shadow(folio.index, shadow)
+        self._remove_folio(folio, memcg)
+        memcg.eviction_clock += 1
+        memcg.stats.evictions += 1
+        self.stats.evictions += 1
+        self._charge_cpu(self.machine.costs.evict_us)
+        return True
+
+    def remove_folio_no_shadow(self, folio: Folio) -> None:
+        """Removal outside the eviction path (truncate/file delete).
+
+        This is the paper's "folio removal" event that bypasses the
+        eviction request: policies are told to clean up metadata, no
+        shadow entry is left.
+        """
+        memcg = folio.memcg
+        if folio.mapping is None:
+            return
+        self._remove_folio(folio, memcg)
+
+    def _remove_folio(self, folio: Folio, memcg: MemCgroup) -> None:
+        folio.mapping.remove(folio)
+        memcg.kernel_policy.folio_removed(folio)
+        if memcg.ext_policy is not None:
+            memcg.ext_policy.folio_removed(folio)
+        memcg.uncharge()

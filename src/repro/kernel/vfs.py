@@ -1,0 +1,314 @@
+"""Files and file I/O through the page cache.
+
+Applications in this reproduction (the LSM store, the file-search tool,
+fio) never touch the block device directly; every read and write goes
+through :class:`Filesystem`, which implements ``pread``/``pwrite``-style
+page I/O on top of the page cache, plus ``fsync``, ``fadvise`` (§2.1
+"Userspace interfaces") and readahead.
+
+Data model: each :class:`SimFile` owns a backing ``store`` mapping page
+index -> Python object (the "on-disk" bytes).  A resident folio grants
+access to the store without device I/O; a miss costs a device read.
+Writes update the store immediately and mark the folio dirty, so
+dirtiness only governs *writeback* I/O accounting — this keeps the
+simulator crash-consistency-free while preserving every I/O count the
+paper's evaluation relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.cgroup import MemCgroup
+from repro.kernel.errors import EBADF, EINVAL
+from repro.sim.engine import current_thread
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.machine import Machine
+
+_file_ids = itertools.count(1)
+
+#: Default readahead window in pages (Linux default is 128 KiB = 32
+#: pages; we scale down with everything else).
+DEFAULT_RA_PAGES = 8
+#: Hard cap on any readahead window, including custom policy hints
+#: (kernel-side bounds checking, as for every cache_ext input).
+MAX_RA_PAGES = 64
+
+
+class FAdvice(enum.Enum):
+    """POSIX_FADV_* advice values supported by the simulator."""
+
+    NORMAL = "normal"
+    RANDOM = "random"
+    SEQUENTIAL = "sequential"
+    WILLNEED = "willneed"
+    DONTNEED = "dontneed"
+    NOREUSE = "noreuse"
+
+
+class SimFile:
+    """A simulated file: backing store + page-cache mapping + RA state."""
+
+    def __init__(self, name: str) -> None:
+        self.file_id = next(_file_ids)
+        self.name = name
+        self.store: dict[int, Any] = {}
+        self.npages = 0
+        self.mapping = AddressSpace(self.file_id)
+        # Readahead / advice state (kept per file; real kernels keep it
+        # per struct file, but our workloads use one descriptor each).
+        self.ra_window = DEFAULT_RA_PAGES
+        self.ra_enabled = True
+        self.last_read_index = -2
+        self.seq_streak = 0
+        self.noreuse = False
+        self.deleted = False
+        # Direct-I/O stream detection (admission-rejected access).
+        self._last_direct_read = -2
+        self._last_direct_write = -2
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimFile(id={self.file_id}, name={self.name!r}, npages={self.npages})"
+
+
+class Filesystem:
+    """Machine-wide VFS: file namespace + page-cache-mediated I/O."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self._files: dict[str, SimFile] = {}
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+    def create(self, name: str) -> SimFile:
+        if name in self._files:
+            raise EINVAL(f"file exists: {name}")
+        f = SimFile(name)
+        self._files[name] = f
+        return f
+
+    def open(self, name: str) -> SimFile:
+        f = self._files.get(name)
+        if f is None:
+            raise EBADF(f"no such file: {name}")
+        return f
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        """Unlink: every cached folio is removed *without* the eviction
+        path — the paper's folio-removal-bypasses-eviction case."""
+        f = self._files.pop(name, None)
+        if f is None:
+            raise EBADF(f"no such file: {name}")
+        cache = self.machine.page_cache
+        for folio in f.mapping.folios():
+            cache.remove_folio_no_shadow(folio)
+        f.store.clear()
+        f.deleted = True
+
+    def files(self) -> list[SimFile]:
+        return list(self._files.values())
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read_page(self, f: SimFile, index: int, *,
+                  noreuse: bool = False) -> Any:
+        """``pread`` of one page; returns the stored object.
+
+        ``noreuse=True`` models a read through a file description with
+        POSIX_FADV_NOREUSE applied (v6.3+ semantics): the access does
+        not update the folio's recency, so scans can avoid promoting
+        their pages — but the pages still enter and occupy the cache.
+        """
+        if f.deleted:
+            raise EBADF(f"read of deleted file: {f.name}")
+        if not 0 <= index < f.npages:
+            raise EINVAL(f"{f.name}: read past EOF (page {index} of {f.npages})")
+        cache = self.machine.page_cache
+        self._update_seq_state(f, index)
+
+        folio = f.mapping.lookup(index)
+        if folio is not None:
+            cache.mark_accessed(
+                folio, update_recency=not (f.noreuse or noreuse))
+            return f.store.get(index)
+
+        # Miss: bring the page (plus any readahead) in from the device.
+        memcg = cache._current_cgroup()
+        memcg.stats.misses += 1
+        memcg.stats.lookups += 1
+        cache.stats.misses += 1
+        cache.stats.lookups += 1
+
+        ra_indices = self._readahead_indices(f, index)
+        folio = cache.add_folio(f.mapping, index, memcg)
+        if folio is None:
+            # Admission filter rejected the page: serve it direct-I/O
+            # style — one device read, no readahead (nothing would be
+            # allowed to stay resident anyway).  Back-to-back rejected
+            # reads at consecutive offsets stream at sequential rates,
+            # as a real device would service them.
+            contiguous = index == f._last_direct_read + 1
+            self.machine.disk.read(current_thread(), 1,
+                                   contiguous=contiguous)
+            f._last_direct_read = index
+            return f.store.get(index)
+
+        folio.pin()
+        try:
+            inserted = 1
+            for ra_index in ra_indices:
+                if cache.add_folio(f.mapping, ra_index, memcg) is not None:
+                    inserted += 1
+            self.machine.disk.read(current_thread(), inserted)
+        finally:
+            folio.unpin()
+        return f.store.get(index)
+
+    def read_range(self, f: SimFile, start: int, npages: int) -> list:
+        """Sequential multi-page read; returns stored objects in order."""
+        return [self.read_page(f, idx) for idx in range(start, start + npages)]
+
+    def _update_seq_state(self, f: SimFile, index: int) -> None:
+        if index == f.last_read_index + 1:
+            f.seq_streak += 1
+        else:
+            f.seq_streak = 0
+        f.last_read_index = index
+
+    def _readahead_indices(self, f: SimFile, index: int) -> list[int]:
+        """Pages to prefetch alongside a missed read.
+
+        A cache_ext policy with the ``readahead`` extension hook (§7's
+        FetchBPF integration) decides the window directly; otherwise
+        the kernel heuristic applies: readahead arms after a short
+        sequential streak and reads up to the file's window, with
+        FADV_SEQUENTIAL doubling the window and FADV_RANDOM disabling
+        it, as in Linux.
+        """
+        cache = self.machine.page_cache
+        memcg = cache._current_cgroup()
+        window = None
+        if memcg.ext_policy is not None:
+            hint = memcg.ext_policy.readahead_hint(
+                f.mapping, index, f.seq_streak)
+            if hint is not None:
+                window = min(hint, MAX_RA_PAGES)
+        if window is None:
+            if not f.ra_enabled or f.seq_streak < 2:
+                return []
+            window = f.ra_window - 1
+        out = []
+        for idx in range(index + 1, min(index + 1 + window, f.npages)):
+            if f.mapping.lookup(idx) is None:
+                out.append(idx)
+            else:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def write_page(self, f: SimFile, index: int, obj: Any) -> None:
+        """Full-page buffered write (no read-modify-write needed)."""
+        if f.deleted:
+            raise EBADF(f"write to deleted file: {f.name}")
+        if index < 0:
+            raise EINVAL(f"negative page index: {index}")
+        cache = self.machine.page_cache
+        f.store[index] = obj
+        f.npages = max(f.npages, index + 1)
+
+        folio = f.mapping.lookup(index)
+        if folio is not None:
+            folio.dirty = True
+            cache.mark_accessed(folio, update_recency=not f.noreuse)
+            return
+
+        memcg = cache._current_cgroup()
+        memcg.stats.misses += 1
+        memcg.stats.lookups += 1
+        cache.stats.misses += 1
+        cache.stats.lookups += 1
+        folio = cache.add_folio(f.mapping, index, memcg)
+        if folio is None:
+            # Admission filter rejected the write: go straight to disk,
+            # direct-I/O style (sequential continuation priced as such).
+            contiguous = index == f._last_direct_write + 1
+            self.machine.disk.write(current_thread(), 1,
+                                    contiguous=contiguous)
+            f._last_direct_write = index
+            return
+        folio.dirty = True
+
+    def append_page(self, f: SimFile, obj: Any) -> int:
+        """Write the next page of the file; returns its index."""
+        index = f.npages
+        self.write_page(f, index, obj)
+        return index
+
+    def fsync(self, f: SimFile) -> int:
+        """Write back every dirty folio of ``f``; returns pages written."""
+        cache = self.machine.page_cache
+        dirty = [folio for folio in f.mapping.folios() if folio.dirty]
+        if not dirty:
+            return 0
+        self.machine.disk.write(current_thread(), len(dirty))
+        for folio in dirty:
+            folio.dirty = False
+            folio.memcg.stats.writebacks += 1
+            cache.stats.writebacks += 1
+        return len(dirty)
+
+    # ------------------------------------------------------------------
+    # fadvise
+    # ------------------------------------------------------------------
+    def fadvise(self, f: SimFile, advice: FAdvice,
+                start: int = 0, npages: Optional[int] = None) -> None:
+        """Apply POSIX_FADV_* semantics.
+
+        These are *hints* with implementation-defined behaviour (§2.1);
+        the semantics below match Linux v6.6 closely enough to reproduce
+        the paper's Figure 10 finding that none of them rescues the
+        GET-SCAN workload.
+        """
+        if npages is None:
+            npages = max(f.npages - start, 0)
+        end = start + npages
+
+        if advice is FAdvice.NORMAL:
+            f.ra_enabled = True
+            f.ra_window = DEFAULT_RA_PAGES
+            f.noreuse = False
+        elif advice is FAdvice.RANDOM:
+            f.ra_enabled = False
+        elif advice is FAdvice.SEQUENTIAL:
+            f.ra_enabled = True
+            f.ra_window = DEFAULT_RA_PAGES * 2
+        elif advice is FAdvice.NOREUSE:
+            # v6.3+ semantics: accesses do not update recency, so the
+            # folios never get activated — but they still occupy the
+            # inactive list and still displace other folios.
+            f.noreuse = True
+        elif advice is FAdvice.WILLNEED:
+            for idx in range(start, min(end, f.npages)):
+                if f.mapping.lookup(idx) is None:
+                    self.read_page(f, idx)
+        elif advice is FAdvice.DONTNEED:
+            # Drop clean folios in the range immediately.  Dirty folios
+            # are skipped (the kernel only starts async writeback).
+            cache = self.machine.page_cache
+            for folio in f.mapping.folios():
+                if start <= folio.index < end and not folio.dirty \
+                        and not folio.pinned:
+                    cache.evict_folio(folio, folio.memcg)
+        else:  # pragma: no cover - enum is exhaustive
+            raise EINVAL(f"unknown advice: {advice}")

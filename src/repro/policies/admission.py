@@ -1,0 +1,44 @@
+"""Application-informed admission filter (§5.6 of the paper).
+
+LSM-tree stores run background *compaction* that sequentially reads
+entire SSTables.  Those reads cannot use direct I/O (other threads may
+still serve requests from the same files through the page cache), yet
+letting them populate the cache evicts folios the read path needs —
+classic thrashing.
+
+The filter is the smallest policy in the paper (35 LoC of eBPF): when
+a folio is about to be admitted, check whether the faulting thread is
+a registered compaction thread; if so, keep the folio out — the read
+is serviced as if it were direct I/O.  Eviction is untouched (the
+kernel's default policy keeps managing the cgroup's lists).
+"""
+
+from __future__ import annotations
+
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.maps import HashMap
+from repro.ebpf.runtime import bpf_program
+
+
+def make_admission_filter_policy() -> CacheExtOps:
+    """Build the compaction admission filter.
+
+    Register compaction TIDs after loading::
+
+        ops = make_admission_filter_policy()
+        load_policy(machine, memcg, ops)
+        ops.user_maps["compaction_tids"].update(tid, 1)
+    """
+    compaction_tids = HashMap(max_entries=1024, name="compaction_tids")
+
+    @bpf_program
+    def admission_admit(mapping_id, index, tid):
+        if compaction_tids.lookup(tid) is not None:
+            return 0  # reject: serve like direct I/O, do not cache
+        return 1
+
+    return CacheExtOps(
+        name="admission-filter",
+        admit=admission_admit,
+        user_maps={"compaction_tids": compaction_tids},
+    )

@@ -1,0 +1,47 @@
+"""FIFO eviction policy (§5.4).
+
+The simplest list policy: folios join the tail on insertion, eviction
+takes from the head, accesses are ignored.  The paper finds FIFO
+"slightly outperforms MGLRU in most cases, but not the default policy,
+likely due to its low overhead".
+"""
+
+from __future__ import annotations
+
+from repro.cache_ext.kfuncs import ITER_EVICT, MODE_SIMPLE, list_add, \
+    list_create, list_iterate
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.maps import ArrayMap
+from repro.ebpf.runtime import bpf_program
+
+
+def make_fifo_policy() -> CacheExtOps:
+    """Build a FIFO policy instance."""
+    bss = ArrayMap(1, name="fifo_bss")
+
+    @bpf_program
+    def fifo_policy_init(memcg):
+        fifo_list = list_create(memcg)
+        if fifo_list < 0:
+            return fifo_list
+        bss.update(0, fifo_list)
+        return 0
+
+    @bpf_program
+    def fifo_folio_added(folio):
+        list_add(bss.lookup(0), folio, True)  # tail
+
+    @bpf_program
+    def fifo_select(i, folio):
+        return ITER_EVICT  # evict strictly in arrival order
+
+    @bpf_program
+    def fifo_evict_folios(ctx, memcg):
+        list_iterate(memcg, bss.lookup(0), fifo_select, ctx, MODE_SIMPLE)
+
+    return CacheExtOps(
+        name="fifo",
+        policy_init=fifo_policy_init,
+        evict_folios=fifo_evict_folios,
+        folio_added=fifo_folio_added,
+    )

@@ -1,0 +1,114 @@
+"""Application-informed GET-SCAN policy (§5.5 / Figure 5).
+
+A database serving mostly point lookups (GETs) with occasional large
+background scans suffers cache pollution: scan folios flood the LRU
+and push out the hot GET working set.  This policy makes eviction
+*aware of the application's request types*:
+
+* the application registers the TIDs of its scan thread pool in the
+  ``scan_tids`` BPF map (exposed via ``ops.user_maps``);
+* folios faulted in by scan threads go to a **scan list**, all others
+  to a **GET list** (decided with ``current_tid()``, the
+  ``bpf_get_current_pid_tgid`` analogue);
+* each list independently approximates LFU via batch scoring;
+* eviction drains the scan list first — GET folios are only considered
+  when the scan list cannot satisfy the request.
+"""
+
+from __future__ import annotations
+
+from repro.cache_ext.kfuncs import (ITER_EVICT, MODE_SCORING, MODE_SIMPLE,
+                                    current_tid, list_add, list_create,
+                                    list_iterate, list_size)
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.maps import ArrayMap, HashMap
+from repro.ebpf.runtime import bpf_program
+
+DEFAULT_NR_SCAN = 512
+
+#: Minimum folios left on the SCAN list: evicting below this starts
+#: cannibalizing the scans' own in-flight readahead, which only turns
+#: into extra disk traffic that hurts the GETs too.
+SCAN_LIST_FLOOR = 64
+
+
+def make_get_scan_policy(map_entries: int = 65536,
+                         nr_scan: int = DEFAULT_NR_SCAN) -> CacheExtOps:
+    """Build a GET-SCAN policy.
+
+    After loading, register scan-thread TIDs::
+
+        ops = make_get_scan_policy()
+        policy = load_policy(machine, memcg, ops)
+        for tid in scan_pool_tids:
+            ops.user_maps["scan_tids"].update(tid, 1)
+    """
+    scan_tids = HashMap(max_entries=1024, name="get_scan_tids")
+    freq_map = HashMap(max_entries=map_entries, name="get_scan_freq")
+    bss = ArrayMap(2, name="get_scan_bss")  # [0]=GET list, [1]=SCAN list
+
+    @bpf_program
+    def gs_policy_init(memcg):
+        get_list = list_create(memcg)
+        scan_list = list_create(memcg)
+        if get_list < 0 or scan_list < 0:
+            return -1
+        bss.update(0, get_list)
+        bss.update(1, scan_list)
+        return 0
+
+    @bpf_program
+    def gs_folio_added(folio):
+        tid = current_tid()
+        if scan_tids.lookup(tid) is not None:
+            list_add(bss.lookup(1), folio, True)
+        else:
+            list_add(bss.lookup(0), folio, True)
+        freq_map.update(folio.id, 1)
+
+    @bpf_program
+    def gs_folio_accessed(folio):
+        freq_map.atomic_add(folio.id, 1)
+
+    @bpf_program
+    def gs_score(i, folio):
+        freq = freq_map.lookup(folio.id)
+        if freq is None:
+            return 0
+        return freq
+
+    @bpf_program
+    def gs_take_oldest(i, folio):
+        return ITER_EVICT
+
+    @bpf_program
+    def gs_evict_folios(ctx, memcg):
+        # Scan folios are sacrificed first, oldest first: a FIFO drain
+        # evicts pages the scan has already consumed while sparing the
+        # readahead it is about to need (a small floor keeps the scan's
+        # pipeline resident).  Only a drained scan list lets eviction
+        # reach the GET working set, which keeps approximate LFU
+        # ordering.
+        scan_list = bss.lookup(1)
+        budget = list_size(scan_list) - SCAN_LIST_FLOOR
+        if budget > 0:
+            list_iterate(memcg, scan_list, gs_take_oldest, ctx,
+                         MODE_SIMPLE, budget)
+        if ctx.nr_candidates_proposed < ctx.nr_candidates_requested:
+            list_iterate(memcg, bss.lookup(0), gs_score, ctx,
+                         MODE_SCORING, nr_scan)
+        return 0
+
+    @bpf_program
+    def gs_folio_removed(folio):
+        freq_map.delete(folio.id)
+
+    return CacheExtOps(
+        name="get-scan",
+        policy_init=gs_policy_init,
+        evict_folios=gs_evict_folios,
+        folio_added=gs_folio_added,
+        folio_accessed=gs_folio_accessed,
+        folio_removed=gs_folio_removed,
+        user_maps={"scan_tids": scan_tids},
+    )

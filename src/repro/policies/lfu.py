@@ -1,0 +1,76 @@
+"""LFU eviction policy (§4.2.5 / Figure 4 of the paper).
+
+Least-frequently-used, approximated with cache_ext's batch scoring
+mode: on each eviction request, the first *N* folios of the list are
+scored by access frequency and the *C* lowest-frequency folios become
+candidates; the rest rotate to the list tail.
+
+State:
+
+* ``freq_map`` — BPF hash map: folio -> access count;
+* ``bss[0]`` — the eviction list id (BPF "global variable").
+"""
+
+from __future__ import annotations
+
+from repro.cache_ext.kfuncs import MODE_SCORING, list_add, list_create, \
+    list_iterate
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.maps import ArrayMap, HashMap
+from repro.ebpf.runtime import bpf_program
+
+#: Default scoring-sample size (the paper's example uses N=512).
+DEFAULT_NR_SCAN = 512
+
+
+def make_lfu_policy(map_entries: int = 65536,
+                    nr_scan: int = DEFAULT_NR_SCAN) -> CacheExtOps:
+    """Build a fresh LFU policy instance.
+
+    ``map_entries`` should comfortably exceed the cgroup's page limit;
+    ``nr_scan`` trades eviction quality against scan cost.
+    """
+    freq_map = HashMap(max_entries=map_entries, name="lfu_freq")
+    bss = ArrayMap(1, name="lfu_bss")
+
+    @bpf_program
+    def lfu_policy_init(memcg):
+        lfu_list = list_create(memcg)
+        if lfu_list < 0:
+            return lfu_list
+        bss.update(0, lfu_list)
+        return 0
+
+    @bpf_program
+    def lfu_folio_added(folio):
+        list_add(bss.lookup(0), folio, True)  # add to tail
+        freq_map.update(folio.id, 1)
+
+    @bpf_program
+    def lfu_folio_accessed(folio):
+        freq_map.atomic_add(folio.id, 1)  # __sync_fetch_and_add
+
+    @bpf_program
+    def score_lfu(i, folio):
+        freq = freq_map.lookup(folio.id)
+        if freq is None:
+            return 0
+        return freq
+
+    @bpf_program
+    def lfu_evict_folios(ctx, memcg):
+        list_iterate(memcg, bss.lookup(0), score_lfu, ctx,
+                     MODE_SCORING, nr_scan)
+
+    @bpf_program
+    def lfu_folio_removed(folio):
+        freq_map.delete(folio.id)
+
+    return CacheExtOps(
+        name="lfu",
+        policy_init=lfu_policy_init,
+        evict_folios=lfu_evict_folios,
+        folio_added=lfu_folio_added,
+        folio_accessed=lfu_folio_accessed,
+        folio_removed=lfu_folio_removed,
+    )

@@ -1,0 +1,221 @@
+"""MGLRU re-implemented on cache_ext (§5.3 of the paper).
+
+A port of the kernel's Multi-Generational LRU onto the cache_ext
+interface, kept deliberately parallel to the native implementation in
+:mod:`repro.kernel.mglru` so that Table 5 (native vs cache_ext MGLRU)
+measures framework overhead rather than algorithmic drift.
+
+Structure, as described in the paper:
+
+* up to four *generations*, each an eviction list, held in a circular
+  buffer indexed by ``seq % 4``; ``min_seq``/``max_seq`` live in the
+  BPF "globals" array;
+* four *tiers* per generation — logarithmic access-frequency buckets;
+* eviction scans the oldest generation with a *tier threshold* from a
+  PID-controller over per-tier refault/eviction statistics; folios at
+  or above the threshold are promoted to the youngest generation
+  (frequency halved), the rest are proposed for eviction;
+* refault detection uses ghost entries in a ``BPF_MAP_TYPE_LRU_HASH``
+  keyed on (file, offset), like the S3-FIFO policy;
+* *aging* (creating a generation) triggers when the oldest generation
+  dominates; the kernel serializes aging with a BPF spinlock — our
+  runtime is single-threaded per machine, so the lock degenerates to a
+  counter, noted here for fidelity.
+
+All arithmetic is integer (fixed-point ratios scaled by :data:`FP`).
+"""
+
+from __future__ import annotations
+
+from repro.cache_ext.kfuncs import (ITER_EVICT, ITER_MOVE, MODE_SIMPLE,
+                                    folio_key, list_add, list_create,
+                                    list_iterate, list_size)
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.maps import ArrayMap, HashMap, LruHashMap
+from repro.ebpf.runtime import bpf_program
+
+MAX_NR_GENS = 4
+MAX_NR_TIERS = 4
+FP = 65536
+#: PID-controller gain: a tier must refault 2x more than tier 0 to earn
+#: protection (mirrors the kernel's damped positive feedback).
+PID_GAIN = 2
+#: Aging triggers when the oldest generation exceeds this percentage of
+#: tracked folios (same constant as the native implementation).
+AGING_SHARE_PCT = 55
+
+# bss layout: [0..3] generation list ids, [4] min_seq, [5] max_seq,
+# [6] current tier threshold, [7] aging-lock counter.
+_MIN_SEQ = 4
+_MAX_SEQ = 5
+_THRESHOLD = 6
+_AGING_LOCK = 7
+
+
+def make_mglru_policy(map_entries: int = 65536,
+                      ghost_entries: int = 8192) -> CacheExtOps:
+    """Build an MGLRU-on-cache_ext policy instance."""
+    # folio -> (generation seq, access frequency)
+    meta = HashMap(max_entries=map_entries, name="mglru_meta")
+    # (file, offset) -> tier at eviction
+    ghost = LruHashMap(max_entries=ghost_entries, name="mglru_ghost")
+    tier_evicted = ArrayMap(MAX_NR_TIERS, name="mglru_tier_evicted")
+    tier_refaulted = ArrayMap(MAX_NR_TIERS, name="mglru_tier_refaulted")
+    tier_avg_evicted = ArrayMap(MAX_NR_TIERS, name="mglru_tier_avg_e")
+    tier_avg_refaulted = ArrayMap(MAX_NR_TIERS, name="mglru_tier_avg_r")
+    bss = ArrayMap(8, name="mglru_bss")
+
+    @bpf_program
+    def mglru_tier_of(freq):
+        # Logarithmic buckets: 0, 1-2, 3-6, 7+ accesses.
+        if freq >= 7:
+            return 3
+        if freq >= 3:
+            return 2
+        if freq >= 1:
+            return 1
+        return 0
+
+    @bpf_program(allow_loops=True)
+    def mglru_policy_init(memcg):
+        for slot in (0, 1, 2, 3):
+            gen_list = list_create(memcg)
+            if gen_list < 0:
+                return gen_list
+            bss.update(slot, gen_list)
+        bss.update(_MIN_SEQ, 0)
+        bss.update(_MAX_SEQ, MAX_NR_GENS - 1)
+        bss.update(_THRESHOLD, 1)
+        return 0
+
+    @bpf_program
+    def mglru_folio_added(folio):
+        key = folio_key(folio)
+        min_seq = bss.lookup(_MIN_SEQ)
+        max_seq = bss.lookup(_MAX_SEQ)
+        tier = ghost.lookup(key)
+        if tier is not None:
+            # Refault: feed the PID controller, seed into the youngest
+            # generation with one access of history.
+            ghost.delete(key)
+            tier_refaulted.atomic_add(tier, 1)
+            gen = max_seq
+            freq = 1
+        else:
+            # File pages without history join the oldest generation
+            # and must earn promotion, as in the native kernel.
+            gen = min_seq
+            freq = 0
+        meta.update(folio.id, (gen, freq))
+        list_add(bss.lookup(gen % MAX_NR_GENS), folio, True)
+
+    @bpf_program
+    def mglru_folio_accessed(folio):
+        info = meta.lookup(folio.id)
+        if info is None:
+            return
+        # Deferred promotion: frequency accrues here, generation moves
+        # happen lazily during eviction scans (tier mechanism).  The
+        # count saturates at the kernel's two flag bits, like the
+        # native implementation.
+        if info[1] < 3:
+            meta.update(folio.id, (info[0], info[1] + 1))
+
+    @bpf_program
+    def mglru_folio_removed(folio):
+        info = meta.lookup(folio.id)
+        if info is not None:
+            ghost.update(folio_key(folio), mglru_tier_of(info[1]))
+            meta.delete(folio.id)
+
+    @bpf_program
+    def mglru_scan_cb(i, folio):
+        info = meta.lookup(folio.id)
+        if info is None:
+            return ITER_EVICT
+        tier = mglru_tier_of(info[1])
+        if tier >= bss.lookup(_THRESHOLD):
+            # Protected: promote to the youngest generation; halve the
+            # frequency so protection must be re-earned.
+            meta.update(folio.id, (bss.lookup(_MAX_SEQ), info[1] // 2))
+            return ITER_MOVE
+        tier_evicted.atomic_add(tier, 1)
+        return ITER_EVICT
+
+    @bpf_program(allow_loops=True)
+    def mglru_pid_threshold():
+        base_e = tier_avg_evicted.lookup(0) + tier_evicted.lookup(0)
+        base_r = tier_avg_refaulted.lookup(0) + tier_refaulted.lookup(0)
+        base_total = base_e + base_r
+        if base_total > 0:
+            base_ratio = FP * base_r // base_total
+        else:
+            base_ratio = 0
+        threshold = 1
+        for tier in range(1, MAX_NR_TIERS):
+            e = tier_avg_evicted.lookup(tier) + tier_evicted.lookup(tier)
+            r = tier_avg_refaulted.lookup(tier) + tier_refaulted.lookup(tier)
+            total = e + r
+            if total > 0:
+                ratio = FP * r // total
+            else:
+                ratio = 0
+            protect = 0
+            if base_ratio == 0:
+                if ratio > 0:
+                    protect = 1
+            elif ratio > base_ratio * PID_GAIN:
+                protect = 1
+            if protect == 1:
+                threshold = tier + 1
+            else:
+                break
+        if threshold > MAX_NR_TIERS:
+            threshold = MAX_NR_TIERS
+        return threshold
+
+    @bpf_program(allow_loops=True)
+    def mglru_evict_folios(ctx, memcg):
+        min_seq = bss.lookup(_MIN_SEQ)
+        max_seq = bss.lookup(_MAX_SEQ)
+        # Retire empty oldest generations.
+        while min_seq < max_seq and \
+                list_size(bss.lookup(min_seq % MAX_NR_GENS)) == 0:
+            min_seq += 1
+        bss.update(_MIN_SEQ, min_seq)
+        # Aging: open a new generation when the oldest dominates.  The
+        # kernel serializes this with a BPF spinlock; our per-machine
+        # runtime is single-threaded, so a counter stands in.
+        total = 0
+        for slot in range(MAX_NR_GENS):
+            total += list_size(bss.lookup(slot))
+        oldest = list_size(bss.lookup(min_seq % MAX_NR_GENS))
+        if total > 0 and oldest * 100 > total * AGING_SHARE_PCT \
+                and max_seq - min_seq + 1 < MAX_NR_GENS:
+            bss.atomic_add(_AGING_LOCK, 1)
+            max_seq += 1
+            bss.update(_MAX_SEQ, max_seq)
+            for tier in range(MAX_NR_TIERS):
+                folded_e = (tier_avg_evicted.lookup(tier)
+                            + tier_evicted.lookup(tier)) // 2
+                folded_r = (tier_avg_refaulted.lookup(tier)
+                            + tier_refaulted.lookup(tier)) // 2
+                tier_avg_evicted.update(tier, folded_e)
+                tier_avg_refaulted.update(tier, folded_r)
+                tier_evicted.update(tier, 0)
+                tier_refaulted.update(tier, 0)
+        bss.update(_THRESHOLD, mglru_pid_threshold())
+        list_iterate(memcg, bss.lookup(min_seq % MAX_NR_GENS),
+                     mglru_scan_cb, ctx, MODE_SIMPLE, 0,
+                     bss.lookup(max_seq % MAX_NR_GENS))
+        return 0
+
+    return CacheExtOps(
+        name="mglru-bpf",
+        policy_init=mglru_policy_init,
+        evict_folios=mglru_evict_folios,
+        folio_added=mglru_folio_added,
+        folio_accessed=mglru_folio_accessed,
+        folio_removed=mglru_folio_removed,
+        user_maps={"ghost": ghost, "meta": meta},
+    )

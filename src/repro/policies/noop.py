@@ -1,0 +1,55 @@
+"""No-op policy (§6.3.2).
+
+Maintains full cache_ext bookkeeping — an eviction list that every
+folio joins, hook dispatch on every event, registry updates — but
+proposes no candidates, so the kernel always falls back to its default
+eviction path.  This isolates the framework's baseline CPU overhead,
+which Table 4 of the paper reports as at most 1.7% per I/O.
+"""
+
+from __future__ import annotations
+
+from repro.cache_ext.kfuncs import list_add, list_create
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.maps import ArrayMap
+from repro.ebpf.runtime import bpf_program
+
+
+def make_noop_policy() -> CacheExtOps:
+    """Build a no-op policy: all hooks fire, no decisions are made."""
+    bss = ArrayMap(1, name="noop_bss")
+
+    @bpf_program
+    def noop_policy_init(memcg):
+        lst = list_create(memcg)
+        if lst < 0:
+            return lst
+        bss.update(0, lst)
+        return 0
+
+    @bpf_program
+    def noop_folio_added(folio):
+        # Track the folio like a real policy would, then do nothing.
+        list_add(bss.lookup(0), folio, True)
+
+    @bpf_program
+    def noop_folio_accessed(folio):
+        return 0
+
+    @bpf_program
+    def noop_evict_folios(ctx, memcg):
+        # Propose nothing; the kernel's eviction fallback handles it.
+        return 0
+
+    @bpf_program
+    def noop_folio_removed(folio):
+        return 0
+
+    return CacheExtOps(
+        name="noop",
+        policy_init=noop_policy_init,
+        evict_folios=noop_evict_folios,
+        folio_added=noop_folio_added,
+        folio_accessed=noop_folio_accessed,
+        folio_removed=noop_folio_removed,
+    )

@@ -1,0 +1,123 @@
+"""S3-FIFO eviction policy (§5.1 of the paper).
+
+Three FIFO structures:
+
+* a **small** FIFO (~10% of folios) that new folios enter, filtering
+  out "one-hit wonders";
+* a **main** FIFO (~90%) for folios that earn promotion;
+* a **ghost** FIFO of recently-evicted keys, implemented — exactly as
+  the paper does — with a ``BPF_MAP_TYPE_LRU_HASH`` whose automatic
+  LRU-order eviction bounds the ghost set.
+
+Ghost entries are keyed on (file, offset), not folio pointers, because
+"folio pointers ... are not persistent across evictions".
+
+Eviction requests double as list balancing: while the small list is
+over its 10% target, folios with access frequency > 1 are promoted to
+the main tail, others are proposed for eviction and rotated so they
+are not reconsidered.  Main-list eviction takes folios whose frequency
+has decayed to zero, decrementing and rotating the rest.
+"""
+
+from __future__ import annotations
+
+from repro.cache_ext.kfuncs import (ITER_EVICT, ITER_MOVE, ITER_ROTATE,
+                                    MODE_SIMPLE, folio_key, list_add,
+                                    list_create, list_iterate, list_size)
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.maps import ArrayMap, HashMap, LruHashMap
+from repro.ebpf.runtime import bpf_program
+
+#: Target share of folios on the small FIFO, in percent.
+SMALL_TARGET_PCT = 10
+#: Frequency cap (the original S3-FIFO caps counts at 3).
+FREQ_CAP = 3
+
+
+def make_s3fifo_policy(map_entries: int = 65536,
+                       ghost_entries: int = 8192) -> CacheExtOps:
+    """Build an S3-FIFO policy instance.
+
+    ``ghost_entries`` should approximate the cgroup's page capacity
+    (the ghost FIFO in S3-FIFO is sized like the main cache).
+    """
+    freq_map = HashMap(max_entries=map_entries, name="s3fifo_freq")
+    ghost = LruHashMap(max_entries=ghost_entries, name="s3fifo_ghost")
+    bss = ArrayMap(2, name="s3fifo_bss")  # [0]=small list, [1]=main list
+
+    @bpf_program
+    def s3fifo_policy_init(memcg):
+        small = list_create(memcg)
+        main = list_create(memcg)
+        if small < 0 or main < 0:
+            return -1
+        bss.update(0, small)
+        bss.update(1, main)
+        return 0
+
+    @bpf_program
+    def s3fifo_folio_added(folio):
+        key = folio_key(folio)
+        if ghost.lookup(key) is not None:
+            # Readmission of a recently evicted folio: straight to main.
+            ghost.delete(key)
+            list_add(bss.lookup(1), folio, True)
+        else:
+            list_add(bss.lookup(0), folio, True)
+        freq_map.update(folio.id, 0)
+
+    @bpf_program
+    def s3fifo_folio_accessed(folio):
+        freq = freq_map.lookup(folio.id)
+        if freq is not None and freq < FREQ_CAP:
+            freq_map.update(folio.id, freq + 1)
+
+    @bpf_program
+    def s3fifo_small_cb(i, folio):
+        freq = freq_map.lookup(folio.id)
+        if freq is not None and freq > 1:
+            freq_map.update(folio.id, 0)
+            return ITER_MOVE  # promote to the main list's tail
+        return ITER_EVICT     # propose + rotate out of the way
+
+    @bpf_program
+    def s3fifo_main_cb(i, folio):
+        freq = freq_map.lookup(folio.id)
+        if freq is None or freq <= 0:
+            return ITER_EVICT
+        freq_map.update(folio.id, freq - 1)  # second-chance decay
+        return ITER_ROTATE
+
+    @bpf_program
+    def s3fifo_evict_folios(ctx, memcg):
+        small = bss.lookup(0)
+        main = bss.lookup(1)
+        nr_small = list_size(small)
+        total = nr_small + list_size(main)
+        if total <= 0:
+            return 0
+        if nr_small * 100 > total * SMALL_TARGET_PCT:
+            # Small list over target: filter it (evictions + promotions
+            # both shrink it towards 10%).
+            list_iterate(memcg, small, s3fifo_small_cb, ctx,
+                         MODE_SIMPLE, 0, main)
+        if ctx.nr_candidates_proposed < ctx.nr_candidates_requested:
+            list_iterate(memcg, main, s3fifo_main_cb, ctx, MODE_SIMPLE)
+        return 0
+
+    @bpf_program
+    def s3fifo_folio_removed(folio):
+        # Leave a ghost entry so a quick readmission goes to main; the
+        # LRU_HASH silently retires the oldest ghost when full.
+        ghost.update(folio_key(folio), 1)
+        freq_map.delete(folio.id)
+
+    return CacheExtOps(
+        name="s3fifo",
+        policy_init=s3fifo_policy_init,
+        evict_folios=s3fifo_evict_folios,
+        folio_added=s3fifo_folio_added,
+        folio_accessed=s3fifo_folio_accessed,
+        folio_removed=s3fifo_folio_removed,
+        user_maps={"ghost": ghost, "freq": freq_map},
+    )

@@ -1,0 +1,92 @@
+"""Userspace-dispatch strawman (§4.1 / Table 1 of the paper).
+
+Before settling on in-kernel policies, the paper measures the
+*best-case* overhead of offloading page-cache decisions to userspace:
+eBPF programs attached to existing tracepoints (folio inserted,
+accessed, evicted) post one event per page-cache action into a
+lockless ring buffer, and userspace merely drains them — no policy
+logic at all.  Even this optimistic setup costs up to 20.6% of
+application throughput, which is the argument for running cache_ext
+policies in the kernel.
+
+This module reproduces that benchmark policy: the three tracepoint
+hooks post events, eviction is never customized (the kernel fallback
+always runs, so caching behaviour is byte-identical to the baseline),
+and a daemon thread created by :func:`spawn_drainer` plays the part of
+the userspace consumer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.ringbuf import RingBuffer
+from repro.ebpf.runtime import bpf_program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.machine import Machine
+
+EVENT_ADDED = 0
+EVENT_ACCESSED = 1
+EVENT_REMOVED = 2
+
+#: CPU cost charged to userspace per drained event (parsing + bookkeeping).
+DRAIN_COST_US = 0.3
+#: How long the drainer sleeps when the buffer is empty.
+POLL_INTERVAL_US = 100.0
+
+
+def make_userspace_dispatch_policy(
+        ringbuf_capacity: int = 65536,
+        produce_cost_us: float = 1.6) -> CacheExtOps:
+    """Build the tracepoint -> ring-buffer notification policy.
+
+    ``produce_cost_us`` is the reserve+commit cost per event; it is the
+    knob that turns millions of page-cache events into Table 1's
+    throughput degradation.
+    """
+    events = RingBuffer(capacity=ringbuf_capacity,
+                        produce_cost_us=produce_cost_us,
+                        name="userspace_dispatch")
+
+    @bpf_program
+    def ud_folio_added(folio):
+        events.output((EVENT_ADDED, folio.id))
+
+    @bpf_program
+    def ud_folio_accessed(folio):
+        events.output((EVENT_ACCESSED, folio.id))
+
+    @bpf_program
+    def ud_folio_removed(folio):
+        events.output((EVENT_REMOVED, folio.id))
+
+    return CacheExtOps(
+        name="userspace-dispatch",
+        folio_added=ud_folio_added,
+        folio_accessed=ud_folio_accessed,
+        folio_removed=ud_folio_removed,
+        user_maps={"events": events},
+    )
+
+
+def spawn_drainer(machine: "Machine", ops: CacheExtOps,
+                  batch: int = 256):
+    """Start the userspace consumer as a daemon thread.
+
+    It busy-drains the ring buffer, paying :data:`DRAIN_COST_US` per
+    event, and sleeps :data:`POLL_INTERVAL_US` when idle — the
+    epoll-driven consumer loop of the real benchmark.
+    """
+    events: RingBuffer = ops.user_maps["events"]
+
+    def drain_step(thread) -> bool:
+        records = events.drain(batch)
+        if records:
+            thread.advance(DRAIN_COST_US * len(records))
+        else:
+            thread.advance(POLL_INTERVAL_US)
+        return True
+
+    return machine.spawn("userspace-drainer", drain_step, daemon=True)

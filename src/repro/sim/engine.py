@@ -1,0 +1,203 @@
+"""Cooperative virtual-time thread engine.
+
+The engine models concurrency with per-thread virtual clocks instead of a
+full discrete-event simulation.  Each :class:`SimThread` wraps a *step
+function*: a callable that performs one indivisible unit of application
+work (one key-value operation, one file searched, one compaction check)
+and advances the thread's clock through the costs it incurs (CPU cycles,
+block-device service time, queueing delay).
+
+Scheduling rule: the runnable thread with the *smallest* local clock is
+always stepped next.  This keeps all thread clocks closely aligned, so
+shared-resource contention (e.g., two cgroups hammering one SSD) is
+resolved in causal order, which is what makes the isolation experiment
+(Figure 11 in the paper) meaningful.
+
+The currently running thread is exposed through :func:`current_thread` so
+that kernel code can implement ``current``-style accessors (the cgroup to
+charge a folio to, the TID consulted by application-informed policies).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+#: The thread currently being stepped by an Engine, if any.  Kernel code
+#: reads this the way Linux reads ``current``.
+_current: Optional["SimThread"] = None
+
+
+def current_thread() -> Optional["SimThread"]:
+    """Return the simulated thread currently executing, or ``None``.
+
+    ``None`` means code is running outside the engine (e.g., in a unit
+    test that exercises the page cache directly); callers must tolerate
+    this and fall back to a default cgroup / synthetic TID.
+    """
+    return _current
+
+
+class SimThread:
+    """A simulated kernel task.
+
+    Parameters
+    ----------
+    tid:
+        Unique thread identifier.  Application-informed policies key
+        their eBPF maps on this, exactly as the paper keys the GET-SCAN
+        and admission-filter policies on PIDs/TIDs.
+    name:
+        Human-readable label used in stats and error messages.
+    step_fn:
+        Callable invoked once per scheduling quantum.  It must perform
+        one unit of work and return ``True`` if the thread has more work
+        to do, ``False`` when it has finished.
+    cgroup:
+        The memory cgroup this thread's page-cache charges accrue to.
+    """
+
+    __slots__ = ("tid", "name", "step_fn", "cgroup", "clock_us", "done",
+                 "steps", "cpu_us", "start_us", "finish_us", "daemon")
+
+    def __init__(self, tid: int, name: str,
+                 step_fn: Callable[["SimThread"], bool],
+                 cgroup=None, daemon: bool = False) -> None:
+        self.tid = tid
+        self.name = name
+        self.step_fn = step_fn
+        self.cgroup = cgroup
+        self.clock_us: float = 0.0
+        self.done = False
+        self.steps = 0
+        self.cpu_us: float = 0.0
+        self.start_us: float = 0.0
+        self.finish_us: float = 0.0
+        #: Daemon threads (background compaction, userspace pollers) do
+        #: not keep the engine alive: run() stops once every non-daemon
+        #: thread has finished, like Python's threading daemons.
+        self.daemon = daemon
+
+    def advance(self, us: float) -> None:
+        """Consume ``us`` microseconds of CPU time on this thread."""
+        if us < 0:
+            raise ValueError(f"negative time advance: {us}")
+        self.clock_us += us
+        self.cpu_us += us
+
+    def wait_until(self, t_us: float) -> None:
+        """Block (without consuming CPU) until virtual time ``t_us``."""
+        if t_us > self.clock_us:
+            self.clock_us = t_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimThread(tid={self.tid}, name={self.name!r}, clock={self.clock_us:.1f}us)"
+
+
+class Engine:
+    """Smallest-clock-first scheduler over a set of :class:`SimThread`.
+
+    Threads may be added while the engine is running (e.g., an LSM store
+    spawning a compaction thread); they enter the run queue with their
+    clock aligned to the spawner's, so causality is preserved.
+    """
+
+    def __init__(self) -> None:
+        self._threads: list[SimThread] = []
+        self._heap: list[tuple[float, int, SimThread]] = []
+        self._seq = itertools.count()
+        self._next_tid = itertools.count(1000)
+        self._live_nondaemon = 0
+        self.now_us: float = 0.0
+
+    # ------------------------------------------------------------------
+    # thread management
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, step_fn: Callable[[SimThread], bool],
+              cgroup=None, tid: Optional[int] = None,
+              start_us: Optional[float] = None,
+              daemon: bool = False) -> SimThread:
+        """Create a thread and enqueue it.
+
+        ``start_us`` defaults to the engine's current time so that
+        threads spawned mid-run do not start "in the past".
+        """
+        if tid is None:
+            tid = next(self._next_tid)
+        thread = SimThread(tid, name, step_fn, cgroup=cgroup, daemon=daemon)
+        if start_us is None:
+            # Align to the spawner's (possibly mid-step) clock so a
+            # child never starts in its parent's past.
+            spawner = current_thread()
+            start_us = spawner.clock_us if spawner is not None \
+                else self.now_us
+        thread.clock_us = start_us
+        thread.start_us = thread.clock_us
+        if not daemon:
+            self._live_nondaemon += 1
+        self._threads.append(thread)
+        heapq.heappush(self._heap, (thread.clock_us, next(self._seq), thread))
+        return thread
+
+    @property
+    def threads(self) -> list[SimThread]:
+        return list(self._threads)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until_us: Optional[float] = None,
+            max_steps: Optional[int] = None) -> None:
+        """Step threads until none remain runnable.
+
+        Parameters
+        ----------
+        until_us:
+            Stop once the next runnable thread's clock exceeds this time.
+            Threads past the deadline are left unfinished, which is how
+            fixed-duration experiments (e.g., the 7-minute file-search
+            window of Figure 11) are expressed.
+        max_steps:
+            Safety valve for tests; raises ``RuntimeError`` if exceeded.
+        """
+        global _current
+        steps = 0
+        while self._heap:
+            if self._live_nondaemon == 0:
+                # Only daemons remain; they must not keep us spinning.
+                return
+            clock, _seq, thread = heapq.heappop(self._heap)
+            if thread.done:
+                continue
+            if until_us is not None and clock >= until_us:
+                # Not runnable within the window; push back and stop.
+                heapq.heappush(self._heap, (clock, next(self._seq), thread))
+                self.now_us = until_us
+                return
+            self.now_us = clock
+            _current = thread
+            try:
+                more = thread.step_fn(thread)
+            finally:
+                _current = None
+            thread.steps += 1
+            steps += 1
+            if max_steps is not None and steps > max_steps:
+                raise RuntimeError(f"engine exceeded max_steps={max_steps}")
+            if more:
+                heapq.heappush(
+                    self._heap, (thread.clock_us, next(self._seq), thread))
+            else:
+                thread.done = True
+                thread.finish_us = thread.clock_us
+                if not thread.daemon:
+                    self._live_nondaemon -= 1
+                self.now_us = max(self.now_us, thread.clock_us)
+
+    def run_single(self, name: str, step_fn: Callable[[SimThread], bool],
+                   cgroup=None) -> SimThread:
+        """Convenience: spawn one thread and run it to completion."""
+        thread = self.spawn(name, step_fn, cgroup=cgroup)
+        self.run()
+        return thread

@@ -1,0 +1,19 @@
+"""User-facing utilities built on the reproduction.
+
+* :mod:`repro.tools.cachesim` — replay an access trace against any
+  policy and report hit ratios / simulated performance, the "try your
+  workload against every policy" workflow the paper's open-source
+  release is meant to enable.  Also a CLI:
+  ``python -m repro.tools.cachesim``.
+"""
+
+__all__ = ["replay_trace", "simulate_policies", "TraceReport"]
+
+
+def __getattr__(name):
+    # Lazy re-export: keeps `python -m repro.tools.cachesim` free of
+    # the double-import RuntimeWarning.
+    if name in __all__:
+        from repro.tools import cachesim
+        return getattr(cachesim, name)
+    raise AttributeError(name)

@@ -1,0 +1,26 @@
+"""Workload generators.
+
+* :mod:`repro.workloads.distributions` — YCSB-spec key choosers
+  (zipfian, scrambled zipfian, latest, uniform);
+* :mod:`repro.workloads.ycsb` — YCSB core workloads A-F plus the
+  paper's uniform and uniform-R/W variants, driven against the LSM DB;
+* :mod:`repro.workloads.twitter` — synthetic per-cluster profiles
+  standing in for the (non-redistributable) Twitter production traces;
+* :mod:`repro.workloads.getscan` — the 99.95% GET / 0.05% SCAN mix of
+  §6.1.4 with its separate scan thread pool.
+"""
+
+from repro.workloads.distributions import (LatestGenerator,
+                                           ScrambledZipfianGenerator,
+                                           UniformGenerator,
+                                           ZipfianGenerator)
+from repro.workloads.getscan import GetScanResult, GetScanWorkload
+from repro.workloads.twitter import CLUSTERS, ClusterProfile, TwitterRunner
+from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbResult, YcsbRunner
+
+__all__ = [
+    "UniformGenerator", "ZipfianGenerator", "ScrambledZipfianGenerator",
+    "LatestGenerator", "YCSB_WORKLOADS", "YcsbRunner", "YcsbResult",
+    "CLUSTERS", "ClusterProfile", "TwitterRunner",
+    "GetScanWorkload", "GetScanResult",
+]

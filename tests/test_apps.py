@@ -1,0 +1,117 @@
+"""File-search and fio application substrates."""
+
+import pytest
+
+from repro.apps.filesearch import (FileSearcher, corpus_pages,
+                                   make_source_tree)
+from repro.apps.fio import FioJob
+from repro.kernel import Machine
+
+
+class TestSourceTree:
+    def test_tree_shape(self):
+        machine = Machine()
+        files = make_source_tree(machine, nfiles=50, seed=1)
+        assert len(files) == 50
+        assert all(f.npages >= 1 for f in files)
+        assert corpus_pages(files) == sum(f.npages for f in files)
+
+    def test_deterministic(self):
+        sizes = []
+        for _ in range(2):
+            machine = Machine()
+            files = make_source_tree(machine, nfiles=30, seed=7)
+            sizes.append([f.npages for f in files])
+        assert sizes[0] == sizes[1]
+
+    def test_contains_needles(self):
+        machine = Machine()
+        files = make_source_tree(machine, nfiles=100, seed=2)
+        needles = sum(
+            1 for f in files for page in range(f.npages)
+            if "NEEDLE" in f.store[page])
+        assert needles > 0
+
+
+class TestFileSearcher:
+    def test_fixed_passes_scan_everything(self):
+        machine = Machine()
+        files = make_source_tree(machine, nfiles=20, seed=3)
+        cg = machine.new_cgroup("s", limit_pages=10000)
+        searcher = FileSearcher(machine, files, cg, nthreads=2,
+                                passes=2)
+        result = searcher.run()
+        assert result.files_searched == 40
+        assert result.pages_scanned == 2 * corpus_pages(files)
+        assert result.passes_completed == pytest.approx(2.0)
+        assert result.elapsed_us > 0
+
+    def test_second_pass_hits_cache_when_it_fits(self):
+        machine = Machine()
+        files = make_source_tree(machine, nfiles=20, seed=3)
+        total = corpus_pages(files)
+        cg = machine.new_cgroup("s", limit_pages=total + 100)
+        searcher = FileSearcher(machine, files, cg, passes=2)
+        searcher.run()
+        assert machine.disk.stats.read_pages == total  # pass 2 free
+
+    def test_windowed_run(self):
+        machine = Machine()
+        files = make_source_tree(machine, nfiles=20, seed=3)
+        cg = machine.new_cgroup("s", limit_pages=10000)
+        searcher = FileSearcher(machine, files, cg, passes=None)
+        searcher.spawn()
+        machine.run(until_us=20000.0)
+        assert searcher.result.files_searched > 0
+
+    def test_empty_corpus_rejected(self):
+        machine = Machine()
+        cg = machine.new_cgroup("s", limit_pages=100)
+        with pytest.raises(ValueError):
+            FileSearcher(machine, [], cg)
+
+    def test_matches_found(self):
+        machine = Machine()
+        files = make_source_tree(machine, nfiles=100, seed=2)
+        cg = machine.new_cgroup("s", limit_pages=10000)
+        result = FileSearcher(machine, files, cg, passes=1).run()
+        assert result.matches > 0
+
+
+class TestFio:
+    def test_ops_and_metrics(self):
+        machine = Machine()
+        cg = machine.new_cgroup("fio", limit_pages=256)
+        job = FioJob(machine, cg, file_pages=512, nthreads=4,
+                     ops_per_thread=100)
+        result = job.run()
+        assert result.ops == 400
+        assert result.iops > 0
+        assert result.cpu_us_per_op > 0
+        assert result.elapsed_us > 0
+
+    def test_cache_bounded(self):
+        machine = Machine()
+        cg = machine.new_cgroup("fio", limit_pages=64)
+        FioJob(machine, cg, file_pages=512, nthreads=2,
+               ops_per_thread=200).run()
+        assert cg.charged_pages <= 64
+
+    def test_fully_cached_file_all_hits(self):
+        machine = Machine()
+        cg = machine.new_cgroup("fio", limit_pages=1024)
+        job = FioJob(machine, cg, file_pages=64, nthreads=1,
+                     ops_per_thread=500)
+        job.run()
+        assert machine.disk.stats.read_pages <= 64
+
+    def test_deterministic(self):
+        results = []
+        for _ in range(2):
+            machine = Machine()
+            cg = machine.new_cgroup("fio", limit_pages=128)
+            job = FioJob(machine, cg, file_pages=512, nthreads=4,
+                         ops_per_thread=100, seed=5)
+            r = job.run()
+            results.append((r.elapsed_us, r.cpu_us))
+        assert results[0] == results[1]

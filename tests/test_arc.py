@@ -1,0 +1,99 @@
+"""ARC extension-policy tests (§4.2.2's multi-list flexibility claim)."""
+
+from repro.cache_ext import load_policy
+from repro.ebpf.verifier import verify_program
+from repro.kernel import Machine
+from repro.policies.arc import make_arc_policy
+
+
+def make_env(limit=32, pages=512):
+    machine = Machine()
+    cg = machine.new_cgroup("t", limit_pages=limit)
+    f = machine.fs.create("data")
+    for i in range(pages):
+        f.store[i] = i
+    f.npages = pages
+    f.ra_enabled = False
+    return machine, cg, f
+
+
+def run_trace(machine, f, cg, indices):
+    def step(thread, it=iter(list(indices))):
+        idx = next(it, None)
+        if idx is None:
+            return False
+        machine.fs.read_page(f, idx)
+        return True
+    machine.spawn("trace", step, cgroup=cg)
+    machine.run()
+
+
+class TestArc:
+    def test_verifies(self):
+        ops = make_arc_policy()
+        for prog in ops.loaded_programs():
+            assert verify_program(prog, raise_on_findings=False) == [], \
+                prog.name
+
+    def test_single_touch_goes_to_t1(self):
+        machine, cg, f = make_env()
+        policy = load_policy(machine, cg, make_arc_policy(cache_pages=32))
+        run_trace(machine, f, cg, [0, 1, 2])
+        t1, t2 = policy.lists[0], policy.lists[1]
+        assert len(t1) == 3
+        assert len(t2) == 0
+
+    def test_second_touch_promotes_to_t2(self):
+        machine, cg, f = make_env()
+        policy = load_policy(machine, cg, make_arc_policy(cache_pages=32))
+        run_trace(machine, f, cg, [0, 1, 0])
+        t1, t2 = policy.lists[0], policy.lists[1]
+        assert f.mapping.lookup(0) in t2.folios()
+        assert f.mapping.lookup(1) in t1.folios()
+
+    def test_ghost_hit_adapts_p_and_readmits_to_t2(self):
+        machine, cg, f = make_env(limit=16)
+        ops = make_arc_policy(cache_pages=16)
+        policy = load_policy(machine, cg, ops)
+        run_trace(machine, f, cg, range(64))  # page 0 long evicted
+        assert ops.user_maps["b1"].lookup((f.file_id, 0)) is not None
+        p_before = ops.user_maps["bss"].lookup(2)
+        run_trace(machine, f, cg, [0])
+        assert ops.user_maps["bss"].lookup(2) >= p_before
+        t2 = policy.lists[1]
+        assert f.mapping.lookup(0) in t2.folios()
+
+    def test_memory_limit_holds(self):
+        machine, cg, f = make_env(limit=24)
+        load_policy(machine, cg, make_arc_policy(cache_pages=24))
+        run_trace(machine, f, cg, [(i * 17) % 512 for i in range(600)])
+        assert cg.charged_pages <= 24
+
+    def test_scan_resistance(self):
+        """ARC's signature: a one-touch scan stream cannot displace the
+        re-referenced working set living in T2."""
+        def hit_ratio(factory):
+            machine, cg, f = make_env(limit=24)
+            if factory is not None:
+                load_policy(machine, cg, factory(cache_pages=24))
+            hot = list(range(8))
+            trace = []
+            for i in range(150):
+                trace.extend(hot)          # hot set (lands in T2)
+                trace.append(40 + i)       # one-touch scan stream
+            run_trace(machine, f, cg, trace)
+            return cg.stats.hit_ratio
+
+        arc = hit_ratio(make_arc_policy)
+        assert arc > 0.85
+
+    def test_frequency_beats_pure_recency_workload(self):
+        machine, cg, f = make_env(limit=16)
+        load_policy(machine, cg, make_arc_policy(cache_pages=16))
+        # Re-referenced pages survive churn.
+        trace = []
+        for i in range(100):
+            trace.append(i % 4)
+            trace.append(100 + i)
+        run_trace(machine, f, cg, trace)
+        assert all(f.mapping.lookup(h) is not None for h in range(4))

@@ -1,0 +1,212 @@
+"""Loader and framework tests: attach/detach, hooks, admission."""
+
+import pytest
+
+from repro.cache_ext import load_policy, unload_policy
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.errors import ProgramError, VerificationError
+from repro.ebpf.maps import ArrayMap
+from repro.ebpf.runtime import bpf_program
+from repro.kernel import Machine
+
+
+def make_env(limit=64):
+    machine = Machine()
+    cg = machine.new_cgroup("t", limit_pages=limit)
+    f = machine.fs.create("data")
+    for i in range(256):
+        f.store[i] = i
+    f.npages = 256
+    f.ra_enabled = False
+    return machine, cg, f
+
+
+def read_n(machine, f, cg, indices):
+    def step(thread, it=iter(indices)):
+        idx = next(it, None)
+        if idx is None:
+            return False
+        machine.fs.read_page(f, idx)
+        return True
+    machine.spawn("reader", step, cgroup=cg)
+    machine.run()
+
+
+def counting_ops(name="counting"):
+    counts = ArrayMap(4, name="counts")
+
+    @bpf_program
+    def on_added(folio):
+        counts.atomic_add(0, 1)
+
+    @bpf_program
+    def on_accessed(folio):
+        counts.atomic_add(1, 1)
+
+    @bpf_program
+    def on_removed(folio):
+        counts.atomic_add(2, 1)
+
+    return CacheExtOps(name=name, folio_added=on_added,
+                       folio_accessed=on_accessed,
+                       folio_removed=on_removed,
+                       user_maps={"counts": counts})
+
+
+class TestLoader:
+    def test_load_and_hooks_fire(self):
+        machine, cg, f = make_env()
+        ops = counting_ops()
+        load_policy(machine, cg, ops)
+        read_n(machine, f, cg, [0, 1, 0, 1, 2])
+        counts = ops.user_maps["counts"]
+        assert counts.lookup(0) == 3  # added: pages 0,1,2
+        assert counts.lookup(1) == 2  # accessed: two hits
+
+    def test_removal_hook_fires_on_eviction(self):
+        machine, cg, f = make_env(limit=16)
+        ops = counting_ops()
+        load_policy(machine, cg, ops)
+        read_n(machine, f, cg, range(64))
+        assert ops.user_maps["counts"].lookup(2) == cg.stats.evictions
+
+    def test_removal_hook_fires_on_truncate(self):
+        machine, cg, f = make_env()
+        ops = counting_ops()
+        load_policy(machine, cg, ops)
+        read_n(machine, f, cg, range(4))
+        machine.fs.delete("data")
+        assert ops.user_maps["counts"].lookup(2) == 4
+
+    def test_double_load_rejected(self):
+        machine, cg, f = make_env()
+        load_policy(machine, cg, counting_ops("a"))
+        with pytest.raises(VerificationError):
+            load_policy(machine, cg, counting_ops("b"))
+
+    def test_unverifiable_program_rejected(self):
+        machine, cg, f = make_env()
+
+        @bpf_program
+        def bad(folio):
+            return 0.5
+
+        with pytest.raises(VerificationError):
+            load_policy(machine, cg, CacheExtOps(name="bad",
+                                                 folio_added=bad))
+        assert cg.ext_policy is None  # nothing half-attached
+
+    def test_policy_init_failure_aborts_load(self):
+        machine, cg, f = make_env()
+
+        @bpf_program
+        def failing_init(memcg):
+            return -1
+
+        with pytest.raises(ProgramError):
+            load_policy(machine, cg, CacheExtOps(
+                name="failing", policy_init=failing_init))
+        assert cg.ext_policy is None
+        # struct_ops slot released: a retry can attach.
+        load_policy(machine, cg, counting_ops())
+
+    def test_resident_folios_replayed_on_attach(self):
+        machine, cg, f = make_env()
+        read_n(machine, f, cg, range(5))  # populate before attach
+        ops = counting_ops()
+        policy = load_policy(machine, cg, ops)
+        assert ops.user_maps["counts"].lookup(0) == 5
+        assert len(policy.registry) == 5
+
+    def test_per_cgroup_independence(self):
+        machine = Machine()
+        cg_a = machine.new_cgroup("a", limit_pages=32)
+        cg_b = machine.new_cgroup("b", limit_pages=32)
+        ops_a = counting_ops("pa")
+        load_policy(machine, cg_a, ops_a)
+        fb = machine.fs.create("fb")
+        fb.store[0] = 0
+        fb.npages = 1
+        read_n(machine, fb, cg_b, [0])
+        # cgroup B's traffic never reaches cgroup A's policy.
+        assert ops_a.user_maps["counts"].lookup(0) == 0
+
+
+class TestUnload:
+    def test_unload_restores_kernel_policy(self):
+        machine, cg, f = make_env(limit=16)
+        ops = counting_ops()
+        policy = load_policy(machine, cg, ops)
+        read_n(machine, f, cg, range(8))
+        unload_policy(policy)
+        assert cg.ext_policy is None
+        read_n(machine, f, cg, range(8, 64))
+        assert cg.charged_pages <= 16  # kernel policy took over
+
+    def test_unload_clears_ext_nodes(self):
+        machine, cg, f = make_env()
+        from repro.cache_ext.kfuncs import list_add, list_create
+        policy = load_policy(machine, cg, CacheExtOps(name="p"))
+        lst = list_create(cg)
+        read_n(machine, f, cg, range(3))
+        for i in range(3):
+            list_add(lst, f.mapping.lookup(i), True)
+        unload_policy(policy)
+        for i in range(3):
+            assert f.mapping.lookup(i).ext_node is None
+
+    def test_double_unload_rejected(self):
+        machine, cg, f = make_env()
+        policy = load_policy(machine, cg, counting_ops())
+        unload_policy(policy)
+        with pytest.raises(ProgramError):
+            unload_policy(policy)
+
+    def test_reload_after_unload(self):
+        machine, cg, f = make_env()
+        policy = load_policy(machine, cg, counting_ops("one"))
+        unload_policy(policy)
+        load_policy(machine, cg, counting_ops("two"))
+        assert cg.ext_policy.name == "two"
+
+
+class TestAdmission:
+    def test_admission_filter_blocks_caching(self):
+        machine, cg, f = make_env()
+        blocked_tid = []
+
+        tids = ArrayMap(1, name="tid")
+
+        @bpf_program
+        def admit(mapping_id, index, tid):
+            if tid == tids.lookup(0):
+                return 0
+            return 1
+
+        load_policy(machine, cg, CacheExtOps(name="adm", admit=admit))
+
+        def blocked_step(thread):
+            tids.update(0, thread.tid)
+            machine.fs.read_page(f, 0)
+            blocked_tid.append(thread.tid)
+            return False
+
+        machine.spawn("blocked", blocked_step, cgroup=cg)
+        machine.run()
+        assert f.mapping.lookup(0) is None  # never cached
+        assert cg.stats.admission_rejects >= 1
+        assert machine.disk.stats.read_pages >= 1  # data still served
+
+        def allowed_step(thread):
+            machine.fs.read_page(f, 1)
+            return False
+
+        machine.spawn("allowed", allowed_step, cgroup=cg)
+        machine.run()
+        assert f.mapping.lookup(1) is not None
+
+    def test_hook_cpu_accounted(self):
+        machine, cg, f = make_env()
+        load_policy(machine, cg, counting_ops())
+        read_n(machine, f, cg, range(10))
+        assert cg.stats.hook_cpu_us > 0

@@ -1,0 +1,208 @@
+"""BPF map semantics, including a hypothesis model for LRU_HASH."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebpf.errors import MapFullError, ProgramError
+from repro.ebpf.maps import (BPF_ANY, BPF_EXIST, BPF_NOEXIST, ArrayMap,
+                             HashMap, LruHashMap, QueueMap, StackMap)
+
+
+class TestHashMap:
+    def test_lookup_missing_is_none(self):
+        m = HashMap(4)
+        assert m.lookup("k") is None
+
+    def test_update_and_lookup(self):
+        m = HashMap(4)
+        m.update("k", 1)
+        assert m.lookup("k") == 1
+        m.update("k", 2)
+        assert m.lookup("k") == 2
+
+    def test_noexist_flag(self):
+        m = HashMap(4)
+        m.update("k", 1, BPF_NOEXIST)
+        with pytest.raises(ProgramError):
+            m.update("k", 2, BPF_NOEXIST)
+
+    def test_exist_flag(self):
+        m = HashMap(4)
+        with pytest.raises(ProgramError):
+            m.update("k", 1, BPF_EXIST)
+        m.update("k", 1)
+        m.update("k", 2, BPF_EXIST)
+        assert m.lookup("k") == 2
+
+    def test_capacity_enforced(self):
+        m = HashMap(2)
+        m.update("a", 1)
+        m.update("b", 2)
+        with pytest.raises(MapFullError):
+            m.update("c", 3)
+        m.update("a", 9)  # updating existing keys is fine when full
+        assert m.lookup("a") == 9
+
+    def test_delete(self):
+        m = HashMap(4)
+        m.update("k", 1)
+        assert m.delete("k")
+        assert not m.delete("k")
+        assert m.lookup("k") is None
+
+    def test_atomic_add(self):
+        m = HashMap(4)
+        m.update("k", 10)
+        assert m.atomic_add("k", 5) == 15
+        assert m.lookup("k") == 15
+
+    def test_atomic_add_missing_returns_none(self):
+        m = HashMap(4)
+        assert m.atomic_add("k", 1) is None
+
+    def test_atomic_add_non_int_rejected(self):
+        m = HashMap(4)
+        m.update("k", (1, 2))
+        with pytest.raises(ProgramError):
+            m.atomic_add("k", 1)
+
+    def test_values_must_be_integers(self):
+        m = HashMap(4)
+        with pytest.raises(ProgramError):
+            m.update("k", 1.5)
+        with pytest.raises(ProgramError):
+            m.update("k", "string")
+        with pytest.raises(ProgramError):
+            m.update("k", (1, 2.5))
+        m.update("k", (1, 2, (3, 4)))  # nested ints are memory-like
+
+    def test_iteration_helpers(self):
+        m = HashMap(4)
+        m.update("a", 1)
+        m.update("b", 2)
+        assert sorted(m.keys()) == ["a", "b"]
+        assert dict(m.items()) == {"a": 1, "b": 2}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HashMap(0)
+
+
+class TestLruHashMap:
+    def test_full_map_evicts_lru(self):
+        m = LruHashMap(2)
+        m.update("a", 1)
+        m.update("b", 2)
+        m.update("c", 3)  # evicts "a"
+        assert m.lookup("a") is None
+        assert m.lookup("b") == 2
+        assert m.lookup("c") == 3
+
+    def test_lookup_refreshes_recency(self):
+        m = LruHashMap(2)
+        m.update("a", 1)
+        m.update("b", 2)
+        m.lookup("a")      # a becomes MRU
+        m.update("c", 3)   # evicts b
+        assert m.lookup("a") == 1
+        assert m.lookup("b") is None
+
+    def test_update_refreshes_recency(self):
+        m = LruHashMap(2)
+        m.update("a", 1)
+        m.update("b", 2)
+        m.update("a", 9)
+        m.update("c", 3)
+        assert m.lookup("a") == 9
+        assert m.lookup("b") is None
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("ULD"),
+                          st.integers(0, 7)), max_size=60))
+def test_lru_hash_matches_model(ops):
+    """LRU_HASH behaves like an ordered-dict model with capacity 4."""
+    capacity = 4
+    m = LruHashMap(capacity)
+    model: dict = {}
+    order: list = []
+    for op, key in ops:
+        if op == "U":
+            if key in model:
+                order.remove(key)
+            elif len(model) >= capacity:
+                victim = order.pop(0)
+                del model[victim]
+            model[key] = key * 10
+            order.append(key)
+            m.update(key, key * 10)
+        elif op == "L":
+            expected = model.get(key)
+            assert m.lookup(key) == expected
+            if key in model:
+                order.remove(key)
+                order.append(key)
+        elif op == "D":
+            assert m.delete(key) == (key in model)
+            if key in model:
+                del model[key]
+                order.remove(key)
+        assert len(m) == len(model)
+
+
+class TestArrayMap:
+    def test_zero_initialized(self):
+        m = ArrayMap(4)
+        assert [m.lookup(i) for i in range(4)] == [0, 0, 0, 0]
+
+    def test_update_lookup(self):
+        m = ArrayMap(4)
+        m.update(2, 42)
+        assert m.lookup(2) == 42
+
+    def test_bounds_checked(self):
+        m = ArrayMap(4)
+        with pytest.raises(ProgramError):
+            m.lookup(4)
+        with pytest.raises(ProgramError):
+            m.update(-1, 0)
+        with pytest.raises(ProgramError):
+            m.lookup("x")
+
+    def test_atomic_add(self):
+        m = ArrayMap(4)
+        assert m.atomic_add(0, 3) == 3
+        assert m.atomic_add(0, 3) == 6
+
+
+class TestQueueStack:
+    def test_queue_fifo(self):
+        q = QueueMap(4)
+        q.push(1)
+        q.push(2)
+        assert q.peek() == 1
+        assert q.pop() == 1
+        assert q.pop() == 2
+        assert q.pop() is None
+
+    def test_stack_lifo(self):
+        s = StackMap(4)
+        s.push(1)
+        s.push(2)
+        assert s.peek() == 2
+        assert s.pop() == 2
+        assert s.pop() == 1
+
+    def test_capacity(self):
+        q = QueueMap(1)
+        q.push(1)
+        with pytest.raises(MapFullError):
+            q.push(2)
+
+    def test_no_random_access(self):
+        """§4.2.4: queues cannot delete from the middle — the reason
+        eviction lists needed a custom kernel structure."""
+        q = QueueMap(4)
+        assert not hasattr(q, "delete")
+        assert not hasattr(q, "lookup")

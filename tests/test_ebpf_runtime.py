@@ -1,0 +1,157 @@
+"""Ring buffer, program objects, struct_ops registration."""
+
+import pytest
+
+from repro.ebpf import RingBuffer, VerificationError, bpf_program
+from repro.ebpf.errors import ProgramError
+from repro.ebpf.runtime import run_syscall_prog
+from repro.ebpf.struct_ops import StructOpsRegistry, StructOpsSpec
+from repro.ebpf.verifier import verify_program
+from repro.sim.engine import Engine
+
+
+class TestRingBuffer:
+    def test_output_and_drain(self):
+        rb = RingBuffer(capacity=8)
+        assert rb.output((1, 2))
+        assert rb.output((3, 4))
+        assert rb.drain() == [(1, 2), (3, 4)]
+        assert rb.drain() == []
+        assert rb.produced == 2
+        assert rb.consumed == 2
+
+    def test_partial_drain(self):
+        rb = RingBuffer(capacity=8)
+        for i in range(5):
+            rb.output(i)
+        assert rb.drain(2) == [0, 1]
+        assert rb.drain() == [2, 3, 4]
+
+    def test_full_buffer_drops(self):
+        rb = RingBuffer(capacity=2)
+        assert rb.output(1)
+        assert rb.output(2)
+        assert not rb.output(3)
+        assert rb.dropped == 1
+        assert rb.drain() == [1, 2]
+
+    def test_producer_pays_cpu(self):
+        engine = Engine()
+        rb = RingBuffer(capacity=8, produce_cost_us=2.0)
+
+        def step(thread):
+            rb.output("event")
+            rb.output("event")
+            return False
+
+        t = engine.spawn("producer", step)
+        engine.run()
+        assert t.cpu_us == pytest.approx(4.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=0)
+
+
+class TestBpfProgramObject:
+    def test_invocation_counter(self):
+        @bpf_program
+        def prog(x):
+            return x + 1
+
+        assert prog(1) == 2
+        assert prog(2) == 3
+        assert prog.invocations == 2
+
+    def test_name_defaults_to_function(self):
+        @bpf_program
+        def my_prog():
+            return 0
+
+        assert my_prog.name == "my_prog"
+
+    def test_explicit_name(self):
+        @bpf_program(name="custom")
+        def whatever():
+            return 0
+
+        assert whatever.name == "custom"
+
+    def test_syscall_prog_requires_verification(self):
+        @bpf_program
+        def prog():
+            return 7
+
+        with pytest.raises(ProgramError):
+            run_syscall_prog(prog)
+        verify_program(prog)
+        assert run_syscall_prog(prog) == 7
+
+    def test_syscall_prog_requires_program(self):
+        with pytest.raises(ProgramError):
+            run_syscall_prog(lambda: 1)
+
+
+class TestStructOps:
+    def _spec(self):
+        return StructOpsSpec("test_ops", required_slots=("init",),
+                             optional_slots=("extra",))
+
+    def _prog(self):
+        @bpf_program
+        def init():
+            return 0
+        return init
+
+    def test_register_and_lookup(self):
+        reg = StructOpsRegistry()
+        handle = reg.register(self._spec(), {"init": self._prog()})
+        assert reg.attached("test_ops") is handle
+
+    def test_missing_required_slot(self):
+        reg = StructOpsRegistry()
+        with pytest.raises(VerificationError):
+            reg.register(self._spec(), {})
+
+    def test_unknown_slot(self):
+        reg = StructOpsRegistry()
+        with pytest.raises(VerificationError):
+            reg.register(self._spec(), {"init": self._prog(),
+                                        "bogus": self._prog()})
+
+    def test_non_program_slot(self):
+        reg = StructOpsRegistry()
+        with pytest.raises(VerificationError):
+            reg.register(self._spec(), {"init": lambda: 0})
+
+    def test_double_attach_rejected(self):
+        reg = StructOpsRegistry()
+        reg.register(self._spec(), {"init": self._prog()})
+        with pytest.raises(VerificationError):
+            reg.register(self._spec(), {"init": self._prog()})
+
+    def test_per_cgroup_attach_is_independent(self):
+        """The paper's extension: per-cgroup struct_ops (§4.3)."""
+        reg = StructOpsRegistry()
+        reg.register(self._spec(), {"init": self._prog()}, cgroup_id=1)
+        reg.register(self._spec(), {"init": self._prog()}, cgroup_id=2)
+        with pytest.raises(VerificationError):
+            reg.register(self._spec(), {"init": self._prog()},
+                         cgroup_id=1)
+
+    def test_unregister_allows_reattach(self):
+        reg = StructOpsRegistry()
+        handle = reg.register(self._spec(), {"init": self._prog()})
+        reg.unregister(handle)
+        assert reg.attached("test_ops") is None
+        reg.register(self._spec(), {"init": self._prog()})
+
+    def test_programs_verified_at_register(self):
+        reg = StructOpsRegistry()
+
+        @bpf_program
+        def bad_init():
+            return 0.5  # float: verifier must reject
+
+        with pytest.raises(VerificationError):
+            reg.register(self._spec(), {"init": bad_init})

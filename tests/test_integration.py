@@ -1,0 +1,159 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro.cache_ext import load_policy, unload_policy
+from repro.cache_ext.ops import CacheExtOps
+from repro.ebpf.errors import VerificationError
+from repro.ebpf.runtime import bpf_program
+from repro.kernel import Machine
+from repro.policies import make_lfu_policy, make_mru_policy
+
+
+def scan_workload(machine, f, cg, passes, pages):
+    """Repeated sequential scans: the LRU-pathological pattern."""
+    def step(thread, state={"p": 0, "i": 0}):
+        if state["p"] >= passes:
+            return False
+        machine.fs.read_page(f, state["i"])
+        state["i"] += 1
+        if state["i"] >= pages:
+            state["i"] = 0
+            state["p"] += 1
+        return True
+    machine.spawn("scanner", step, cgroup=cg)
+    machine.run()
+
+
+def build_scan_env(policy_factory=None, limit=48, pages=64):
+    machine = Machine()
+    cg = machine.new_cgroup("app", limit_pages=limit)
+    f = machine.fs.create("corpus")
+    for i in range(pages):
+        f.store[i] = i
+    f.npages = pages
+    f.ra_enabled = False
+    if policy_factory is not None:
+        load_policy(machine, cg, policy_factory())
+    return machine, cg, f
+
+
+class TestPolicyChoiceMatters:
+    """The paper's core thesis, end to end: the right policy for the
+    access pattern changes application-visible performance."""
+
+    def test_mru_transforms_scan_workload(self):
+        _, cg_lru, f = build_scan_env(None)
+        machine, cg_lru, f = build_scan_env(None)
+        scan_workload(machine, f, cg_lru, passes=6, pages=64)
+        machine, cg_mru, f = build_scan_env(make_mru_policy)
+        scan_workload(machine, f, cg_mru, passes=6, pages=64)
+        assert cg_mru.stats.hit_ratio > cg_lru.stats.hit_ratio + 0.3
+
+    def test_policy_swap_mid_run(self):
+        machine, cg, f = build_scan_env(None)
+        scan_workload(machine, f, cg, passes=2, pages=64)
+        lru_hits = cg.stats.hits
+        policy = load_policy(machine, cg, make_mru_policy())
+        scan_workload(machine, f, cg, passes=4, pages=64)
+        mru_window_ratio = (cg.stats.hits - lru_hits) / (4 * 64)
+        assert mru_window_ratio > 0.5
+        unload_policy(policy)
+        scan_workload(machine, f, cg, passes=1, pages=64)  # still sane
+        assert cg.charged_pages <= 48
+
+
+class TestIsolationEndToEnd:
+    def test_two_cgroups_two_policies(self):
+        machine = Machine()
+        cg_a = machine.new_cgroup("a", limit_pages=48)
+        cg_b = machine.new_cgroup("b", limit_pages=48)
+        load_policy(machine, cg_a, make_mru_policy())
+        load_policy(machine, cg_b, make_lfu_policy())
+
+        fa = machine.fs.create("fa")
+        fb = machine.fs.create("fb")
+        for i in range(64):
+            fa.store[i] = i
+            fb.store[i] = i
+        fa.npages = fb.npages = 64
+        fa.ra_enabled = fb.ra_enabled = False
+
+        scan_workload(machine, fa, cg_a, passes=4, pages=64)
+
+        def zipfish(thread, state={"i": 0}):
+            if state["i"] >= 600:
+                return False
+            machine.fs.read_page(fb, (state["i"] * 7) % 16)
+            state["i"] += 1
+            return True
+
+        machine.spawn("pointy", zipfish, cgroup=cg_b)
+        machine.run()
+        # Each cgroup thrives under its own tailored policy.
+        assert cg_a.stats.hit_ratio > 0.5   # MRU on scans
+        assert cg_b.stats.hit_ratio > 0.9   # LFU on hot points
+        # Policies never touched each other's folios.
+        assert all(folio.memcg is cg_a for folio in fa.mapping.folios())
+        assert all(folio.memcg is cg_b for folio in fb.mapping.folios())
+
+    def test_cross_cgroup_access_does_not_move_charge(self):
+        machine = Machine()
+        cg_a = machine.new_cgroup("a", limit_pages=48)
+        cg_b = machine.new_cgroup("b", limit_pages=48)
+        f = machine.fs.create("shared")
+        f.store[0] = "x"
+        f.npages = 1
+
+        def reader_a(thread):
+            machine.fs.read_page(f, 0)
+            return False
+
+        machine.spawn("a", reader_a, cgroup=cg_a)
+        machine.run()
+
+        def reader_b(thread):
+            machine.fs.read_page(f, 0)
+            return False
+
+        machine.spawn("b", reader_b, cgroup=cg_b)
+        machine.run()
+        # B's access hit A's folio; the charge stays with A.
+        assert cg_a.charged_pages == 1
+        assert cg_b.charged_pages == 0
+        assert cg_b.stats.hits == 1
+
+
+class TestSafetyEndToEnd:
+    def test_unverifiable_policy_never_attaches(self):
+        machine = Machine()
+        cg = machine.new_cgroup("x", limit_pages=32)
+
+        @bpf_program
+        def bad_added(folio):
+            return folio.id * 0.5  # float math
+
+        with pytest.raises(VerificationError):
+            load_policy(machine, cg, CacheExtOps(name="bad",
+                                                 folio_added=bad_added))
+        assert cg.ext_policy is None
+        # The cgroup still works on the kernel policy.
+        f = machine.fs.create("f")
+        f.store[0] = 0
+        f.npages = 1
+
+        def step(thread):
+            machine.fs.read_page(f, 0)
+            return False
+
+        machine.spawn("r", step, cgroup=cg)
+        machine.run()
+        assert cg.stats.insertions == 1
+
+    def test_memory_limit_holds_under_every_policy(self):
+        from repro.policies import GENERIC_POLICIES
+        for name, factory in GENERIC_POLICIES.items():
+            machine, cg, f = build_scan_env(factory, limit=32,
+                                            pages=128)
+            scan_workload(machine, f, cg, passes=2, pages=128)
+            assert cg.charged_pages <= 32, name

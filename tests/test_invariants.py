@@ -1,0 +1,161 @@
+"""Whole-stack invariants under randomized operation sequences.
+
+Hypothesis drives random mixes of reads, writes, fadvise calls, file
+deletions and policy attach/detach against one machine, then checks
+the conservation laws the kernel substrate must uphold:
+
+* a cgroup's charge equals its resident folio count;
+* the cgroup never exceeds its limit at rest;
+* the registry of an attached policy tracks exactly the resident set;
+* every folio's eviction-list node belongs to at most one list;
+* global stats identities (lookups = hits + misses).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache_ext import load_policy, unload_policy
+from repro.kernel import FAdvice, Machine
+from repro.policies import GENERIC_POLICIES
+
+LIMIT = 24
+NPAGES = 64
+
+op_strategy = st.one_of(
+    st.tuples(st.just("read"), st.integers(0, NPAGES - 1)),
+    st.tuples(st.just("write"), st.integers(0, NPAGES - 1)),
+    st.tuples(st.just("dontneed"), st.integers(0, NPAGES - 1)),
+    st.tuples(st.just("willneed"), st.integers(0, NPAGES - 1)),
+    st.tuples(st.just("fsync"), st.integers(0, 0)),
+)
+
+
+def check_invariants(machine, cg, files):
+    resident = sum(f.mapping.nr_folios for f in files
+                   if not f.deleted)
+    assert cg.charged_pages == resident
+    assert cg.charged_pages <= LIMIT
+    stats = cg.stats
+    assert stats.lookups == stats.hits + stats.misses
+    policy = cg.ext_policy
+    if policy is not None:
+        assert len(policy.registry) == resident
+        listed = set()
+        for lst in policy.lists:
+            for folio in lst.folios():
+                assert folio.id not in listed, "folio on two lists"
+                listed.add(folio.id)
+        for f in files:
+            for folio in f.mapping.folios():
+                assert policy.registry.contains(folio)
+
+
+@pytest.mark.parametrize("policy_name",
+                         [None] + sorted(GENERIC_POLICIES))
+@settings(max_examples=20, deadline=None)
+@given(ops=st.lists(op_strategy, min_size=1, max_size=80))
+def test_invariants_under_random_ops(policy_name, ops):
+    machine = Machine()
+    cg = machine.new_cgroup("t", limit_pages=LIMIT)
+    f = machine.fs.create("data")
+    for i in range(NPAGES):
+        f.store[i] = i
+    f.npages = NPAGES
+    f.ra_enabled = False
+    if policy_name is not None:
+        load_policy(machine, cg, GENERIC_POLICIES[policy_name]())
+
+    def step(thread, it=iter(ops)):
+        op = next(it, None)
+        if op is None:
+            return False
+        kind, index = op
+        if kind == "read":
+            machine.fs.read_page(f, index)
+        elif kind == "write":
+            machine.fs.write_page(f, index, "w")
+        elif kind == "dontneed":
+            machine.fs.fadvise(f, FAdvice.DONTNEED, index, 4)
+        elif kind == "willneed":
+            machine.fs.fadvise(f, FAdvice.WILLNEED, index,
+                               min(4, NPAGES - index))
+        elif kind == "fsync":
+            machine.fs.fsync(f)
+        return True
+
+    machine.spawn("ops", step, cgroup=cg)
+    machine.run()
+    check_invariants(machine, cg, [f])
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=st.lists(st.integers(0, NPAGES - 1), min_size=5,
+                    max_size=60),
+       swap_at=st.integers(1, 4))
+def test_invariants_across_policy_swaps(ops, swap_at):
+    """Attach/detach policies mid-stream; bookkeeping must survive."""
+    machine = Machine()
+    cg = machine.new_cgroup("t", limit_pages=LIMIT)
+    f = machine.fs.create("data")
+    for i in range(NPAGES):
+        f.store[i] = i
+    f.npages = NPAGES
+    f.ra_enabled = False
+    factories = [GENERIC_POLICIES["lfu"], GENERIC_POLICIES["s3fifo"],
+                 GENERIC_POLICIES["fifo"]]
+    state = {"i": 0, "gen": 0}
+
+    def step(thread):
+        if state["i"] >= len(ops):
+            return False
+        if state["i"] % (len(ops) // swap_at + 1) == 0:
+            if cg.ext_policy is not None:
+                unload_policy(cg.ext_policy)
+            factory = factories[state["gen"] % len(factories)]
+            load_policy(machine, cg, factory())
+            state["gen"] += 1
+        machine.fs.read_page(f, ops[state["i"]])
+        state["i"] += 1
+        return True
+
+    machine.spawn("swapper", step, cgroup=cg)
+    machine.run()
+    check_invariants(machine, cg, [f])
+
+
+@settings(max_examples=10, deadline=None)
+@given(ops=st.lists(st.integers(0, NPAGES - 1), min_size=5,
+                    max_size=50))
+def test_invariants_with_file_deletion(ops):
+    """Truncation mid-stream must uncharge and clean policy state."""
+    machine = Machine()
+    cg = machine.new_cgroup("t", limit_pages=LIMIT)
+    load_policy(machine, cg, GENERIC_POLICIES["s3fifo"]())
+    files = []
+
+    def new_file(n):
+        f = machine.fs.create(f"f{len(files)}")
+        for i in range(NPAGES):
+            f.store[i] = i
+        f.npages = NPAGES
+        f.ra_enabled = False
+        files.append(f)
+        return f
+
+    current = new_file(0)
+    state = {"i": 0, "current": current}
+
+    def step(thread):
+        if state["i"] >= len(ops):
+            return False
+        if state["i"] == len(ops) // 2:
+            machine.fs.delete(state["current"].name)
+            state["current"] = new_file(1)
+        machine.fs.read_page(state["current"], ops[state["i"]])
+        state["i"] += 1
+        return True
+
+    machine.spawn("deleter", step, cgroup=cg)
+    machine.run()
+    check_invariants(machine, cg, files)

@@ -1,0 +1,182 @@
+"""Folio, cgroup, address-space and shadow-entry tests."""
+
+import pytest
+
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.cgroup import MemCgroup
+from repro.kernel.errors import EINVAL
+from repro.kernel.folio import PAGE_SIZE, Folio
+from repro.kernel.shadow import (make_shadow, refault_distance,
+                                 refault_should_activate)
+
+
+def make_folio(index=0, memcg=None, file_id=7):
+    mapping = AddressSpace(file_id)
+    memcg = memcg or MemCgroup("t", limit_pages=100)
+    return Folio(mapping, index, memcg), mapping, memcg
+
+
+class TestFolio:
+    def test_initial_flags(self):
+        folio, _, _ = make_folio()
+        assert not folio.referenced
+        assert not folio.active
+        assert not folio.dirty
+        assert not folio.uptodate
+        assert not folio.pinned
+        assert folio.in_cache
+
+    def test_pin_unpin(self):
+        folio, _, _ = make_folio()
+        folio.pin()
+        folio.pin()
+        assert folio.pin_count == 2
+        folio.unpin()
+        assert folio.pinned
+        folio.unpin()
+        assert not folio.pinned
+
+    def test_unpin_unpinned_raises(self):
+        folio, _, _ = make_folio()
+        with pytest.raises(RuntimeError):
+            folio.unpin()
+
+    def test_key_survives_eviction(self):
+        folio, mapping, _ = make_folio(index=5, file_id=9)
+        mapping.insert(folio)
+        key_before = folio.key()
+        mapping.remove(folio)
+        assert folio.mapping is None
+        assert folio.key() == key_before == (9, 5)
+
+    def test_ids_unique(self):
+        a, _, _ = make_folio()
+        b, _, _ = make_folio()
+        assert a.id != b.id
+
+    def test_page_size_constant(self):
+        assert PAGE_SIZE == 4096
+
+
+class TestCgroup:
+    def test_charge_uncharge(self):
+        cg = MemCgroup("x", limit_pages=10)
+        cg.charge(3)
+        assert cg.charged_pages == 3
+        cg.uncharge(2)
+        assert cg.charged_pages == 1
+
+    def test_uncharge_below_zero_raises(self):
+        cg = MemCgroup("x", limit_pages=10)
+        with pytest.raises(RuntimeError):
+            cg.uncharge()
+
+    def test_over_limit_and_excess(self):
+        cg = MemCgroup("x", limit_pages=4)
+        cg.charge(4)
+        assert not cg.over_limit
+        assert cg.excess_pages() == 0
+        cg.charge(3)
+        assert cg.over_limit
+        assert cg.excess_pages() == 3
+
+    def test_unlimited_cgroup(self):
+        cg = MemCgroup("root", limit_pages=None)
+        cg.charge(10 ** 6)
+        assert not cg.over_limit
+        assert cg.excess_pages() == 0
+
+    def test_invalid_limit(self):
+        with pytest.raises(EINVAL):
+            MemCgroup("bad", limit_pages=0)
+
+    def test_hierarchy_parent(self):
+        root = MemCgroup("root", limit_pages=None)
+        child = MemCgroup("child", limit_pages=5, parent=root)
+        assert child.parent is root
+
+
+class TestAddressSpace:
+    def test_insert_lookup_remove(self):
+        mapping = AddressSpace(1)
+        cg = MemCgroup("t", limit_pages=10)
+        folio = Folio(mapping, 3, cg)
+        mapping.insert(folio)
+        assert mapping.lookup(3) is folio
+        assert mapping.nr_folios == 1
+        mapping.remove(folio)
+        assert mapping.lookup(3) is None
+        assert folio.mapping is None
+
+    def test_duplicate_insert_rejected(self):
+        mapping = AddressSpace(1)
+        cg = MemCgroup("t", limit_pages=10)
+        mapping.insert(Folio(mapping, 0, cg))
+        with pytest.raises(RuntimeError):
+            mapping.insert(Folio(mapping, 0, cg))
+
+    def test_remove_nonresident_rejected(self):
+        mapping = AddressSpace(1)
+        cg = MemCgroup("t", limit_pages=10)
+        folio = Folio(mapping, 0, cg)
+        with pytest.raises(RuntimeError):
+            mapping.remove(folio)
+
+    def test_insert_clears_shadow(self):
+        mapping = AddressSpace(1)
+        cg = MemCgroup("t", limit_pages=10)
+        mapping.store_shadow(4, make_shadow(cg, workingset=False))
+        mapping.insert(Folio(mapping, 4, cg))
+        assert mapping.peek_shadow(4) is None
+
+    def test_take_shadow_pops(self):
+        mapping = AddressSpace(1)
+        cg = MemCgroup("t", limit_pages=10)
+        entry = make_shadow(cg, workingset=True)
+        mapping.store_shadow(2, entry)
+        assert mapping.nr_shadows == 1
+        assert mapping.take_shadow(2) is entry
+        assert mapping.take_shadow(2) is None
+        assert mapping.nr_shadows == 0
+
+
+class TestShadow:
+    def test_refault_distance(self):
+        cg = MemCgroup("t", limit_pages=10)
+        entry = make_shadow(cg, workingset=False)
+        cg.eviction_clock += 7
+        assert refault_distance(entry, cg) == 7
+
+    def test_negative_distance_is_a_bug(self):
+        cg = MemCgroup("t", limit_pages=10)
+        cg.eviction_clock = 5
+        entry = make_shadow(cg, workingset=False)
+        cg.eviction_clock = 3
+        with pytest.raises(RuntimeError):
+            refault_distance(entry, cg)
+
+    def test_activation_within_workingset(self):
+        cg = MemCgroup("t", limit_pages=100)
+        cg.charged_pages = 50
+        entry = make_shadow(cg, workingset=False)
+        cg.eviction_clock += 30  # distance 30 <= 50 resident
+        assert refault_should_activate(entry, cg)
+
+    def test_no_activation_beyond_workingset(self):
+        cg = MemCgroup("t", limit_pages=100)
+        cg.charged_pages = 10
+        entry = make_shadow(cg, workingset=False)
+        cg.eviction_clock += 500
+        assert not refault_should_activate(entry, cg)
+
+    def test_cross_cgroup_refault_conservative(self):
+        a = MemCgroup("a", limit_pages=10)
+        b = MemCgroup("b", limit_pages=10)
+        entry = make_shadow(a, workingset=True)
+        assert not refault_should_activate(entry, b)
+
+    def test_shadow_records_tier(self):
+        cg = MemCgroup("t", limit_pages=10)
+        entry = make_shadow(cg, workingset=True, tier=2)
+        assert entry.tier == 2
+        assert entry.workingset

@@ -1,0 +1,270 @@
+"""Engine and resource-model tests: clocks, scheduling, contention."""
+
+import pytest
+
+from repro.sim.engine import Engine, current_thread
+from repro.sim.resources import Disk
+
+
+def make_counter_thread(engine, name, n, cost_us, log=None):
+    state = {"left": n}
+
+    def step(thread):
+        if state["left"] <= 0:
+            return False
+        thread.advance(cost_us)
+        if log is not None:
+            log.append((name, thread.clock_us))
+        state["left"] -= 1
+        return True
+
+    return engine.spawn(name, step)
+
+
+class TestEngineBasics:
+    def test_single_thread_runs_to_completion(self):
+        engine = Engine()
+        t = make_counter_thread(engine, "a", 10, 5.0)
+        engine.run()
+        assert t.done
+        assert t.clock_us == pytest.approx(50.0)
+        assert t.steps == 11  # 10 working steps + 1 finishing step
+
+    def test_cpu_time_accounted(self):
+        engine = Engine()
+        t = make_counter_thread(engine, "a", 4, 2.5)
+        engine.run()
+        assert t.cpu_us == pytest.approx(10.0)
+
+    def test_smallest_clock_runs_first(self):
+        engine = Engine()
+        log = []
+        make_counter_thread(engine, "slow", 3, 100.0, log)
+        make_counter_thread(engine, "fast", 3, 1.0, log)
+        engine.run()
+        # All of fast's work happens before slow's second step.
+        fast_times = [t for n, t in log if n == "fast"]
+        slow_times = [t for n, t in log if n == "slow"]
+        assert max(fast_times) < slow_times[1]
+
+    def test_current_thread_visible_during_step(self):
+        engine = Engine()
+        seen = []
+
+        def step(thread):
+            seen.append(current_thread())
+            return False
+
+        t = engine.spawn("x", step)
+        engine.run()
+        assert seen == [t]
+        assert current_thread() is None
+
+    def test_wait_until_does_not_consume_cpu(self):
+        engine = Engine()
+
+        def step(thread):
+            thread.wait_until(500.0)
+            return False
+
+        t = engine.spawn("w", step)
+        engine.run()
+        assert t.clock_us == 500.0
+        assert t.cpu_us == 0.0
+
+    def test_wait_until_never_goes_backwards(self):
+        engine = Engine()
+
+        def step(thread):
+            thread.advance(100.0)
+            thread.wait_until(50.0)  # in the past: no-op
+            return False
+
+        t = engine.spawn("w", step)
+        engine.run()
+        assert t.clock_us == 100.0
+
+    def test_negative_advance_rejected(self):
+        engine = Engine()
+
+        def step(thread):
+            thread.advance(-1.0)
+            return False
+
+        engine.spawn("bad", step)
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_max_steps_guard(self):
+        engine = Engine()
+
+        def forever(thread):
+            thread.advance(1.0)
+            return True
+
+        engine.spawn("loop", forever)
+        with pytest.raises(RuntimeError):
+            engine.run(max_steps=10)
+
+    def test_unique_tids(self):
+        engine = Engine()
+        threads = [make_counter_thread(engine, f"t{i}", 1, 1.0)
+                   for i in range(20)]
+        assert len({t.tid for t in threads}) == 20
+
+    def test_explicit_tid(self):
+        engine = Engine()
+        t = engine.spawn("x", lambda thread: False, tid=42)
+        assert t.tid == 42
+
+
+class TestEngineWindows:
+    def test_until_us_stops_early(self):
+        engine = Engine()
+        t = make_counter_thread(engine, "a", 1000, 10.0)
+        engine.run(until_us=105.0)
+        assert not t.done
+        assert t.clock_us <= 115.0  # at most one step past the window
+
+    def test_until_us_can_resume(self):
+        engine = Engine()
+        t = make_counter_thread(engine, "a", 10, 10.0)
+        engine.run(until_us=50.0)
+        engine.run()
+        assert t.done
+        assert t.clock_us == pytest.approx(100.0)
+
+    def test_spawn_mid_run_starts_at_now(self):
+        engine = Engine()
+        spawned = []
+
+        def parent(thread):
+            thread.advance(100.0)
+            child = engine.spawn("child", lambda th: False)
+            spawned.append(child)
+            return False
+
+        engine.spawn("parent", parent)
+        engine.run()
+        assert spawned[0].clock_us >= 100.0
+
+
+class TestDaemonThreads:
+    def test_daemons_do_not_keep_engine_alive(self):
+        engine = Engine()
+
+        def daemon_step(thread):
+            thread.advance(1.0)
+            return True  # would run forever
+
+        engine.spawn("daemon", daemon_step, daemon=True)
+        make_counter_thread(engine, "main", 5, 10.0)
+        engine.run(max_steps=10000)  # must terminate
+
+    def test_daemon_interleaves_with_main(self):
+        engine = Engine()
+        ticks = []
+
+        def daemon_step(thread):
+            ticks.append(thread.clock_us)
+            thread.advance(10.0)
+            return True
+
+        engine.spawn("daemon", daemon_step, daemon=True)
+        make_counter_thread(engine, "main", 10, 10.0)
+        engine.run()
+        assert len(ticks) >= 5
+
+    def test_all_daemons_runs_nothing(self):
+        engine = Engine()
+        engine.spawn("d", lambda th: True, daemon=True)
+        engine.run(max_steps=10)  # returns immediately
+
+
+class TestDisk:
+    def test_single_read_time(self):
+        engine = Engine()
+        disk = Disk(read_us=100.0, channels=1)
+
+        def step(thread):
+            disk.read(thread, 1)
+            return False
+
+        t = engine.spawn("r", step)
+        engine.run()
+        assert t.clock_us == pytest.approx(100.0)
+
+    def test_batched_read_discount(self):
+        disk = Disk(read_us=100.0, seq_factor=0.25)
+        assert disk._service_us(100.0, 4) == pytest.approx(175.0)
+
+    def test_contiguous_pricing(self):
+        disk = Disk(read_us=100.0, seq_factor=0.25)
+        assert disk._service_us(100.0, 4, contiguous=True) == \
+            pytest.approx(100.0)
+
+    def test_contention_on_single_channel(self):
+        engine = Engine()
+        disk = Disk(read_us=100.0, channels=1)
+        finish = {}
+
+        def make(name):
+            def step(thread):
+                disk.read(thread, 1)
+                finish[name] = thread.clock_us
+                return False
+            return step
+
+        engine.spawn("a", make("a"))
+        engine.spawn("b", make("b"))
+        engine.run()
+        # Second request queues behind the first.
+        assert sorted(finish.values()) == [pytest.approx(100.0),
+                                           pytest.approx(200.0)]
+
+    def test_channels_allow_parallelism(self):
+        engine = Engine()
+        disk = Disk(read_us=100.0, channels=2)
+        finish = []
+
+        def step(thread):
+            disk.read(thread, 1)
+            finish.append(thread.clock_us)
+            return False
+
+        engine.spawn("a", step)
+        engine.spawn("b", step)
+        engine.run()
+        assert finish == [pytest.approx(100.0), pytest.approx(100.0)]
+
+    def test_stats_accumulate(self):
+        engine = Engine()
+        disk = Disk()
+
+        def step(thread):
+            disk.read(thread, 3)
+            disk.write(thread, 2)
+            return False
+
+        engine.spawn("io", step)
+        engine.run()
+        assert disk.stats.read_pages == 3
+        assert disk.stats.write_pages == 2
+        assert disk.stats.total_pages == 5
+        assert disk.stats.total_bytes == 5 * 4096
+
+    def test_invalid_page_count(self):
+        engine = Engine()
+        disk = Disk()
+
+        def step(thread):
+            disk.read(thread, 0)
+            return False
+
+        engine.spawn("bad", step)
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_needs_at_least_one_channel(self):
+        with pytest.raises(ValueError):
+            Disk(channels=0)

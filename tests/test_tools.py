@@ -1,0 +1,88 @@
+"""Trace-simulator tool tests."""
+
+import pytest
+
+from repro.tools.cachesim import (format_reports, parse_trace,
+                                  replay_trace, simulate_policies)
+
+
+class TestParseTrace:
+    def test_full_format(self):
+        trace = parse_trace(["1 5 r", "2 9 w", "1 5"])
+        assert trace == [(1, 5, False), (2, 9, True), (1, 5, False)]
+
+    def test_bare_pages(self):
+        assert parse_trace(["7", "3"]) == [(0, 7, False), (0, 3, False)]
+
+    def test_comments_and_blanks_skipped(self):
+        assert parse_trace(["# header", "", "0 1"]) == [(0, 1, False)]
+
+    def test_bad_line_reports_position(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_trace(["0 1", "zero one"])
+
+
+class TestReplay:
+    def test_hit_accounting(self):
+        trace = [(0, 0, False), (0, 0, False), (0, 1, False)]
+        report = replay_trace(trace, "default", cache_pages=16)
+        assert report.accesses == 3
+        assert report.hits == 1
+        assert report.misses == 2
+        assert report.hit_ratio == pytest.approx(1 / 3)
+
+    def test_writes_supported(self):
+        trace = [(0, 0, True), (0, 0, False)]
+        report = replay_trace(trace, "default", cache_pages=16)
+        assert report.hits == 1
+
+    def test_multiple_files(self):
+        trace = [(1, 0, False), (2, 0, False), (1, 0, False)]
+        report = replay_trace(trace, "lfu", cache_pages=16)
+        assert report.hits == 1
+
+    def test_policy_changes_results(self):
+        # Cyclic scan over 24 pages with a 16-page cache.
+        trace = [(0, i % 24, False) for i in range(24 * 6)]
+        lru = replay_trace(trace, "default", cache_pages=16)
+        mru = replay_trace(trace, "mru", cache_pages=16)
+        assert mru.hit_ratio > lru.hit_ratio + 0.2
+
+    def test_all_policies_replayable(self):
+        trace = [(0, (i * 7) % 64, False) for i in range(300)]
+        policies = ("default", "mglru", "fifo", "mru", "lfu", "s3fifo",
+                    "lhd", "mglru-bpf", "sieve")
+        reports = simulate_policies(trace, policies, cache_pages=32)
+        assert len(reports) == len(policies)
+        for report in reports:
+            assert report.accesses == 300
+            assert report.hits + report.misses == 300
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            replay_trace([(0, 0, False)], "nope", cache_pages=8)
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            replay_trace([(0, 0, False)], "default", cache_pages=0)
+
+    def test_format_reports(self):
+        trace = [(0, i % 8, False) for i in range(50)]
+        reports = simulate_policies(trace, ("default", "lfu"), 16)
+        text = format_reports(reports)
+        assert "default" in text
+        assert "lfu" in text
+        assert "%" in text
+
+
+class TestCli:
+    def test_end_to_end(self, tmp_path, capsys):
+        from repro.tools.cachesim import main
+        trace_file = tmp_path / "trace.txt"
+        trace_file.write_text(
+            "# demo\n" + "\n".join(str(i % 32) for i in range(200)))
+        rc = main([str(trace_file), "--cache-pages", "16",
+                   "--policies", "default,sieve"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sieve" in out

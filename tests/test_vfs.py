@@ -1,0 +1,237 @@
+"""VFS tests: pread/pwrite, readahead, fsync, fadvise, truncation."""
+
+import pytest
+
+from repro.kernel import FAdvice, Machine
+from repro.kernel.errors import EBADF, EINVAL
+
+
+def make_fs(limit=256):
+    machine = Machine()
+    cg = machine.new_cgroup("t", limit_pages=limit)
+    f = machine.fs.create("file")
+    for i in range(128):
+        f.store[i] = f"data{i}"
+    f.npages = 128
+    return machine, cg, f
+
+
+def run_in_thread(machine, cg, fn):
+    out = {}
+
+    def step(thread):
+        out["result"] = fn(thread)
+        return False
+
+    machine.spawn("op", step, cgroup=cg)
+    machine.run()
+    return out.get("result")
+
+
+class TestReadWrite:
+    def test_read_returns_stored_object(self):
+        machine, cg, f = make_fs()
+        value = run_in_thread(machine, cg,
+                              lambda th: machine.fs.read_page(f, 5))
+        assert value == "data5"
+
+    def test_read_past_eof(self):
+        machine, cg, f = make_fs()
+        with pytest.raises(EINVAL):
+            machine.fs.read_page(f, 128)
+
+    def test_read_negative_index(self):
+        machine, cg, f = make_fs()
+        with pytest.raises(EINVAL):
+            machine.fs.read_page(f, -1)
+
+    def test_write_extends_file(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.write_page(f, 200, "new"))
+        assert f.npages == 201
+        assert f.store[200] == "new"
+
+    def test_write_marks_dirty(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.write_page(f, 0, "x"))
+        assert f.mapping.lookup(0).dirty
+
+    def test_full_page_write_needs_no_read(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.write_page(f, 0, "x"))
+        assert machine.disk.stats.read_pages == 0
+
+    def test_append_page(self):
+        machine, cg, f = make_fs()
+        idx = run_in_thread(machine, cg,
+                            lambda th: machine.fs.append_page(f, "end"))
+        assert idx == 128
+        assert f.npages == 129
+
+    def test_read_range(self):
+        machine, cg, f = make_fs()
+        values = run_in_thread(
+            machine, cg, lambda th: machine.fs.read_range(f, 3, 4))
+        assert values == ["data3", "data4", "data5", "data6"]
+
+    def test_deleted_file_rejects_io(self):
+        machine, cg, f = make_fs()
+        machine.fs.delete("file")
+        with pytest.raises(EBADF):
+            machine.fs.read_page(f, 0)
+        with pytest.raises(EBADF):
+            machine.fs.write_page(f, 0, "x")
+
+
+class TestNamespace:
+    def test_create_open_exists(self):
+        machine = Machine()
+        f = machine.fs.create("a")
+        assert machine.fs.open("a") is f
+        assert machine.fs.exists("a")
+        assert not machine.fs.exists("b")
+
+    def test_duplicate_create_rejected(self):
+        machine = Machine()
+        machine.fs.create("a")
+        with pytest.raises(EINVAL):
+            machine.fs.create("a")
+
+    def test_open_missing_rejected(self):
+        machine = Machine()
+        with pytest.raises(EBADF):
+            machine.fs.open("nope")
+
+    def test_delete_missing_rejected(self):
+        machine = Machine()
+        with pytest.raises(EBADF):
+            machine.fs.delete("nope")
+
+
+class TestReadahead:
+    def _sequential_read(self, machine, cg, f, n):
+        def step(thread, state={"i": 0}):
+            if state["i"] >= n:
+                return False
+            machine.fs.read_page(f, state["i"])
+            state["i"] += 1
+            return True
+        machine.spawn("seq", step, cgroup=cg)
+        machine.run()
+
+    def test_sequential_reads_trigger_readahead(self):
+        machine, cg, f = make_fs()
+        self._sequential_read(machine, cg, f, 20)
+        # Fewer device requests than pages: batched readahead.
+        assert machine.disk.stats.reads < 20
+        assert machine.disk.stats.read_pages >= 20
+
+    def test_readahead_pages_become_hits(self):
+        machine, cg, f = make_fs()
+        self._sequential_read(machine, cg, f, 20)
+        assert cg.stats.hits > 0
+
+    def test_random_reads_no_readahead(self):
+        machine, cg, f = make_fs()
+        indices = [0, 50, 3, 99, 7, 61]
+
+        def step(thread, it=iter(indices)):
+            idx = next(it, None)
+            if idx is None:
+                return False
+            machine.fs.read_page(f, idx)
+            return True
+
+        machine.spawn("rand", step, cgroup=cg)
+        machine.run()
+        assert machine.disk.stats.read_pages == len(indices)
+
+    def test_fadvise_random_disables_readahead(self):
+        machine, cg, f = make_fs()
+        machine.fs.fadvise(f, FAdvice.RANDOM)
+        self._sequential_read(machine, cg, f, 20)
+        assert machine.disk.stats.read_pages == 20
+
+    def test_fadvise_sequential_widens_window(self):
+        machine, cg, f = make_fs()
+        machine.fs.fadvise(f, FAdvice.SEQUENTIAL)
+        assert f.ra_window == 16
+
+    def test_fadvise_normal_resets(self):
+        machine, cg, f = make_fs()
+        machine.fs.fadvise(f, FAdvice.SEQUENTIAL)
+        machine.fs.fadvise(f, FAdvice.NORMAL)
+        assert f.ra_window == 8
+        assert f.ra_enabled
+
+
+class TestFadviseSemantics:
+    def test_dontneed_drops_clean_pages(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 0, 5))
+        machine.fs.fadvise(f, FAdvice.DONTNEED, 0, 5)
+        assert all(f.mapping.lookup(i) is None for i in range(5))
+
+    def test_dontneed_spares_dirty_pages(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.write_page(f, 0, "x"))
+        machine.fs.fadvise(f, FAdvice.DONTNEED, 0, 1)
+        assert f.mapping.lookup(0) is not None
+
+    def test_willneed_prefetches(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg, lambda th: machine.fs.fadvise(
+            f, FAdvice.WILLNEED, 10, 5))
+        assert all(f.mapping.lookup(i) is not None
+                   for i in range(10, 15))
+
+    def test_noreuse_blocks_promotion(self):
+        machine, cg, f = make_fs()
+        machine.fs.fadvise(f, FAdvice.NOREUSE)
+        run_in_thread(machine, cg, lambda th: [
+            machine.fs.read_page(f, 0) for _ in range(5)])
+        folio = f.mapping.lookup(0)
+        assert folio is not None
+        assert not folio.active  # recency never updated
+
+    def test_per_read_noreuse(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg, lambda th: [
+            machine.fs.read_page(f, 0, noreuse=True) for _ in range(5)])
+        assert not f.mapping.lookup(0).active
+
+
+class TestFsync:
+    def test_fsync_writes_dirty_pages(self):
+        machine, cg, f = make_fs()
+
+        def op(thread):
+            machine.fs.write_page(f, 0, "a")
+            machine.fs.write_page(f, 1, "b")
+            return machine.fs.fsync(f)
+
+        written = run_in_thread(machine, cg, op)
+        assert written == 2
+        assert machine.disk.stats.write_pages == 2
+        assert not f.mapping.lookup(0).dirty
+
+    def test_fsync_clean_file_is_noop(self):
+        machine, cg, f = make_fs()
+        assert machine.fs.fsync(f) == 0
+        assert machine.disk.stats.write_pages == 0
+
+
+class TestDelete:
+    def test_delete_drops_folios_and_charges(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 0, 10))
+        assert cg.charged_pages == 10
+        machine.fs.delete("file")
+        assert cg.charged_pages == 0
+        assert not machine.fs.exists("file")

@@ -1,0 +1,238 @@
+"""Workload generator tests: distributions, YCSB, Twitter, GET-SCAN."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.lsm import DbOptions, LsmDb
+from repro.apps.lsm.format import RecordFormat
+from repro.kernel import Machine
+from repro.workloads.distributions import (CdfZipfianGenerator,
+                                           LatestGenerator,
+                                           ScrambledZipfianGenerator,
+                                           UniformGenerator,
+                                           ZipfianGenerator)
+from repro.workloads.getscan import GetScanWorkload
+from repro.workloads.twitter import (CLUSTERS, ClusterKeyStream,
+                                     ClusterProfile, TwitterRunner)
+from repro.workloads.ycsb import (YCSB_WORKLOADS, YcsbRunner, YcsbSpec,
+                                  key_of, load_items)
+
+
+class TestDistributions:
+    def test_uniform_range_and_spread(self):
+        gen = UniformGenerator(100, seed=1)
+        samples = [gen.next() for _ in range(5000)]
+        assert all(0 <= s < 100 for s in samples)
+        assert len(set(samples)) > 90
+
+    def test_zipfian_is_skewed(self):
+        gen = ZipfianGenerator(1000, seed=2)
+        counts = Counter(gen.next() for _ in range(20000))
+        top10 = sum(counts[i] for i in range(10))
+        assert top10 / 20000 > 0.3  # heavy head
+
+    def test_zipfian_rank_order(self):
+        gen = ZipfianGenerator(1000, seed=3)
+        counts = Counter(gen.next() for _ in range(50000))
+        assert counts[0] > counts[100] > counts.get(900, 0)
+
+    def test_zipfian_bounds(self):
+        gen = ZipfianGenerator(50, seed=4)
+        assert all(0 <= gen.next() < 50 for _ in range(2000))
+
+    def test_zipfian_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+    def test_cdf_zipfian_handles_theta_above_one(self):
+        gen = CdfZipfianGenerator(1000, theta=1.2, seed=5)
+        counts = Counter(gen.next() for _ in range(20000))
+        top10 = sum(counts[i] for i in range(10))
+        assert top10 / 20000 > 0.5  # more skewed than theta<1
+
+    def test_scrambled_scatters_hot_keys(self):
+        gen = ScrambledZipfianGenerator(10000, seed=6)
+        hot = Counter(gen.next() for _ in range(20000)).most_common(10)
+        hot_keys = sorted(k for k, _count in hot)
+        gaps = [b - a for a, b in zip(hot_keys, hot_keys[1:])]
+        assert max(gaps) > 100  # not clustered
+
+    def test_scrambled_deterministic_across_instances(self):
+        a = ScrambledZipfianGenerator(1000, seed=7)
+        b = ScrambledZipfianGenerator(1000, seed=7)
+        assert [a.next() for _ in range(50)] == \
+            [b.next() for _ in range(50)]
+
+    def test_latest_tracks_inserts(self):
+        gen = LatestGenerator(100, seed=8)
+        assert max(gen.next() for _ in range(500)) <= 99
+        for _ in range(50):
+            gen.advance()
+        samples = [gen.next() for _ in range(500)]
+        assert max(samples) > 99  # window slid forward
+        assert all(s >= 0 for s in samples)
+
+
+class TestYcsbSpecs:
+    def test_all_specs_sum_to_one(self):
+        assert set(YCSB_WORKLOADS) == {"A", "B", "C", "D", "E", "F",
+                                       "uniform", "uniform-rw"}
+
+    def test_bad_proportions_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbSpec("bad", read=0.5, update=0.2)
+
+    def test_workload_d_uses_latest(self):
+        assert YCSB_WORKLOADS["D"].distribution == "latest"
+
+    def test_key_format_sorts_numerically(self):
+        assert key_of(5) < key_of(50) < key_of(500)
+
+    def test_load_items(self):
+        items = load_items(10)
+        assert len(items) == 10
+        assert items[0][0] == key_of(0)
+
+
+def small_db_env(nkeys=2000, limit=128):
+    machine = Machine()
+    cg = machine.new_cgroup("db", limit_pages=limit)
+    db = LsmDb(machine, cg, options=DbOptions(
+        fmt=RecordFormat(value_size=1000), memtable_entries=128))
+    db.bulk_load(load_items(nkeys))
+    return machine, cg, db
+
+
+class TestYcsbRunner:
+    def test_read_only_workload_counts(self):
+        machine, cg, db = small_db_env()
+        result = YcsbRunner(db, YCSB_WORKLOADS["C"], nkeys=2000,
+                            nops=500).run()
+        assert result.ops == 500
+        assert result.op_counts == {"read": 500}
+        assert result.missing_keys == 0
+        assert len(result.read_latency) == 500
+        assert result.throughput > 0
+
+    def test_mixed_workload_proportions(self):
+        machine, cg, db = small_db_env()
+        result = YcsbRunner(db, YCSB_WORKLOADS["A"], nkeys=2000,
+                            nops=2000).run()
+        reads = result.op_counts.get("read", 0)
+        updates = result.op_counts.get("update", 0)
+        assert reads + updates == 2000
+        assert 0.4 < reads / 2000 < 0.6
+
+    def test_insert_workload_grows_keyspace(self):
+        machine, cg, db = small_db_env()
+        runner = YcsbRunner(db, YCSB_WORKLOADS["D"], nkeys=2000,
+                            nops=1000)
+        result = runner.run()
+        assert runner._insert_counter[0] > 2000
+        assert result.missing_keys == 0
+
+    def test_scan_workload_runs(self):
+        machine, cg, db = small_db_env()
+        result = YcsbRunner(db, YCSB_WORKLOADS["E"], nkeys=2000,
+                            nops=200).run()
+        assert result.op_counts.get("scan", 0) > 150
+
+    def test_warmup_excluded_from_measurement(self):
+        machine, cg, db = small_db_env()
+        result = YcsbRunner(db, YCSB_WORKLOADS["C"], nkeys=2000,
+                            nops=300, warmup_ops=300).run()
+        assert result.ops == 300
+        assert len(result.read_latency) == 300
+
+    def test_multithreaded_runner(self):
+        machine, cg, db = small_db_env()
+        result = YcsbRunner(db, YCSB_WORKLOADS["C"], nkeys=2000,
+                            nops=400, nthreads=4).run()
+        assert result.ops == 400
+
+    def test_determinism(self):
+        outs = []
+        for _ in range(2):
+            machine, cg, db = small_db_env()
+            result = YcsbRunner(db, YCSB_WORKLOADS["B"], nkeys=2000,
+                                nops=400, seed=9).run()
+            outs.append((result.throughput, cg.stats.snapshot()))
+        assert outs[0] == outs[1]
+
+
+class TestTwitter:
+    def test_all_paper_clusters_defined(self):
+        assert set(CLUSTERS) == {17, 18, 24, 34, 52}
+
+    def test_stream_indices_in_range(self):
+        for cluster, profile in CLUSTERS.items():
+            stream = ClusterKeyStream(profile, 1000, seed=3)
+            for _ in range(2000):
+                kind, index = stream.next_op()
+                assert 0 <= index < 1000
+                assert kind in ("read", "update")
+
+    def test_drift_moves_working_set(self):
+        profile = ClusterProfile("drifty", window_frac=0.1,
+                                 drift_per_kop=500, update_frac=0.0)
+        stream = ClusterKeyStream(profile, 10000, seed=4)
+        early = {stream.next_index() for _ in range(500)}
+        for _ in range(20000):
+            stream.next_index()
+        late = {stream.next_index() for _ in range(500)}
+        overlap = len(early & late) / len(early)
+        assert overlap < 0.5
+
+    def test_bursts_die(self):
+        profile = ClusterProfile("bursty", burst_prob=0.05, burst_len=5,
+                                 update_frac=0.0)
+        stream = ClusterKeyStream(profile, 10000, seed=5)
+        seen = [stream.next_index() for _ in range(5000)]
+        counts = Counter(seen)
+        burst_keys = [k for k, c in counts.items() if c == 6]
+        assert burst_keys  # burst = initial touch + burst_len repeats
+
+    def test_runner_measures(self):
+        machine, cg, db = small_db_env()
+        result = TwitterRunner(db, CLUSTERS[52], nkeys=2000, nops=500,
+                               warmup_ops=100).run()
+        assert result.ops == 500
+        assert result.throughput > 0
+
+
+class TestGetScan:
+    def test_mix_ratio(self):
+        machine, cg, db = small_db_env(nkeys=2000, limit=256)
+        workload = GetScanWorkload(db, nkeys=2000, n_gets=1000,
+                                   get_threads=2, scan_threads=1,
+                                   scan_len=100)
+        result = workload.run()
+        assert result.gets == 1000
+        assert result.scans == workload.n_scans
+        assert result.get_throughput > 0
+        assert result.scan_throughput > 0
+
+    def test_scan_tids_recorded(self):
+        machine, cg, db = small_db_env(nkeys=2000, limit=256)
+        workload = GetScanWorkload(db, nkeys=2000, n_gets=200,
+                                   get_threads=1, scan_threads=2,
+                                   scan_len=50)
+        workload.spawn()
+        assert len(workload.scan_tids) == 2
+        machine.run()
+
+    def test_invalid_fadvise_mode(self):
+        machine, cg, db = small_db_env()
+        with pytest.raises(ValueError):
+            GetScanWorkload(db, nkeys=2000, n_gets=10,
+                            fadvise_mode="bogus")
+
+    @pytest.mark.parametrize("mode", ["dontneed", "noreuse",
+                                      "sequential"])
+    def test_fadvise_modes_run(self, mode):
+        machine, cg, db = small_db_env(nkeys=2000, limit=256)
+        result = GetScanWorkload(db, nkeys=2000, n_gets=300,
+                                 get_threads=1, scan_threads=1,
+                                 scan_len=50, fadvise_mode=mode).run()
+        assert result.gets == 300
