@@ -56,8 +56,8 @@ def test_ablation_eviction_batch_size(benchmark, record_table):
         for batch in (1, 8, 32):
             result, env = _run_lfu(batch=batch)
             out.add_row(batch, round(result.throughput, 1),
-                        round(env.cgroup.stats.hook_cpu_us, 1),
-                        round(env.cgroup.stats.hit_ratio, 4))
+                        round(env.cgroup.metrics().stats["hook_cpu_us"], 1),
+                        round(env.cgroup.metrics().hit_ratio, 4))
         return out
 
     result = run_once(benchmark, run)
@@ -78,8 +78,8 @@ def test_ablation_scoring_sample_size(benchmark, record_table):
         for nr_scan in (32, 128, 512):
             result, env = _run_lfu(nr_scan=nr_scan)
             out.add_row(nr_scan, round(result.throughput, 1),
-                        round(env.cgroup.stats.hit_ratio, 4),
-                        round(env.cgroup.stats.hook_cpu_us, 1))
+                        round(env.cgroup.metrics().hit_ratio, 4),
+                        round(env.cgroup.metrics().stats["hook_cpu_us"], 1))
         return out
 
     result = run_once(benchmark, run)
@@ -99,7 +99,7 @@ def test_ablation_registry_validation(benchmark, record_table):
             result, env = _run_lfu(validate=validate)
             out.add_row("on" if validate else "off",
                         round(result.throughput, 1),
-                        round(env.cgroup.stats.hit_ratio, 4))
+                        round(env.cgroup.metrics().hit_ratio, 4))
         return out
 
     result = run_once(benchmark, run)

@@ -51,7 +51,7 @@ def test_extension_eviction_policies(benchmark, record_table):
                               ("arc", make_arc_policy)):
             result, env = _run_kv(factory)
             out.add_row(name, round(result.throughput, 1),
-                        round(env.cgroup.stats.hit_ratio, 4))
+                        round(env.cgroup.metrics().hit_ratio, 4))
         return out
 
     result = run_once(benchmark, run)
@@ -76,7 +76,7 @@ def test_extension_prefetch_hook(benchmark, record_table):
             load_policy(machine, cgroup, make_prefetch_policy(window=32))
         searcher = FileSearcher(machine, files, cgroup, passes=4)
         result = searcher.run()
-        return result.elapsed_us / 1e6, machine.disk.stats.reads
+        return result.elapsed_us / 1e6, machine.metrics().disk["reads"]
 
     def run():
         out = ExperimentResult(

@@ -47,7 +47,7 @@ def main():
         result.add_row("admission-filter" if filtered else "baseline",
                        round(run.throughput, 1),
                        round(run.p99_read_us, 1),
-                       env.cgroup.stats.admission_rejects)
+                       env.cgroup.metrics().stats["admission_rejects"])
     print(result.format_table())
     print("\nThe filter keeps compaction's bulk reads out of the page "
           "cache,\nso the read path's working set survives compaction "

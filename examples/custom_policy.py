@@ -122,11 +122,11 @@ def main():
     print("A custom SIEVE policy in ~40 lines of verified code\n")
     machine, cgroup, f = build()
     run_workload(machine, cgroup, f)
-    print(f"default LRU : hit ratio {cgroup.stats.hit_ratio:6.3f}")
+    print(f"default LRU : hit ratio {cgroup.metrics().hit_ratio:6.3f}")
 
     machine, cgroup, f = build(make_sieve_policy)
     run_workload(machine, cgroup, f)
-    print(f"SIEVE       : hit ratio {cgroup.stats.hit_ratio:6.3f}")
+    print(f"SIEVE       : hit ratio {cgroup.metrics().hit_ratio:6.3f}")
 
     print("\nAnd the verifier protecting the kernel from a bad policy:")
     machine = Machine()

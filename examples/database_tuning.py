@@ -34,7 +34,7 @@ def main():
                          zipf_theta=1.1).run()
         result.add_row(policy, round(run.throughput, 1),
                        round(run.p99_read_us, 1),
-                       round(env.cgroup.stats.hit_ratio, 3))
+                       round(env.cgroup.metrics().hit_ratio, 3))
     print(result.format_table())
     best = max(range(len(result.rows)), key=lambda i: result.rows[i][1])
     print(f"\nbest policy for this workload: {result.rows[best][0]}")

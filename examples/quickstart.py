@@ -6,8 +6,9 @@ This walks the core cache_ext flow from the paper:
 1. boot a simulated machine (kernel + page cache + block device);
 2. create a memory cgroup for an application;
 3. load an eviction policy — a set of verified BPF programs — onto
-   that cgroup;
-4. run a workload and watch the policy change cache behaviour.
+   that cgroup with ``machine.attach``;
+4. run a workload and watch the policy change cache behaviour through
+   the typed ``metrics()`` snapshot (and, optionally, a full trace).
 
 The workload is the paper's Figure 9 pathology: an analytics job that
 repeatedly scans a dataset slightly larger than its memory allowance.
@@ -18,10 +19,15 @@ roughly twice as fast.
 Run it::
 
     python examples/quickstart.py
+    python examples/quickstart.py --trace run.jsonl   # + JSONL trace
+    python -m repro.tools.cachetop run.jsonl          # inspect it
 """
 
-from repro import Machine, load_policy
-from repro.policies import make_mru_policy
+import argparse
+
+from repro import Machine
+from repro.obs import TraceSession
+from repro.policies.mru import MruPolicy
 
 DATASET_PAGES = 96      # dataset size
 CGROUP_PAGES = 64       # ... of which 2/3 fits in memory
@@ -42,7 +48,7 @@ def run_workload(machine, cgroup, f):
     return thread
 
 
-def build_machine(policy_factory=None):
+def build_machine(policy=None):
     machine = Machine()                       # Linux-like kernel substrate
     cgroup = machine.new_cgroup("analytics", limit_pages=CGROUP_PAGES)
 
@@ -51,28 +57,44 @@ def build_machine(policy_factory=None):
         f.store[i] = f"block-{i}"
     f.npages = DATASET_PAGES
 
-    if policy_factory is not None:
-        # The loader verifies every BPF program (no floats, no
-        # unbounded loops, only kfunc/map access) and attaches the
-        # policy to this cgroup only.
-        load_policy(machine, cgroup, policy_factory())
+    if policy is not None:
+        # attach() verifies every BPF program (no floats, no unbounded
+        # loops, only kfunc/map access) and wires the policy to this
+        # cgroup only.
+        machine.attach(cgroup, policy)
     return machine, cgroup, f
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", metavar="FILE",
+                        help="export a JSONL trace of the MRU run "
+                             "(inspect with python -m repro.tools.cachetop)")
+    args = parser.parse_args()
+
     print("cache_ext quickstart: default kernel LRU vs cache_ext MRU\n")
 
     machine, cgroup, f = build_machine()
     thread = run_workload(machine, cgroup, f)
+    base = cgroup.metrics()
     base_ms = thread.clock_us / 1000
-    print(f"default LRU : hit ratio {cgroup.stats.hit_ratio:6.3f}, "
+    print(f"default LRU : hit ratio {base.hit_ratio:6.3f}, "
           f"run time {base_ms:8.1f} ms (simulated)")
 
-    machine, cgroup, f = build_machine(make_mru_policy)
-    thread = run_workload(machine, cgroup, f)
+    machine, cgroup, f = build_machine(MruPolicy())
+    if args.trace:
+        with TraceSession(machine, "cache:*", "block:*",
+                          "cache_ext:*") as session:
+            thread = run_workload(machine, cgroup, f)
+        n = session.save(args.trace)
+        print(f"[trace] {n} events -> {args.trace}")
+    else:
+        thread = run_workload(machine, cgroup, f)
+    mru = cgroup.metrics()
     mru_ms = thread.clock_us / 1000
-    print(f"cache_ext MRU: hit ratio {cgroup.stats.hit_ratio:6.3f}, "
-          f"run time {mru_ms:8.1f} ms (simulated)")
+    print(f"cache_ext MRU: hit ratio {mru.hit_ratio:6.3f}, "
+          f"run time {mru_ms:8.1f} ms (simulated), "
+          f"disk reads {mru.io_read_pages} pages")
 
     print(f"\nspeedup: {base_ms / mru_ms:.2f}x — MRU keeps a stable "
           f"{CGROUP_PAGES}/{DATASET_PAGES} of the dataset resident\n"

@@ -55,6 +55,13 @@ class CacheExtPolicy(ExtPolicyBase):
         #: kfunc calls that returned an error (policy bug indicator).
         self.kfunc_errors = 0
         self.attached = False
+        # Cached tracepoints (repro.obs): one attribute load + branch
+        # per dispatch when tracing is off.
+        trace = machine.trace
+        self._tp_hook_entry = trace.tracepoint("cache_ext:hook_entry")
+        self._tp_hook_exit = trace.tracepoint("cache_ext:hook_exit")
+        self._tp_kfunc_error = trace.tracepoint("cache_ext:kfunc_error")
+        self._tp_watchdog = trace.tracepoint("cache_ext:watchdog_detach")
 
     # ------------------------------------------------------------------
     # cost accounting
@@ -73,6 +80,53 @@ class CacheExtPolicy(ExtPolicyBase):
         self._charge(self.machine.costs.kfunc_op_us)
 
     # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def _trace_point(self) -> tuple:
+        thread = current_thread()
+        if thread is not None:
+            return thread.clock_us, thread.tid
+        return self.machine.engine.now_us, 0
+
+    def _hook_entry(self, slot: str):
+        """Emit ``cache_ext:hook_entry``; returns the hook-CPU baseline
+        consumed by the matching :meth:`_hook_exit` (``None`` when both
+        hook tracepoints are disabled, so the common case costs two
+        attribute loads and a branch)."""
+        if not (self._tp_hook_entry.enabled or self._tp_hook_exit.enabled):
+            return None
+        ts, tid = self._trace_point()
+        tp = self._tp_hook_entry
+        if tp.enabled:
+            tp.emit(ts, self.memcg.name, tid, slot=slot, policy=self.name)
+        return self.memcg.stats.hook_cpu_us
+
+    def _hook_exit(self, slot: str, cpu_base) -> None:
+        """Emit ``cache_ext:hook_exit`` with the CPU charged between
+        entry and exit (hook dispatch plus every kfunc the program
+        ran)."""
+        if cpu_base is None:
+            return
+        tp = self._tp_hook_exit
+        if tp.enabled:
+            ts, tid = self._trace_point()
+            tp.emit(ts, self.memcg.name, tid, slot=slot, policy=self.name,
+                    cpu_us=self.memcg.stats.hook_cpu_us - cpu_base)
+
+    def note_kfunc_error(self, code: int, kfunc: str) -> None:
+        """Record one kfunc error return: bumps the per-policy counter
+        (kept for backwards compatibility), the cgroup and machine
+        ``kfunc_errors`` stats, and emits ``cache_ext:kfunc_error``."""
+        self.kfunc_errors += 1
+        self.memcg.stats.kfunc_errors += 1
+        self.machine.page_cache.stats.kfunc_errors += 1
+        tp = self._tp_kfunc_error
+        if tp.enabled:
+            ts, tid = self._trace_point()
+            tp.emit(ts, self.memcg.name, tid, kfunc=kfunc, code=code,
+                    policy=self.name)
+
+    # ------------------------------------------------------------------
     # watchdog
     # ------------------------------------------------------------------
     def _run_prog(self, prog, *args, default=None):
@@ -87,17 +141,24 @@ class CacheExtPolicy(ExtPolicyBase):
         """
         try:
             return prog(*args)
-        except Exception:
+        except Exception as exc:
             self.memcg.stats.ext_policy_faults += 1
             self.machine.page_cache.stats.ext_policy_faults += 1
-            self._watchdog_detach()
+            self._watchdog_detach(reason=type(exc).__name__)
             return default
 
-    def _watchdog_detach(self) -> None:
+    def _watchdog_detach(self, reason: str = "fault") -> None:
         """Forcibly remove this policy (kernel-side, no loader help)."""
         if self.memcg.ext_policy is self:
             self.memcg.ext_policy = None
         self.attached = False
+        self.memcg.stats.watchdog_detaches += 1
+        self.machine.page_cache.stats.watchdog_detaches += 1
+        tp = self._tp_watchdog
+        if tp.enabled:
+            ts, tid = self._trace_point()
+            tp.emit(ts, self.memcg.name, tid, policy=self.name,
+                    reason=reason)
         handle = getattr(self, "_struct_ops_handle", None)
         if handle is not None:
             self.machine.struct_ops.unregister(handle)
@@ -122,19 +183,24 @@ class CacheExtPolicy(ExtPolicyBase):
     def admit(self, mapping: AddressSpace, index: int) -> bool:
         if self.ops.admit is None:
             return True
+        cpu = self._hook_entry("admit")
         self.charge_hook()
         thread = current_thread()
         tid = thread.tid if thread is not None else 0
-        return bool(self._run_prog(self.ops.admit, mapping.file_id,
-                                   index, tid, default=1))
+        verdict = bool(self._run_prog(self.ops.admit, mapping.file_id,
+                                      index, tid, default=1))
+        self._hook_exit("admit", cpu)
+        return verdict
 
     def readahead_hint(self, mapping: AddressSpace, index: int,
                        seq_streak: int):
         if self.ops.readahead is None:
             return None
+        cpu = self._hook_entry("readahead")
         self.charge_hook()
         pages = self._run_prog(self.ops.readahead, mapping.file_id,
                                index, seq_streak)
+        self._hook_exit("readahead", cpu)
         if not isinstance(pages, int) or pages < 0:
             return None  # malformed hint: keep the kernel heuristic
         return pages
@@ -142,14 +208,18 @@ class CacheExtPolicy(ExtPolicyBase):
     def folio_added(self, folio: Folio) -> None:
         # Registry first (memory safety), then the policy's program.
         self.registry.insert(folio)
+        cpu = self._hook_entry("folio_added")
         self.charge_hook()
         if self.ops.folio_added is not None:
             self._run_prog(self.ops.folio_added, folio)
+        self._hook_exit("folio_added", cpu)
 
     def folio_accessed(self, folio: Folio) -> None:
+        cpu = self._hook_entry("folio_accessed")
         self.charge_hook()
         if self.ops.folio_accessed is not None:
             self._run_prog(self.ops.folio_accessed, folio)
+        self._hook_exit("folio_accessed", cpu)
 
     def folio_removed(self, folio: Folio) -> None:
         # Kernel-side cleanup: detach the folio's eviction-list node and
@@ -159,16 +229,20 @@ class CacheExtPolicy(ExtPolicyBase):
         if node is not None and node.owner is not None:
             node.owner.remove(node)
         folio.ext_node = None
+        cpu = self._hook_entry("folio_removed")
         self.charge_hook()
         if self.ops.folio_removed is not None:
             self._run_prog(self.ops.folio_removed, folio)
+        self._hook_exit("folio_removed", cpu)
 
     def propose_candidates(self, nr: int) -> list[Folio]:
         if self.ops.evict_folios is None:
             return []
         ctx = EvictionCtx(nr)
+        cpu = self._hook_entry("evict_folios")
         self.charge_hook()
         self._run_prog(self.ops.evict_folios, ctx, self.memcg)
+        self._hook_exit("evict_folios", cpu)
         return list(ctx.candidates)
 
     def holds_reference(self, folio: Folio) -> bool:

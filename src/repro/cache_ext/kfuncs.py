@@ -66,6 +66,23 @@ def _policy_of_folio(folio):
     return _policy_of_memcg(folio.memcg)
 
 
+def _fail(policy, code: int, kfunc: str) -> int:
+    """Return ``code`` after recording the error against ``policy``.
+
+    Error returns are the policy-bug signal the paper's §4.4 hardening
+    produces; when the faulting policy is identifiable we count the
+    error on its cgroup stats and trace stream
+    (:meth:`CacheExtPolicy.note_kfunc_error`).  Calls with no
+    resolvable policy (bad memcg/folio argument) return silently — as
+    in the kernel, there is nowhere to account them.
+    """
+    if policy is not None:
+        note = getattr(policy, "note_kfunc_error", None)
+        if note is not None:
+            note(code, kfunc)
+    return code
+
+
 # ----------------------------------------------------------------------
 # list management
 # ----------------------------------------------------------------------
@@ -97,10 +114,10 @@ def list_add(list_id: int, folio, tail: bool = True) -> int:
         return EINVAL
     lst = _owned_list(policy, list_id)
     if lst is None:
-        return EPERM
+        return _fail(policy, EPERM, "list_add")
     policy.charge_kfunc()
     if not attach_folio(lst, folio, tail):
-        return ENOENT
+        return _fail(policy, ENOENT, "list_add")
     return 0
 
 
@@ -112,7 +129,7 @@ def list_del(folio) -> int:
         return EINVAL
     policy.charge_kfunc()
     if not detach_folio(policy, folio):
-        return ENOENT
+        return _fail(policy, ENOENT, "list_del")
     return 0
 
 
@@ -152,16 +169,18 @@ def list_iterate(memcg, list_id: int, callback, ctx,
     Returns the number of candidates appended, or a negative errno.
     """
     policy = _policy_of_memcg(memcg)
-    if policy is None or not isinstance(ctx, EvictionCtx):
+    if policy is None:
         return EINVAL
+    if not isinstance(ctx, EvictionCtx):
+        return _fail(policy, EINVAL, "list_iterate")
     lst = _owned_list(policy, list_id)
     if lst is None:
-        return EPERM
+        return _fail(policy, EPERM, "list_iterate")
     dst = None
     if dst_list:
         dst = _owned_list(policy, dst_list)
         if dst is None:
-            return EPERM
+            return _fail(policy, EPERM, "list_iterate")
     want = ctx.nr_candidates_requested - ctx.nr_candidates_proposed
     if want <= 0:
         return 0
@@ -170,7 +189,7 @@ def list_iterate(memcg, list_id: int, callback, ctx,
         return _iterate_simple(policy, lst, callback, ctx, limit, dst)
     if mode == MODE_SCORING:
         return _iterate_scoring(policy, lst, callback, ctx, limit, want)
-    return EINVAL
+    return _fail(policy, EINVAL, "list_iterate")
 
 
 def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
@@ -190,7 +209,7 @@ def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
             lst.move_to_tail(node)
         elif verdict == ITER_MOVE:
             if dst is None:
-                return EINVAL
+                return _fail(policy, EINVAL, "list_iterate")
             dst.move_to_tail(node)
         elif verdict == ITER_ROTATE:
             lst.move_to_tail(node)
@@ -213,7 +232,7 @@ def _iterate_scoring(policy, lst: EvictionList, callback, ctx: EvictionCtx,
         policy.charge_kfunc()
         score = callback(position, node.item)
         if not isinstance(score, int):
-            return EINVAL
+            return _fail(policy, EINVAL, "list_iterate")
         scored.append((score, position))
         nodes.append(node)
         node = nxt

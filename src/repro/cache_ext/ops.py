@@ -9,9 +9,11 @@ falls back to the kernel), and the admission filter of §5.6 fills only
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Union
 
+from repro.ebpf.maps import BpfMap
 from repro.ebpf.runtime import BpfProgram
 from repro.ebpf.struct_ops import StructOpsSpec
 from repro.kernel.folio import Folio
@@ -80,6 +82,56 @@ class CacheExtOps:
     def loaded_programs(self) -> list[BpfProgram]:
         return [p for p in self.programs().values() if p is not None]
 
+    # ------------------------------------------------------------------
+    # declarative authoring (PolicyBuilder decorators)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def slot(arg: Union[Callable, str, None] = None, *,
+             allow_loops: bool = False):
+        """Declare a :class:`PolicyBuilder` method as an ops-slot program.
+
+        Bare form names the slot after the method (which must then be a
+        real ``cache_ext_ops`` slot); the called form maps any method
+        name onto a slot::
+
+            @CacheExtOps.slot                    # slot "folio_added"
+            def folio_added(self, folio): ...
+
+            @CacheExtOps.slot("evict_folios")    # explicit slot
+            def pick_victims(self, ctx, memcg): ...
+
+        The method body is verified under the same BPF restrictions as
+        a ``@bpf_program`` function; reads/writes of ``self``
+        attributes model array-map-backed BPF globals (a ``.bss`` map).
+        """
+        if callable(arg):  # bare @CacheExtOps.slot
+            return _SlotProgram(arg, slot=arg.__name__,
+                                allow_loops=allow_loops)
+        slot_name = arg
+
+        def wrap(fn: Callable) -> "_SlotProgram":
+            return _SlotProgram(fn, slot=slot_name or fn.__name__,
+                                allow_loops=allow_loops)
+        return wrap
+
+    @staticmethod
+    def program(arg: Optional[Callable] = None, *,
+                allow_loops: bool = False):
+        """Declare a :class:`PolicyBuilder` method as a non-slot BPF
+        program — a callback passed to kfuncs (``list_iterate``
+        selectors) or a syscall program, not wired to an ops slot::
+
+            @CacheExtOps.program
+            def select(self, i, folio):
+                return ITER_EVICT
+        """
+        if callable(arg):
+            return _SlotProgram(arg, slot=None, allow_loops=allow_loops)
+
+        def wrap(fn: Callable) -> "_SlotProgram":
+            return _SlotProgram(fn, slot=None, allow_loops=allow_loops)
+        return wrap
+
 
 class EvictionCtx:
     """``struct eviction_ctx``: the kernel's request for candidates.
@@ -110,3 +162,157 @@ class EvictionCtx:
             return False
         self.candidates.append(folio)
         return True
+
+
+class _SlotProgram:
+    """Descriptor produced by :meth:`CacheExtOps.slot` / ``.program``.
+
+    On first access through a :class:`PolicyBuilder` instance it wraps
+    the *bound* method in a :class:`~repro.ebpf.runtime.BpfProgram` and
+    caches it in the instance ``__dict__`` (a non-data descriptor, so
+    the cached program wins subsequent lookups).  Each builder instance
+    therefore owns its own program objects and invocation counters —
+    one instance corresponds to one load of the policy object file.
+    """
+
+    def __init__(self, fn: Callable, slot: Optional[str],
+                 allow_loops: bool = False) -> None:
+        if slot is not None and slot not in CACHE_EXT_OPS_SPEC.all_slots:
+            raise ValueError(
+                f"{fn.__name__!r}: {slot!r} is not a cache_ext_ops slot "
+                f"(slots: {', '.join(CACHE_EXT_OPS_SPEC.all_slots)}); "
+                f"use @CacheExtOps.program for helper callbacks")
+        self.fn = fn
+        self.slot = slot
+        self.allow_loops = allow_loops
+        self.attr_name = fn.__name__
+        functools.update_wrapper(self, fn)
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.attr_name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        prog = BpfProgram(self.fn.__get__(obj, objtype),
+                          allow_loops=self.allow_loops,
+                          name=self.attr_name)
+        obj.__dict__[self.attr_name] = prog
+        return prog
+
+
+#: Instance-attribute types a PolicyBuilder may hold: the analogue of
+#: what a BPF object file can keep in maps and global data.
+_BSS_TYPES = (int, str, bool, BpfMap, BpfProgram)
+
+
+class PolicyBuilder:
+    """Class-based declarative policy authoring.
+
+    Subclass, decorate methods with :meth:`CacheExtOps.slot` /
+    :meth:`CacheExtOps.program`, keep state in instance attributes
+    (ints/strings model array-map-backed globals; real
+    :class:`~repro.ebpf.maps.BpfMap` objects are fine too), then either
+    call :meth:`build` for a plain :class:`CacheExtOps` or hand the
+    builder straight to :meth:`repro.kernel.machine.Machine.attach`::
+
+        class Mru(PolicyBuilder):
+            def __init__(self, skip=8):
+                self.mru_list = 0
+                self.skip = skip
+
+            @CacheExtOps.slot
+            def policy_init(self, memcg):
+                lst = list_create(memcg)
+                if lst < 0:
+                    return lst
+                self.mru_list = lst
+                return 0
+
+            @CacheExtOps.slot
+            def folio_added(self, folio):
+                list_add(self.mru_list, folio, False)
+
+            @CacheExtOps.program
+            def select(self, i, folio):
+                if i < self.skip:
+                    return ITER_SKIP
+                return ITER_EVICT
+
+            @CacheExtOps.slot
+            def evict_folios(self, ctx, memcg):
+                list_iterate(memcg, self.mru_list, self.select,
+                             ctx, MODE_SIMPLE)
+
+        machine.attach("analytics", Mru(skip=4))
+
+    Program bodies face the full BPF verifier; ``self`` attribute loads
+    and stores are permitted because they model map-backed global
+    state, and :meth:`build` rejects any instance attribute whose type
+    a BPF object file could not actually hold (no floats, no arbitrary
+    Python objects).
+
+    One builder instance corresponds to one loaded policy (its
+    attributes are that load's map contents); attach a fresh instance
+    per cgroup, exactly as the ``make_*_policy`` factories build fresh
+    closures per call.
+    """
+
+    #: Policy name; defaults to the subclass name lowercased.
+    name: Optional[str] = None
+    #: Userspace-visible maps (pinned maps), forwarded to
+    #: :attr:`CacheExtOps.user_maps`.
+    user_maps: Optional[dict] = None
+
+    def build(self) -> CacheExtOps:
+        """Collect slot programs and produce a :class:`CacheExtOps`.
+
+        Raises :class:`~repro.ebpf.errors.VerificationError` if two
+        methods claim the same slot in one class, or if instance state
+        is not representable as BPF map data.
+        """
+        from repro.ebpf.errors import VerificationError
+
+        policy_name = self.name or type(self).__name__.lower()
+        slots: dict[str, BpfProgram] = {}
+        findings: list[str] = []
+        for klass in type(self).__mro__:
+            local: dict[str, str] = {}
+            for attr, member in vars(klass).items():
+                if not isinstance(member, _SlotProgram) \
+                        or member.slot is None:
+                    continue
+                if member.slot in local:
+                    findings.append(
+                        f"slot {member.slot!r} claimed by both "
+                        f"{local[member.slot]!r} and {attr!r} in "
+                        f"{klass.__name__}")
+                    continue
+                local[member.slot] = attr
+                if member.slot not in slots:
+                    slots[member.slot] = getattr(self, attr)
+        findings.extend(self._state_findings())
+        if findings:
+            raise VerificationError(policy_name, findings)
+        return CacheExtOps(name=policy_name,
+                           user_maps=dict(self.user_maps or {}),
+                           **slots)
+
+    def _state_findings(self) -> list[str]:
+        """Check instance attributes are BPF-representable state."""
+        findings = []
+        for attr, value in vars(self).items():
+            if attr == "user_maps" or value is None:
+                continue
+            if isinstance(value, float) and not isinstance(value, int):
+                findings.append(
+                    f"instance attribute {attr!r} holds a float "
+                    f"(eBPF has no floats; use fixed-point integers)")
+            elif not (isinstance(value, _BSS_TYPES)
+                      or getattr(value, "__bpf_map__", False)):
+                findings.append(
+                    f"instance attribute {attr!r} holds "
+                    f"{type(value).__name__}, which BPF map data cannot "
+                    f"represent (allowed: int/str/bool, BpfMap, "
+                    f"BpfProgram)")
+        return findings

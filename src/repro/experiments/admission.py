@@ -11,7 +11,6 @@ throughput is roughly unchanged because compaction is infrequent.
 
 from __future__ import annotations
 
-from repro.cache_ext import load_policy
 from repro.experiments.harness import ExperimentResult, make_db_env
 from repro.policies.admission import make_admission_filter_policy
 from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
@@ -33,7 +32,7 @@ def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
                       db_options=DbOptions(memtable_entries=256))
     if filtered:
         ops = make_admission_filter_policy()
-        load_policy(env.machine, env.cgroup, ops)
+        env.machine.attach(env.cgroup, ops)
         tid_map = ops.user_maps["compaction_tids"]
         for thread in env.db.compaction_threads:
             tid_map.update(thread.tid, 1)
@@ -53,11 +52,12 @@ def run(quick: bool = False, scale: dict = None) -> ExperimentResult:
                  "admission_rejects", "hit_ratio"])
     for filtered in (False, True):
         result, env = run_one(filtered, **params)
+        metrics = env.cgroup.metrics()
         out.add_row("admission-filter" if filtered else "baseline",
                     round(result.throughput, 1),
                     round(result.p99_read_us, 1),
-                    env.cgroup.stats.admission_rejects,
-                    round(env.cgroup.stats.hit_ratio, 4))
+                    metrics.stats["admission_rejects"],
+                    round(metrics.hit_ratio, 4))
     out.notes.append(
         "paper: P99 -17% (2.61ms -> 2.16ms), throughput ~unchanged")
     return out

@@ -86,7 +86,7 @@ def run(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
         out.add_row(label, round(result.get_throughput, 1),
                     round(result.get_p99_us, 1),
                     round(result.scan_throughput, 3),
-                    round(env.cgroup.stats.hit_ratio, 4))
+                    round(env.cgroup.metrics().hit_ratio, 4))
     out.notes.append(
         "paper: cache_ext GET-SCAN +70% GET throughput, -57% GET P99, "
         "-18% SCAN throughput; fadvise options do not help; MGLRU "

@@ -74,11 +74,12 @@ def run(quick: bool = False,
     for workload in workloads:
         for policy in policies:
             result, env = run_one(policy, workload, **params)
+            metrics = env.machine.metrics()
             out.add_row(workload, policy,
                         round(result.throughput, 1),
                         round(result.p99_read_us, 1),
-                        round(env.cgroup.stats.hit_ratio, 4),
-                        env.machine.disk.stats.total_pages)
+                        round(metrics.cgroup(env.cgroup.name).hit_ratio, 4),
+                        metrics.disk["total_pages"])
     out.notes.append(
         f"scale: {params} (paper: 100 GiB DB / 10 GiB cgroup, same "
         f"10:1 ratio)")

@@ -49,7 +49,7 @@ def run(quick: bool = False,
         points = []
         for policy in policies:
             result, env = fig6.run_one(policy, workload, **params)
-            pages = env.machine.disk.stats.total_pages
+            pages = env.machine.metrics().disk["total_pages"]
             out.add_row(workload, policy, round(result.throughput, 1),
                         pages, round(pages * 4096 / 2**20, 1))
             points.append((result.throughput, pages))

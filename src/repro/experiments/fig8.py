@@ -52,7 +52,7 @@ def run(quick: bool = False,
         for policy in policies:
             result, env = run_one(policy, cluster, **params)
             out.add_row(cluster, policy, round(result.throughput, 1),
-                        round(env.cgroup.stats.hit_ratio, 4))
+                        round(env.cgroup.metrics().hit_ratio, 4))
             if result.throughput > best[1]:
                 best = (policy, result.throughput)
         winners[cluster] = best[0]

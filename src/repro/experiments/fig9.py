@@ -53,9 +53,10 @@ def run(quick: bool = False,
         if policy == "default":
             baseline = seconds
         speedup = (baseline / seconds) if baseline else 0.0
+        metrics = machine.metrics()
         out.add_row(policy, round(seconds, 2),
-                    round(cgroup.stats.hit_ratio, 4),
-                    machine.disk.stats.total_pages,
+                    round(metrics.cgroup(cgroup.name).hit_ratio, 4),
+                    metrics.disk["total_pages"],
                     round(speedup, 2))
     out.notes.append("paper: MRU ~2x faster than default and MGLRU")
     return out

@@ -17,7 +17,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.apps.lsm import DbOptions, LsmDb
-from repro.cache_ext import load_policy
 from repro.cache_ext.ops import CacheExtOps
 from repro.kernel import Machine
 from repro.kernel.cgroup import MemCgroup
@@ -85,7 +84,7 @@ def attach_policy(machine: Machine, cgroup: MemCgroup, policy: str,
         ops = make_userspace_dispatch_policy()
     else:
         raise ValueError(f"unknown policy {policy!r}")
-    load_policy(machine, cgroup, ops)
+    machine.attach(cgroup, ops)
     if policy == "userspace":
         spawn_drainer(machine, ops)
     return ops

@@ -1,10 +1,12 @@
 """Lines-of-code accounting for Table 3.
 
 The paper reports, per policy, the lines of eBPF code versus userspace
-loader code.  The equivalent split here: lines inside
-``@bpf_program``-decorated functions (the restricted, verified policy
-logic) versus the remaining executable lines of the policy module
-(map construction, CacheExtOps assembly, loader/agent helpers).
+loader code.  The equivalent split here: lines inside BPF-decorated
+functions — ``@bpf_program`` or the class-based
+``@CacheExtOps.slot`` / ``@CacheExtOps.program`` forms — (the
+restricted, verified policy logic) versus the remaining executable
+lines of the policy module (map construction, CacheExtOps assembly,
+loader/agent helpers).
 
 Counting rules: blank lines, comments, and docstrings are excluded
 from both sides, mirroring how `cloc`-style counts were presumably
@@ -46,6 +48,18 @@ def _code_lines(source: str, tree: ast.AST) -> set:
             and not raw[ln - 1].lstrip().startswith("#")}
 
 
+def _is_bpf_decorator(node: ast.AST) -> bool:
+    """``@bpf_program`` (bare or called) or the PolicyBuilder forms
+    ``@CacheExtOps.slot`` / ``@CacheExtOps.program`` (bare or called)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id == "bpf_program"
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("slot", "program")
+    return False
+
+
 @dataclass
 class LocBreakdown:
     policy: str
@@ -67,11 +81,7 @@ def count_policy_loc(module, policy_name: str) -> LocBreakdown:
     for node in ast.walk(tree):
         if not isinstance(node, ast.FunctionDef):
             continue
-        decorated = any(
-            (isinstance(d, ast.Name) and d.id == "bpf_program")
-            or (isinstance(d, ast.Call) and isinstance(d.func, ast.Name)
-                and d.func.id == "bpf_program")
-            for d in node.decorator_list)
+        decorated = any(_is_bpf_decorator(d) for d in node.decorator_list)
         if decorated:
             bpf_lines.update(range(node.lineno, node.end_lineno + 1))
     bpf_code = all_lines & bpf_lines

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.obs.trace import NULL_TRACEPOINT
 from repro.sim.engine import SimThread, current_thread
-from repro.sim.resources import Disk
+from repro.sim.resources import Disk, IoCompletion
 
 
 @dataclass
@@ -26,39 +28,71 @@ class CgroupIoStats:
 
 
 class BlockDevice(Disk):
-    """A :class:`Disk` that also keeps per-cgroup page counters."""
+    """A :class:`Disk` that also keeps per-cgroup page counters and
+    emits ``block:io_issue`` / ``block:io_complete`` tracepoints (the
+    ``block_rq_issue`` / ``block_rq_complete`` analogues, with queue
+    depth and experienced latency in the payload)."""
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
         self.per_cgroup: dict[int, CgroupIoStats] = defaultdict(CgroupIoStats)
+        self._tp_issue = NULL_TRACEPOINT
+        self._tp_complete = NULL_TRACEPOINT
+
+    def attach_trace(self, registry) -> None:
+        """Cache block tracepoints from a machine's registry."""
+        self._tp_issue = registry.tracepoint("block:io_issue")
+        self._tp_complete = registry.tracepoint("block:io_complete")
 
     def _cgroup_id(self, thread: SimThread) -> int:
         if thread is not None and thread.cgroup is not None:
             return thread.cgroup.id
         return 0
 
+    def _trace_io(self, thread: SimThread, op: str, npages: int,
+                  completion: IoCompletion) -> None:
+        cgroup = (thread.cgroup.name if thread.cgroup is not None
+                  else "root")
+        tp = self._tp_issue
+        if tp.enabled:
+            tp.emit(completion.issue_us, cgroup, thread.tid, op=op,
+                    pages=npages, queue_depth=completion.queue_depth)
+        tp = self._tp_complete
+        if tp.enabled:
+            tp.emit(completion.done_us, cgroup, thread.tid, op=op,
+                    pages=npages, latency_us=completion.latency_us,
+                    wait_us=completion.wait_us,
+                    service_us=completion.service_us,
+                    queue_depth=completion.queue_depth)
+
     def read(self, thread: SimThread, npages: int = 1,
-             contiguous: bool = False) -> None:
+             contiguous: bool = False) -> Optional[IoCompletion]:
         if thread is None:
             thread = current_thread()
         if thread is not None:
-            super().read(thread, npages, contiguous)
+            completion = super().read(thread, npages, contiguous)
             self.per_cgroup[self._cgroup_id(thread)].read_pages += npages
-        else:
-            # Outside the engine (unit tests): account, no timing.
-            self.stats.reads += 1
-            self.stats.read_pages += npages
+            if self._tp_issue.enabled or self._tp_complete.enabled:
+                self._trace_io(thread, "read", npages, completion)
+            return completion
+        # Outside the engine (unit tests): account, no timing.
+        self.stats.reads += 1
+        self.stats.read_pages += npages
+        return None
 
     def write(self, thread: SimThread, npages: int = 1,
-              contiguous: bool = False) -> None:
+              contiguous: bool = False) -> Optional[IoCompletion]:
         if thread is None:
             thread = current_thread()
         if thread is not None:
-            super().write(thread, npages, contiguous)
+            completion = super().write(thread, npages, contiguous)
             self.per_cgroup[self._cgroup_id(thread)].write_pages += npages
-        else:
-            self.stats.writes += 1
-            self.stats.write_pages += npages
+            if self._tp_issue.enabled or self._tp_complete.enabled:
+                self._trace_io(thread, "write", npages, completion)
+            return completion
+        self.stats.writes += 1
+        self.stats.write_pages += npages
+        return None
 
     def cgroup_io(self, cgroup_id: int) -> CgroupIoStats:
         return self.per_cgroup[cgroup_id]

@@ -58,6 +58,10 @@ class MemCgroup:
         #: Eviction clock for workingset shadow entries: increments on
         #: every eviction from this cgroup.
         self.eviction_clock = 0
+        #: Owning machine, set by :meth:`repro.kernel.machine.Machine.
+        #: new_cgroup`; ``None`` for cgroups built outside a machine
+        #: (some unit tests).  Enables :meth:`metrics`.
+        self._machine = None
 
     # ------------------------------------------------------------------
     # charging
@@ -83,6 +87,23 @@ class MemCgroup:
         if self.limit_pages is None:
             return 0
         return max(0, self.charged_pages - self.limit_pages)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics(self):
+        """One typed snapshot of this cgroup: cache counters, block
+        I/O, and attached-policy health — the accessor that replaces
+        digging through ``cgroup.stats`` / ``machine.disk`` / the
+        framework object separately.  See :mod:`repro.obs.metrics`.
+        """
+        if self._machine is None:
+            raise RuntimeError(
+                f"cgroup {self.name!r} is not owned by a Machine; "
+                f"create cgroups with Machine.new_cgroup() to use "
+                f"metrics()")
+        from repro.obs.metrics import snapshot_cgroup
+        return snapshot_cgroup(self._machine, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         lim = "max" if self.limit_pages is None else str(self.limit_pages)

@@ -15,8 +15,29 @@ from repro.kernel.block import BlockDevice
 from repro.kernel.cgroup import MemCgroup
 from repro.kernel.page_cache import PageCache
 from repro.kernel.vfs import Filesystem
+from repro.obs.metrics import CgroupMetrics, MachineMetrics, \
+    snapshot_cgroup, snapshot_machine
+from repro.obs.trace import TraceRegistry
 from repro.sim.engine import Engine, SimThread
 from repro.sim.resources import CpuCosts
+
+#: Every tracepoint the kernel layers emit, declared up front so a
+#: :class:`~repro.obs.trace.TraceSession` can pattern-match the full
+#: event surface before anything fires (tracefs ``available_events``).
+#: DESIGN.md maps each name to its real-kernel analogue.
+KERNEL_TRACEPOINTS = (
+    # page cache (mm_filemap_* / writeback / workingset tracepoints)
+    "cache:lookup", "cache:insert", "cache:evict", "cache:refault",
+    "cache:activation", "cache:admission_reject", "cache:writeback",
+    # block layer (block_rq_issue / block_rq_complete)
+    "block:io_issue", "block:io_complete",
+    # cache_ext framework (the BPF-runtime observability hooks)
+    "cache_ext:hook_entry", "cache_ext:hook_exit",
+    "cache_ext:kfunc_error", "cache_ext:watchdog_detach",
+    "cache_ext:fallback_eviction",
+    # virtual-time scheduler (sched:sched_switch / sched_process_exit)
+    "sched:switch", "sched:exit",
+)
 
 
 class Machine:
@@ -40,6 +61,13 @@ class Machine:
         self.engine = Engine()
         self.costs = costs if costs is not None else CpuCosts()
         self.disk = disk if disk is not None else BlockDevice()
+        #: The machine's tracepoint namespace (disabled by default;
+        #: attach a :class:`~repro.obs.trace.TraceSession` to consume).
+        self.trace = TraceRegistry()
+        for name in KERNEL_TRACEPOINTS:
+            self.trace.tracepoint(name)
+        self.engine.attach_trace(self.trace)
+        self.disk.attach_trace(self.trace)
         self.page_cache = PageCache(self)
         self.fs = Filesystem(self)
         self.struct_ops = StructOpsRegistry()
@@ -47,6 +75,7 @@ class Machine:
         self.root_cgroup = MemCgroup("root", limit_pages=None)
         self.root_cgroup.kernel_policy = PageCache.make_kernel_policy(
             kernel_policy, self.root_cgroup)
+        self.root_cgroup._machine = self
         self._cgroups: dict[str, MemCgroup] = {"root": self.root_cgroup}
 
     # ------------------------------------------------------------------
@@ -61,6 +90,7 @@ class Machine:
                           parent=self.root_cgroup)
         kind = kernel_policy or self.default_kernel_policy
         memcg.kernel_policy = PageCache.make_kernel_policy(kind, memcg)
+        memcg._machine = self
         self._cgroups[name] = memcg
         return memcg
 
@@ -69,6 +99,53 @@ class Machine:
 
     def cgroups(self) -> list[MemCgroup]:
         return list(self._cgroups.values())
+
+    # ------------------------------------------------------------------
+    # policies
+    # ------------------------------------------------------------------
+    def attach(self, cgroup, ops) -> "object":
+        """Attach an eviction policy to a cgroup (the one-call API).
+
+        ``cgroup`` may be a :class:`MemCgroup` or a cgroup name;
+        ``ops`` may be a ready :class:`~repro.cache_ext.ops.CacheExtOps`,
+        a :class:`~repro.cache_ext.ops.PolicyBuilder` instance, or a
+        ``PolicyBuilder`` subclass (instantiated with defaults)::
+
+            machine.attach("analytics", MruPolicy(skip=4))
+
+        Returns the live :class:`~repro.cache_ext.framework.CacheExtPolicy`.
+        """
+        from repro.cache_ext.loader import load_policy
+        from repro.cache_ext.ops import PolicyBuilder
+        if isinstance(cgroup, str):
+            cgroup = self.cgroup(cgroup)
+        if isinstance(ops, type) and issubclass(ops, PolicyBuilder):
+            ops = ops()
+        if isinstance(ops, PolicyBuilder):
+            ops = ops.build()
+        return load_policy(self, cgroup, ops)
+
+    def detach(self, cgroup) -> None:
+        """Detach ``cgroup``'s policy; kernel lists take over eviction."""
+        from repro.cache_ext.loader import unload_policy
+        if isinstance(cgroup, str):
+            cgroup = self.cgroup(cgroup)
+        if cgroup.ext_policy is None:
+            raise ValueError(f"cgroup {cgroup.name!r} has no policy")
+        unload_policy(cgroup.ext_policy)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> MachineMetrics:
+        """One typed snapshot of the whole machine (stats + I/O +
+        per-cgroup policy health); see :mod:`repro.obs.metrics`."""
+        return snapshot_machine(self)
+
+    def cgroup_metrics(self, cgroup) -> CgroupMetrics:
+        if isinstance(cgroup, str):
+            cgroup = self.cgroup(cgroup)
+        return snapshot_cgroup(self, cgroup)
 
     # ------------------------------------------------------------------
     # threads

@@ -83,6 +83,17 @@ class PageCache:
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
         self.stats = CacheStats()
+        # Cached tracepoints (repro.obs): the hot-path pattern is one
+        # attribute load + branch per event site when tracing is off.
+        trace = machine.trace
+        self._tp_lookup = trace.tracepoint("cache:lookup")
+        self._tp_insert = trace.tracepoint("cache:insert")
+        self._tp_evict = trace.tracepoint("cache:evict")
+        self._tp_refault = trace.tracepoint("cache:refault")
+        self._tp_activation = trace.tracepoint("cache:activation")
+        self._tp_admission_reject = trace.tracepoint("cache:admission_reject")
+        self._tp_writeback = trace.tracepoint("cache:writeback")
+        self._tp_fallback = trace.tracepoint("cache_ext:fallback_eviction")
         #: Ablation switch for §4.4's safety/overhead trade-off: when
         #: False, candidate folios skip the registry lookup (pin and
         #: residency checks remain — the simulator must not crash).
@@ -106,6 +117,13 @@ class PageCache:
         if thread is not None and thread.cgroup is not None:
             return thread.cgroup
         return self.machine.root_cgroup
+
+    def _trace_point(self) -> tuple:
+        """(virtual ts, tid) for a trace event at the current site."""
+        thread = current_thread()
+        if thread is not None:
+            return thread.clock_us, thread.tid
+        return self.machine.engine.now_us, 0
 
     @staticmethod
     def make_kernel_policy(kind: str, memcg: MemCgroup) -> KernelPolicy:
@@ -143,6 +161,11 @@ class PageCache:
         accessor.stats.lookups += 1
         self.stats.hits += 1
         self.stats.lookups += 1
+        tp = self._tp_lookup
+        if tp.enabled:
+            ts, tid = self._trace_point()
+            tp.emit(ts, accessor.name, tid, hit=1,
+                    file=folio.mapping.file_id, index=folio.index)
         self._charge_cpu(self.machine.costs.cache_hit_us)
         if not update_recency:
             return
@@ -174,6 +197,11 @@ class PageCache:
                 and not memcg.ext_policy.admit(mapping, index)):
             memcg.stats.admission_rejects += 1
             self.stats.admission_rejects += 1
+            tp = self._tp_admission_reject
+            if tp.enabled:
+                ts, tid = self._trace_point()
+                tp.emit(ts, memcg.name, tid, file=mapping.file_id,
+                        index=index)
             return None
 
         folio = Folio(mapping, index, memcg)
@@ -185,6 +213,11 @@ class PageCache:
         if shadow is not None and shadow.memcg_id == memcg.id:
             memcg.stats.refaults += 1
             self.stats.refaults += 1
+            tp = self._tp_refault
+            if tp.enabled:
+                ts, tid = self._trace_point()
+                tp.emit(ts, memcg.name, tid, file=mapping.file_id,
+                        index=index)
             kernel_policy = memcg.kernel_policy
             if isinstance(kernel_policy, MgLruPolicy):
                 kernel_policy.record_refault(shadow.tier)
@@ -192,6 +225,11 @@ class PageCache:
             if refault_activate:
                 memcg.stats.activations += 1
                 self.stats.activations += 1
+                tp = self._tp_activation
+                if tp.enabled:
+                    ts, tid = self._trace_point()
+                    tp.emit(ts, memcg.name, tid, file=mapping.file_id,
+                            index=index)
 
         mapping.insert(folio)
         memcg.charge()
@@ -200,6 +238,11 @@ class PageCache:
             memcg.ext_policy.folio_added(folio)
         memcg.stats.insertions += 1
         self.stats.insertions += 1
+        tp = self._tp_insert
+        if tp.enabled:
+            ts, tid = self._trace_point()
+            tp.emit(ts, memcg.name, tid, file=mapping.file_id, index=index,
+                    charged=memcg.charged_pages)
         self._charge_cpu(self.machine.costs.cache_miss_us)
 
         if memcg.over_limit:
@@ -286,11 +329,18 @@ class PageCache:
 
         evicted = 0
         for pos, folio in enumerate(candidates):
+            file_id = folio.mapping.file_id if folio.mapping else -1
+            index = folio.index
             if self.evict_folio(folio, memcg):
                 evicted += 1
                 if ext is not None and pos >= fallback_from:
                     memcg.stats.fallback_evictions += 1
                     self.stats.fallback_evictions += 1
+                    tp = self._tp_fallback
+                    if tp.enabled:
+                        ts, tid = self._trace_point()
+                        tp.emit(ts, memcg.name, tid, policy=ext.name,
+                                file=file_id, index=index)
         return evicted
 
     def _validate_candidate(self, folio: Folio, memcg: MemCgroup,
@@ -332,15 +382,29 @@ class PageCache:
             folio.dirty = False
             memcg.stats.writebacks += 1
             self.stats.writebacks += 1
+            tp = self._tp_writeback
+            if tp.enabled:
+                ts, tid = self._trace_point()
+                tp.emit(ts, memcg.name, tid, file=folio.mapping.file_id,
+                        index=folio.index)
         shadow = make_shadow(
             memcg,
             workingset=folio.active or folio.workingset,
             tier=memcg.kernel_policy.eviction_tier(folio))
         folio.mapping.store_shadow(folio.index, shadow)
+        file_id = folio.mapping.file_id
+        index = folio.index
+        active = folio.active
         self._remove_folio(folio, memcg)
         memcg.eviction_clock += 1
         memcg.stats.evictions += 1
         self.stats.evictions += 1
+        tp = self._tp_evict
+        if tp.enabled:
+            ts, tid = self._trace_point()
+            tp.emit(ts, memcg.name, tid, file=file_id, index=index,
+                    active=1 if active else 0,
+                    charged=memcg.charged_pages)
         self._charge_cpu(self.machine.costs.evict_us)
         return True
 

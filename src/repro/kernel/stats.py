@@ -33,6 +33,13 @@ class CacheStats:
     fallback_evictions: int = 0
     #: Policy programs that crashed; the watchdog detaches the policy.
     ext_policy_faults: int = 0
+    #: kfunc calls that returned an error to a policy program — the
+    #: "buggy policy" indicator that used to live only on the framework
+    #: object and failed silent unless you went looking.
+    kfunc_errors: int = 0
+    #: Policies forcibly detached by the watchdog (each detach also
+    #: emits a ``cache_ext:watchdog_detach`` trace event).
+    watchdog_detaches: int = 0
     #: CPU microseconds spent inside cache_ext hooks and kfuncs.
     hook_cpu_us: float = 0.0
 

@@ -29,6 +29,9 @@ from repro.sim.engine import current_thread
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.machine import Machine
 
+#: Fallback id source for files created outside a Filesystem; the
+#: Filesystem assigns per-machine ids so that identical runs produce
+#: identical trace payloads within one process.
 _file_ids = itertools.count(1)
 
 #: Default readahead window in pages (Linux default is 128 KiB = 32
@@ -53,8 +56,8 @@ class FAdvice(enum.Enum):
 class SimFile:
     """A simulated file: backing store + page-cache mapping + RA state."""
 
-    def __init__(self, name: str) -> None:
-        self.file_id = next(_file_ids)
+    def __init__(self, name: str, file_id: Optional[int] = None) -> None:
+        self.file_id = next(_file_ids) if file_id is None else file_id
         self.name = name
         self.store: dict[int, Any] = {}
         self.npages = 0
@@ -81,6 +84,19 @@ class Filesystem:
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
         self._files: dict[str, SimFile] = {}
+        self._file_ids = itertools.count(1)
+        # Cached tracepoints for the miss sites (hits are traced by
+        # PageCache.mark_accessed; misses are only visible here).
+        trace = machine.trace
+        self._tp_lookup = trace.tracepoint("cache:lookup")
+        self._tp_writeback = trace.tracepoint("cache:writeback")
+
+    def _trace_miss(self, cache, f: SimFile, index: int) -> None:
+        tp = self._tp_lookup
+        if tp.enabled:
+            ts, tid = cache._trace_point()
+            tp.emit(ts, cache._current_cgroup().name, tid, hit=0,
+                    file=f.file_id, index=index)
 
     # ------------------------------------------------------------------
     # namespace
@@ -88,7 +104,7 @@ class Filesystem:
     def create(self, name: str) -> SimFile:
         if name in self._files:
             raise EINVAL(f"file exists: {name}")
-        f = SimFile(name)
+        f = SimFile(name, file_id=next(self._file_ids))
         self._files[name] = f
         return f
 
@@ -147,6 +163,7 @@ class Filesystem:
         memcg.stats.lookups += 1
         cache.stats.misses += 1
         cache.stats.lookups += 1
+        self._trace_miss(cache, f, index)
 
         ra_indices = self._readahead_indices(f, index)
         folio = cache.add_folio(f.mapping, index, memcg)
@@ -238,6 +255,7 @@ class Filesystem:
         memcg.stats.lookups += 1
         cache.stats.misses += 1
         cache.stats.lookups += 1
+        self._trace_miss(cache, f, index)
         folio = cache.add_folio(f.mapping, index, memcg)
         if folio is None:
             # Admission filter rejected the write: go straight to disk,
@@ -262,10 +280,15 @@ class Filesystem:
         if not dirty:
             return 0
         self.machine.disk.write(current_thread(), len(dirty))
+        tp = self._tp_writeback
         for folio in dirty:
             folio.dirty = False
             folio.memcg.stats.writebacks += 1
             cache.stats.writebacks += 1
+            if tp.enabled:
+                ts, tid = cache._trace_point()
+                tp.emit(ts, folio.memcg.name, tid, file=f.file_id,
+                        index=folio.index)
         return len(dirty)
 
     # ------------------------------------------------------------------

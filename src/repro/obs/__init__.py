@@ -1,0 +1,38 @@
+"""``repro.obs`` — tracing and metrics for the simulated page cache.
+
+The observability layer the paper wished it had: the real kernel only
+lets you *infer* cache behaviour from disk access counts (§6.1.1), and
+observing BPF programs themselves takes tracepoint-style hooks (the
+eBPF runtime's own answer per Gbadamosi et al.).  The simulator can do
+better, and this package is how:
+
+* :mod:`repro.obs.trace` — :class:`Tracepoint` registry with
+  near-zero-cost disabled dispatch, :class:`TraceSession` buffering +
+  JSONL round-trip (the ftrace ring buffer analogue);
+* :mod:`repro.obs.collectors` — bpftrace-style aggregation:
+  log2 :class:`Histogram`, per-cgroup I/O latency, inter-reference
+  distance, hit-ratio-over-time;
+* :mod:`repro.obs.metrics` — one-call typed snapshots surfaced as
+  ``Machine.metrics()`` / ``MemCgroup.metrics()``;
+* :mod:`repro.obs.guard` — the <5% disabled-tracing overhead guard.
+
+See DESIGN.md ("Observability") for the mapping from each tracepoint
+to its real-kernel analogue.
+"""
+
+from repro.obs.collectors import (Collector, EventCounter, Histogram,
+                                  HitRatioTimeline, InterReferenceCollector,
+                                  IoLatencyCollector, WindowedSeries)
+from repro.obs.metrics import (CgroupMetrics, MachineMetrics, PolicyMetrics,
+                               snapshot_cgroup, snapshot_machine)
+from repro.obs.trace import (NULL_TRACEPOINT, TraceEvent, Tracepoint,
+                             TraceRegistry, TraceSession, read_jsonl)
+
+__all__ = [
+    "Tracepoint", "TraceRegistry", "TraceSession", "TraceEvent",
+    "NULL_TRACEPOINT", "read_jsonl",
+    "Collector", "EventCounter", "Histogram", "WindowedSeries",
+    "IoLatencyCollector", "InterReferenceCollector", "HitRatioTimeline",
+    "MachineMetrics", "CgroupMetrics", "PolicyMetrics",
+    "snapshot_machine", "snapshot_cgroup",
+]

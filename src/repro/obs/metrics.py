@@ -1,0 +1,122 @@
+"""Typed metrics snapshots: one call instead of field-poking.
+
+Before this module, every experiment dug into ``cgroup.stats.<field>``,
+``machine.disk.stats`` and the framework object separately — exactly
+the ad-hoc workflow the paper was forced into when it used disk access
+as a hit-rate proxy (§6.1.1).  :func:`snapshot_machine` /
+:func:`snapshot_cgroup` (surfaced as ``Machine.metrics()`` and
+``MemCgroup.metrics()``) collect the whole stack into one immutable
+snapshot: cache counters, per-cgroup block I/O, and the attached
+policy's health (kfunc errors, watchdog detaches) that previously
+failed silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.cgroup import MemCgroup
+    from repro.kernel.machine import Machine
+
+
+@dataclass(frozen=True)
+class PolicyMetrics:
+    """Health of one attached cache_ext policy."""
+
+    name: str
+    attached: bool
+    kfunc_errors: int
+    registry_folios: int
+    listed_folios: int
+    nr_lists: int
+
+
+@dataclass(frozen=True)
+class CgroupMetrics:
+    """Everything one cgroup's workload wants to know, in one object."""
+
+    name: str
+    id: int
+    charged_pages: int
+    limit_pages: Optional[int]
+    hit_ratio: float
+    #: Full :meth:`~repro.kernel.stats.CacheStats.snapshot` dict.
+    stats: dict = field(repr=False)
+    #: Block I/O issued by this cgroup's threads.
+    io_read_pages: int = 0
+    io_write_pages: int = 0
+    policy: Optional[PolicyMetrics] = None
+
+    @property
+    def io_total_pages(self) -> int:
+        return self.io_read_pages + self.io_write_pages
+
+    @property
+    def hits(self) -> int:
+        return self.stats["hits"]
+
+    @property
+    def lookups(self) -> int:
+        return self.stats["lookups"]
+
+
+@dataclass(frozen=True)
+class MachineMetrics:
+    """Machine-wide snapshot plus one :class:`CgroupMetrics` each."""
+
+    now_us: float
+    hit_ratio: float
+    stats: dict = field(repr=False)
+    disk: dict = field(repr=False)
+    cgroups: dict = field(repr=False)
+
+    def cgroup(self, name: str) -> CgroupMetrics:
+        return self.cgroups[name]
+
+
+def _policy_metrics(memcg: "MemCgroup") -> Optional[PolicyMetrics]:
+    policy = memcg.ext_policy
+    if policy is None:
+        return None
+    return PolicyMetrics(
+        name=policy.name,
+        attached=bool(getattr(policy, "attached", True)),
+        kfunc_errors=getattr(policy, "kfunc_errors", 0),
+        registry_folios=len(getattr(policy, "registry", ())),
+        listed_folios=(policy.nr_listed()
+                       if hasattr(policy, "nr_listed") else 0),
+        nr_lists=len(getattr(policy, "lists", ())))
+
+
+def snapshot_cgroup(machine: "Machine",
+                    memcg: "MemCgroup") -> CgroupMetrics:
+    """Build one cgroup's snapshot (``MemCgroup.metrics()``)."""
+    io = machine.disk.cgroup_io(memcg.id)
+    return CgroupMetrics(
+        name=memcg.name,
+        id=memcg.id,
+        charged_pages=memcg.charged_pages,
+        limit_pages=memcg.limit_pages,
+        hit_ratio=memcg.stats.hit_ratio,
+        stats=memcg.stats.snapshot(),
+        io_read_pages=io.read_pages,
+        io_write_pages=io.write_pages,
+        policy=_policy_metrics(memcg))
+
+
+def snapshot_machine(machine: "Machine") -> MachineMetrics:
+    """Build the machine-wide snapshot (``Machine.metrics()``)."""
+    disk = machine.disk.stats
+    return MachineMetrics(
+        now_us=machine.engine.now_us,
+        hit_ratio=machine.page_cache.stats.hit_ratio,
+        stats=machine.page_cache.stats.snapshot(),
+        disk={"reads": disk.reads, "writes": disk.writes,
+              "read_pages": disk.read_pages,
+              "write_pages": disk.write_pages,
+              "total_pages": disk.total_pages,
+              "busy_us": disk.busy_us},
+        cgroups={memcg.name: snapshot_cgroup(machine, memcg)
+                 for memcg in machine.cgroups()})

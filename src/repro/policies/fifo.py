@@ -4,44 +4,51 @@ The simplest list policy: folios join the tail on insertion, eviction
 takes from the head, accesses are ignored.  The paper finds FIFO
 "slightly outperforms MGLRU in most cases, but not the default policy,
 likely due to its low overhead".
+
+Written against the declarative :class:`PolicyBuilder` API — the
+reference example of the class-based authoring style.  Instance
+attributes (here ``self.fifo_list``) model array-map-backed BPF
+globals; every decorated method faces the full verifier.
 """
 
 from __future__ import annotations
 
 from repro.cache_ext.kfuncs import ITER_EVICT, MODE_SIMPLE, list_add, \
     list_create, list_iterate
-from repro.cache_ext.ops import CacheExtOps
-from repro.ebpf.maps import ArrayMap
-from repro.ebpf.runtime import bpf_program
+from repro.cache_ext.ops import CacheExtOps, PolicyBuilder
 
 
-def make_fifo_policy() -> CacheExtOps:
-    """Build a FIFO policy instance."""
-    bss = ArrayMap(1, name="fifo_bss")
+class FifoPolicy(PolicyBuilder):
+    """First-in-first-out eviction, ignoring accesses entirely."""
 
-    @bpf_program
-    def fifo_policy_init(memcg):
+    name = "fifo"
+
+    def __init__(self) -> None:
+        #: List id of the single FIFO list (a .bss global in the real
+        #: policy's object file).
+        self.fifo_list = 0
+
+    @CacheExtOps.slot
+    def policy_init(self, memcg):
         fifo_list = list_create(memcg)
         if fifo_list < 0:
             return fifo_list
-        bss.update(0, fifo_list)
+        self.fifo_list = fifo_list
         return 0
 
-    @bpf_program
-    def fifo_folio_added(folio):
-        list_add(bss.lookup(0), folio, True)  # tail
+    @CacheExtOps.slot
+    def folio_added(self, folio):
+        list_add(self.fifo_list, folio, True)  # tail
 
-    @bpf_program
-    def fifo_select(i, folio):
+    @CacheExtOps.program
+    def select(self, i, folio):
         return ITER_EVICT  # evict strictly in arrival order
 
-    @bpf_program
-    def fifo_evict_folios(ctx, memcg):
-        list_iterate(memcg, bss.lookup(0), fifo_select, ctx, MODE_SIMPLE)
+    @CacheExtOps.slot
+    def evict_folios(self, ctx, memcg):
+        list_iterate(memcg, self.fifo_list, self.select, ctx, MODE_SIMPLE)
 
-    return CacheExtOps(
-        name="fifo",
-        policy_init=fifo_policy_init,
-        evict_folios=fifo_evict_folios,
-        folio_added=fifo_folio_added,
-    )
+
+def make_fifo_policy() -> CacheExtOps:
+    """Build a FIFO policy instance (thin shim over :class:`FifoPolicy`)."""
+    return FifoPolicy().build()

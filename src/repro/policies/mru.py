@@ -10,55 +10,57 @@ access, and eviction iterates from the head — but skips a small fixed
 number of folios first, because the very newest folios "may still be in
 use by the kernel to service the I/O request" and proposing them would
 only trigger eviction refusals and the fallback path.
+
+Written against the declarative :class:`PolicyBuilder` API; see
+:mod:`repro.policies.fifo` for the minimal example of the style.
 """
 
 from __future__ import annotations
 
 from repro.cache_ext.kfuncs import ITER_EVICT, ITER_SKIP, MODE_SIMPLE, \
     list_add, list_create, list_iterate, list_move
-from repro.cache_ext.ops import CacheExtOps
-from repro.ebpf.maps import ArrayMap
-from repro.ebpf.runtime import bpf_program
+from repro.cache_ext.ops import CacheExtOps, PolicyBuilder
 
 #: Folios to skip from the head before proposing candidates.
 DEFAULT_SKIP = 8
 
 
-def make_mru_policy(skip: int = DEFAULT_SKIP) -> CacheExtOps:
-    """Build an MRU policy instance."""
-    bss = ArrayMap(1, name="mru_bss")
-    skip_n = skip
+class MruPolicy(PolicyBuilder):
+    """Evict from the head (newest first), skipping the very newest."""
 
-    @bpf_program
-    def mru_policy_init(memcg):
+    name = "mru"
+
+    def __init__(self, skip: int = DEFAULT_SKIP) -> None:
+        self.mru_list = 0
+        self.skip = skip
+
+    @CacheExtOps.slot
+    def policy_init(self, memcg):
         mru_list = list_create(memcg)
         if mru_list < 0:
             return mru_list
-        bss.update(0, mru_list)
+        self.mru_list = mru_list
         return 0
 
-    @bpf_program
-    def mru_folio_added(folio):
-        list_add(bss.lookup(0), folio, False)  # head
+    @CacheExtOps.slot
+    def folio_added(self, folio):
+        list_add(self.mru_list, folio, False)  # head
 
-    @bpf_program
-    def mru_folio_accessed(folio):
-        list_move(bss.lookup(0), folio, False)  # move to head
+    @CacheExtOps.slot
+    def folio_accessed(self, folio):
+        list_move(self.mru_list, folio, False)  # move to head
 
-    @bpf_program
-    def mru_select(i, folio):
-        if i < skip_n:
+    @CacheExtOps.program
+    def select(self, i, folio):
+        if i < self.skip:
             return ITER_SKIP  # may still be in use by the kernel
         return ITER_EVICT
 
-    @bpf_program
-    def mru_evict_folios(ctx, memcg):
-        list_iterate(memcg, bss.lookup(0), mru_select, ctx, MODE_SIMPLE)
+    @CacheExtOps.slot
+    def evict_folios(self, ctx, memcg):
+        list_iterate(memcg, self.mru_list, self.select, ctx, MODE_SIMPLE)
 
-    return CacheExtOps(
-        name="mru",
-        policy_init=mru_policy_init,
-        evict_folios=mru_evict_folios,
-        folio_added=mru_folio_added,
-        folio_accessed=mru_folio_accessed,
-    )
+
+def make_mru_policy(skip: int = DEFAULT_SKIP) -> CacheExtOps:
+    """Build an MRU policy instance (thin shim over :class:`MruPolicy`)."""
+    return MruPolicy(skip=skip).build()

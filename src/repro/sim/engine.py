@@ -24,6 +24,8 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
+from repro.obs.trace import NULL_TRACEPOINT
+
 #: The thread currently being stepped by an Engine, if any.  Kernel code
 #: reads this the way Linux reads ``current``.
 _current: Optional["SimThread"] = None
@@ -110,6 +112,16 @@ class Engine:
         self._next_tid = itertools.count(1000)
         self._live_nondaemon = 0
         self.now_us: float = 0.0
+        # Scheduler tracepoints (sched:switch / sched:exit); wired by
+        # Machine via attach_trace, permanently disabled on a bare
+        # engine so the hot loop needs no None checks.
+        self._tp_switch = NULL_TRACEPOINT
+        self._tp_exit = NULL_TRACEPOINT
+
+    def attach_trace(self, registry) -> None:
+        """Cache scheduler tracepoints from a machine's registry."""
+        self._tp_switch = registry.tracepoint("sched:switch")
+        self._tp_exit = registry.tracepoint("sched:exit")
 
     # ------------------------------------------------------------------
     # thread management
@@ -176,6 +188,12 @@ class Engine:
                 self.now_us = until_us
                 return
             self.now_us = clock
+            tp = self._tp_switch
+            if tp.enabled:
+                tp.emit(clock,
+                        thread.cgroup.name if thread.cgroup is not None
+                        else "root",
+                        thread.tid, thread=thread.name, step=thread.steps)
             _current = thread
             try:
                 more = thread.step_fn(thread)
@@ -194,6 +212,13 @@ class Engine:
                 if not thread.daemon:
                     self._live_nondaemon -= 1
                 self.now_us = max(self.now_us, thread.clock_us)
+                tp = self._tp_exit
+                if tp.enabled:
+                    tp.emit(thread.clock_us,
+                            thread.cgroup.name if thread.cgroup is not None
+                            else "root",
+                            thread.tid, thread=thread.name,
+                            steps=thread.steps, cpu_us=thread.cpu_us)
 
     def run_single(self, name: str, step_fn: Callable[[SimThread], bool],
                    cgroup=None) -> SimThread:

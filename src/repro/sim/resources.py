@@ -72,6 +72,25 @@ class DiskStats:
         return self.total_pages * 4096
 
 
+@dataclass(frozen=True)
+class IoCompletion:
+    """Timing of one completed block request (block tracepoint payload).
+
+    ``latency_us`` is what the issuing thread experienced: queueing
+    delay behind busy channels plus device service time.
+    """
+
+    issue_us: float
+    wait_us: float
+    service_us: float
+    done_us: float
+    queue_depth: int
+
+    @property
+    def latency_us(self) -> float:
+        return self.wait_us + self.service_us
+
+
 @dataclass
 class Disk:
     """A multi-channel block device with per-page service times.
@@ -111,32 +130,44 @@ class Disk:
             return base_us * self.seq_factor * npages
         return base_us + base_us * self.seq_factor * (npages - 1)
 
-    def _submit(self, thread: SimThread, service_us: float) -> None:
-        """Queue one request from ``thread`` and block it to completion."""
+    def _submit(self, thread: SimThread, service_us: float) -> "IoCompletion":
+        """Queue one request from ``thread`` and block it to completion.
+
+        Returns an :class:`IoCompletion` describing the request's
+        timing, which the block layer's tracepoints consume.
+        """
+        issue_us = thread.clock_us
+        # Queue depth as observed at issue: channels still busy now.
+        depth = sum(1 for t in self._free_at if t > issue_us)
         # Pick the earliest-available channel.
         idx = min(range(self.channels), key=lambda i: self._free_at[i])
-        start = max(thread.clock_us, self._free_at[idx])
+        start = max(issue_us, self._free_at[idx])
         done = start + service_us
         self._free_at[idx] = done
         self.stats.busy_us += service_us
         thread.wait_until(done)
+        return IoCompletion(issue_us=issue_us, wait_us=start - issue_us,
+                            service_us=service_us, done_us=done,
+                            queue_depth=depth)
 
     def read(self, thread: SimThread, npages: int = 1,
-             contiguous: bool = False) -> None:
+             contiguous: bool = False) -> "IoCompletion":
         """Synchronously read ``npages`` pages; ``contiguous`` marks a
         continuation of a sequential stream (cheaper per page)."""
-        self._submit(thread, self._service_us(self.read_us, npages,
-                                              contiguous))
+        completion = self._submit(
+            thread, self._service_us(self.read_us, npages, contiguous))
         self.stats.reads += 1
         self.stats.read_pages += npages
+        return completion
 
     def write(self, thread: SimThread, npages: int = 1,
-              contiguous: bool = False) -> None:
+              contiguous: bool = False) -> "IoCompletion":
         """Synchronously write ``npages`` pages (see :meth:`read`)."""
-        self._submit(thread, self._service_us(self.write_us, npages,
-                                              contiguous))
+        completion = self._submit(
+            thread, self._service_us(self.write_us, npages, contiguous))
         self.stats.writes += 1
         self.stats.write_pages += npages
+        return completion
 
     def reset_stats(self) -> None:
         self.stats = DiskStats()

@@ -5,15 +5,25 @@
   workload against every policy" workflow the paper's open-source
   release is meant to enable.  Also a CLI:
   ``python -m repro.tools.cachesim``.
+* :mod:`repro.tools.cachetop` — per-cgroup page-cache summaries
+  (cachetop/biolatency style) from a :class:`~repro.obs.trace.
+  TraceSession` JSONL export.  Also a CLI:
+  ``python -m repro.tools.cachetop``.
 """
 
-__all__ = ["replay_trace", "simulate_policies", "TraceReport"]
+_CACHESIM = ("replay_trace", "simulate_policies", "TraceReport")
+_CACHETOP = ("summarize", "format_views", "CgroupView")
+
+__all__ = list(_CACHESIM + _CACHETOP)
 
 
 def __getattr__(name):
-    # Lazy re-export: keeps `python -m repro.tools.cachesim` free of
-    # the double-import RuntimeWarning.
-    if name in __all__:
+    # Lazy re-export: keeps `python -m repro.tools.<mod>` free of the
+    # double-import RuntimeWarning.
+    if name in _CACHESIM:
         from repro.tools import cachesim
         return getattr(cachesim, name)
+    if name in _CACHETOP:
+        from repro.tools import cachetop
+        return getattr(cachetop, name)
     raise AttributeError(name)
