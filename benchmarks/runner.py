@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Core perf baseline: run the bench suite, emit ``BENCH_core.json``.
+
+This is the repo's first committed performance data point and the gate
+future PRs are measured against.  For each experiment in the core
+suite it records:
+
+* **non-timing fields** — simulated ops/sec per table row, hit ratios,
+  cell count and a hash of the formatted table.  These derive from the
+  deterministic simulation, so two runs on any machine must emit them
+  byte-identically (the determinism acceptance check, and a
+  correctness cross-check that perf work never changes physics);
+* **timing fields** — wall-clock per experiment plus ``work_units``,
+  wall-clock normalised by a calibration run of the simulator on the
+  same machine.  Normalisation makes the >20% CI regression gate
+  meaningful across runner hardware of different speeds.
+
+Usage::
+
+    python benchmarks/runner.py --quick                  # CI smoke
+    python benchmarks/runner.py --quick --check          # regression gate
+    python benchmarks/runner.py --experiments fig6 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import importlib
+import json
+import numbers
+import os
+import sys
+import time
+from typing import Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_core.json")
+
+#: The core suite: one I/O-bound sweep (fig6), one scan-pathology run
+#: (fig9), one policy-with-userspace-maps run (admission) and one
+#: CPU-overhead run (table4) — together they cover every hot path the
+#: perf work touches (eviction, hook dispatch, lists, engine loop).
+CORE_SUITE = ("fig6", "fig9", "admission", "table4")
+
+SCHEMA = 1
+
+#: Timing regression threshold for --check (fractional increase in
+#: normalised work units before the gate fails).
+REGRESSION_THRESHOLD = 0.20
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Seconds for a fixed reference simulation on this machine.
+
+    Runs a small deterministic fio job through the full stack and
+    takes the fastest of ``rounds`` attempts (minimum filters noise).
+    Experiment wall-clock divided by this is machine-independent to
+    first order.
+    """
+    from repro.apps.fio import FioJob
+    from repro.experiments.harness import build_machine
+
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        machine = build_machine("default")
+        cgroup = machine.new_cgroup("calib", limit_pages=256)
+        FioJob(machine, cgroup, file_pages=1024, nthreads=4,
+               ops_per_thread=500).run()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _row_key(headers: list, row: list) -> str:
+    """Identify a table row by its leading label columns."""
+    labels = []
+    for header, value in zip(headers, row):
+        if isinstance(value, numbers.Number) and not isinstance(value, bool):
+            break
+        labels.append(str(value))
+    return "/".join(labels) if labels else str(row[0])
+
+
+def _column_map(result, column: str) -> dict:
+    if column not in result.headers:
+        return {}
+    idx = result.headers.index(column)
+    return {_row_key(result.headers, row): row[idx]
+            for row in result.rows}
+
+
+def run_experiment(name: str, quick: bool, jobs: Optional[int],
+                   calibration_s: float) -> dict:
+    from repro.experiments.parallel import execute
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    spec = module.plan(quick=quick)
+    report = execute(spec, jobs=jobs, serial=jobs is None)
+    result = report.result
+    table = result.format_table()
+    ops = _column_map(result, "ops_per_sec")
+    if not ops:  # time/CPU-denominated experiments
+        ops = _column_map(result, "noop_cpu_us_per_op") \
+            or _column_map(result, "seconds")
+    return {
+        "cells": len(spec.cells),
+        "rows": len(result.rows),
+        "table_sha256": hashlib.sha256(table.encode()).hexdigest(),
+        "ops_per_sec": ops,
+        "hit_ratios": _column_map(result, "hit_ratio"),
+        "timing": {
+            "wall_s": round(report.wall_s, 3),
+            "work_units": round(report.wall_s / calibration_s, 2),
+            "jobs": report.jobs,
+        },
+    }
+
+
+def run_suite(experiments, quick: bool, jobs: Optional[int]) -> dict:
+    calibration_s = calibrate()
+    doc = {
+        "schema": SCHEMA,
+        "suite": "core",
+        "scale": "quick" if quick else "full",
+        "experiments": {},
+        "timing": {"calibration_s": round(calibration_s, 4)},
+    }
+    for name in experiments:
+        started = time.perf_counter()
+        doc["experiments"][name] = run_experiment(
+            name, quick=quick, jobs=jobs, calibration_s=calibration_s)
+        timing = doc["experiments"][name]["timing"]
+        print(f"[{name}] {timing['wall_s']:.1f}s wall, "
+              f"{timing['work_units']:.1f} work units, "
+              f"jobs={timing['jobs']} "
+              f"({time.perf_counter() - started:.1f}s incl. merge)",
+              flush=True)
+    return doc
+
+
+def strip_timing(doc: dict) -> dict:
+    """The deterministic subset of a baseline document."""
+    out = {k: v for k, v in doc.items() if k != "timing"}
+    out["experiments"] = {
+        name: {k: v for k, v in entry.items() if k != "timing"}
+        for name, entry in doc["experiments"].items()}
+    return out
+
+
+def check_against_baseline(doc: dict, baseline_path: str) -> list:
+    """Compare a fresh run to the committed baseline.
+
+    Returns a list of human-readable failures (empty = gate passes):
+    any non-timing field mismatch (physics changed — a correctness
+    regression, not a perf one) and any experiment whose normalised
+    wall-clock grew more than :data:`REGRESSION_THRESHOLD`.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    if baseline.get("scale") != doc.get("scale"):
+        return [f"scale mismatch: baseline {baseline.get('scale')!r} "
+                f"vs run {doc.get('scale')!r} — rerun with matching "
+                f"flags"]
+    for name, entry in doc["experiments"].items():
+        base = baseline["experiments"].get(name)
+        if base is None:
+            continue  # new experiment: no baseline to regress against
+        for field in ("cells", "rows", "table_sha256", "ops_per_sec",
+                      "hit_ratios"):
+            if base.get(field) != entry.get(field):
+                failures.append(
+                    f"{name}: deterministic field {field!r} changed "
+                    f"(simulation output differs from baseline)")
+                break
+        old_units = base.get("timing", {}).get("work_units")
+        new_units = entry["timing"]["work_units"]
+        old_jobs = base.get("timing", {}).get("jobs")
+        if old_units and old_jobs == entry["timing"]["jobs"]:
+            if new_units > old_units * (1.0 + REGRESSION_THRESHOLD):
+                failures.append(
+                    f"{name}: perf regression — {new_units:.1f} work "
+                    f"units vs baseline {old_units:.1f} "
+                    f"(>{REGRESSION_THRESHOLD:.0%} slower)")
+    return failures
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the core bench suite and write BENCH_core.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes (CI smoke; the committed "
+                             "baseline uses this scale)")
+    parser.add_argument("--experiments", nargs="+", default=None,
+                        metavar="NAME",
+                        help=f"subset to run (default: "
+                             f"{' '.join(CORE_SUITE)})")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="parallel cell workers (default: serial, "
+                             "for stable timing)")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help="output path (default: repo BENCH_core.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline; "
+                             "exit 1 on regression")
+    parser.add_argument("--baseline", default=DEFAULT_OUTPUT,
+                        help="baseline path for --check")
+    args = parser.parse_args(argv)
+
+    experiments = args.experiments or CORE_SUITE
+    doc = run_suite(experiments, quick=args.quick, jobs=args.jobs)
+
+    if args.check:
+        failures = check_against_baseline(doc, args.baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed "
+              f"(threshold {REGRESSION_THRESHOLD:.0%})")
+        return 0
+
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"baseline written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,10 @@ class CacheExtPolicy(ExtPolicyBase):
         self.name = ops.name
         nbuckets = memcg.limit_pages or DEFAULT_REGISTRY_BUCKETS
         self.registry = FolioRegistry(nbuckets)
+        # Hot-path bindings: these objects are stable for the life of
+        # the attachment, and _charge runs on every hook and kfunc.
+        self._memcg_stats = memcg.stats
+        self._cache_stats = machine.page_cache.stats
         self.lists: list[EvictionList] = []
         #: kfunc calls that returned an error (policy bug indicator).
         self.kfunc_errors = 0
@@ -70,8 +74,8 @@ class CacheExtPolicy(ExtPolicyBase):
         thread = current_thread()
         if thread is not None:
             thread.advance(us)
-        self.memcg.stats.hook_cpu_us += us
-        self.machine.page_cache.stats.hook_cpu_us += us
+        self._memcg_stats.hook_cpu_us += us
+        self._cache_stats.hook_cpu_us += us
 
     def charge_hook(self) -> None:
         self._charge(self.machine.costs.bpf_hook_us)
@@ -234,6 +238,37 @@ class CacheExtPolicy(ExtPolicyBase):
         if self.ops.folio_removed is not None:
             self._run_prog(self.ops.folio_removed, folio)
         self._hook_exit("folio_removed", cpu)
+
+    def folios_removed(self, folios: list[Folio]) -> None:
+        """Batched removal dispatch (truncate/delete path).
+
+        Per-folio semantics — registry removal, node unlink, one hook
+        dispatch and charge, the policy's ``folio_removed`` program —
+        are identical to looping :meth:`folio_removed`; the registry,
+        program and charge machinery are simply bound once per batch
+        instead of once per folio.
+        """
+        registry_remove = self.registry.remove
+        charge_hook = self.charge_hook
+        prog = self.ops.folio_removed
+        trace_hooks = (self._tp_hook_entry.enabled
+                       or self._tp_hook_exit.enabled)
+        for folio in folios:
+            node = registry_remove(folio)
+            if node is not None and node.owner is not None:
+                node.owner.remove(node)
+            folio.ext_node = None
+            cpu = self._hook_entry("folio_removed") if trace_hooks else None
+            charge_hook()
+            if prog is not None:
+                self._run_prog(prog, folio)
+            if trace_hooks:
+                self._hook_exit("folio_removed", cpu)
+            if not self.attached:
+                # The program faulted and the watchdog detached us; the
+                # remaining folios are no longer this policy's concern
+                # (watchdog cleanup already emptied the lists).
+                break
 
     def propose_candidates(self, nr: int) -> list[Folio]:
         if self.ops.evict_folios is None:

@@ -1,9 +1,14 @@
 """Experiment harness: one module per table/figure in the paper.
 
-Every module exposes ``run(quick=False, ...) -> ExperimentResult``.
-``quick=True`` shrinks sizes for CI smoke tests; the default sizes are
-what ``EXPERIMENTS.md`` and the benchmark suite use.  All runs are
-deterministic (seeded RNGs + virtual time).
+Every module exposes ``run(quick=False, ..., jobs=None) ->
+ExperimentResult`` and ``plan(quick=False, ...) -> ExperimentSpec``:
+the plan decomposes the experiment into independent cells (one
+simulated machine each) that :mod:`repro.experiments.parallel` fans
+across worker processes, with a merge step that is a pure function of
+the cell payloads — serial (``jobs=None``) and parallel runs emit
+byte-identical tables.  ``quick=True`` shrinks sizes for CI smoke
+tests; the default sizes are what ``EXPERIMENTS.md`` and the benchmark
+suite use.  All runs are deterministic (seeded RNGs + virtual time).
 
 ==============  =====================================================
 Module          Reproduces

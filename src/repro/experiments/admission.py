@@ -11,7 +11,10 @@ throughput is roughly unchanged because compaction is infrequent.
 
 from __future__ import annotations
 
-from repro.experiments.harness import ExperimentResult, make_db_env
+from typing import Optional
+
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec, make_db_env)
 from repro.policies.admission import make_admission_filter_policy
 from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
 
@@ -42,25 +45,50 @@ def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
     return runner.run(), env
 
 
-def run(quick: bool = False, scale: dict = None) -> ExperimentResult:
+def cell(filtered: bool, **params) -> dict:
+    result, env = run_one(filtered, **params)
+    metrics = env.cgroup.metrics()
+    return {"throughput": result.throughput,
+            "p99_read_us": result.p99_read_us,
+            "admission_rejects": metrics.stats["admission_rejects"],
+            "hit_ratio": metrics.hit_ratio}
+
+
+def plan(quick: bool = False, scale: dict = None) -> ExperimentSpec:
     params = dict(QUICK_SCALE if quick else FULL_SCALE)
     if scale:
         params.update(scale)
+    cells = [CellSpec("admission",
+                      "admission-filter" if filtered else "baseline",
+                      cell, dict(filtered=filtered, **params))
+             for filtered in (False, True)]
+    return ExperimentSpec("admission", cells, _merge,
+                          meta={"labels": ["baseline",
+                                           "admission-filter"]})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "§6.1.5: compaction admission filter (uniform R/W)",
         headers=["variant", "ops_per_sec", "p99_read_us",
                  "admission_rejects", "hit_ratio"])
-    for filtered in (False, True):
-        result, env = run_one(filtered, **params)
-        metrics = env.cgroup.metrics()
-        out.add_row("admission-filter" if filtered else "baseline",
-                    round(result.throughput, 1),
-                    round(result.p99_read_us, 1),
-                    metrics.stats["admission_rejects"],
-                    round(metrics.hit_ratio, 4))
+    for label in meta["labels"]:
+        c = payloads[label]
+        out.add_row(label,
+                    round(c["throughput"], 1),
+                    round(c["p99_read_us"], 1),
+                    c["admission_rejects"],
+                    round(c["hit_ratio"], 4))
     out.notes.append(
         "paper: P99 -17% (2.61ms -> 2.16ms), throughput ~unchanged")
     return out
+
+
+def run(quick: bool = False, scale: dict = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, scale=scale)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

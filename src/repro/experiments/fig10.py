@@ -16,8 +16,9 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.cache_ext import load_policy
-from repro.experiments.harness import ExperimentResult, attach_policy, \
-    build_machine, make_db_env
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec, attach_policy,
+                                       build_machine, make_db_env)
 from repro.policies.get_scan import make_get_scan_policy
 from repro.workloads.getscan import GetScanWorkload
 
@@ -72,26 +73,53 @@ def run_one(label: str, policy: str, fadvise_mode: Optional[str],
     return workload.result, env
 
 
-def run(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
-        scale: dict = None) -> ExperimentResult:
+def cell(label: str, policy: str, fadvise_mode: Optional[str],
+         **params) -> dict:
+    result, env = run_one(label, policy, fadvise_mode, **params)
+    return {"get_throughput": result.get_throughput,
+            "get_p99_us": result.get_p99_us,
+            "scan_throughput": result.scan_throughput,
+            "hit_ratio": env.cgroup.metrics().hit_ratio}
+
+
+def plan(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
+         scale: dict = None) -> ExperimentSpec:
     params = dict(QUICK_SCALE if quick else FULL_SCALE)
     if scale:
         params.update(scale)
+    variants = [tuple(v) for v in variants]
+    cells = [CellSpec("fig10", label, cell,
+                      dict(label=label, policy=policy,
+                           fadvise_mode=mode, **params))
+             for label, policy, mode in variants]
+    return ExperimentSpec("fig10", cells, _merge,
+                          meta={"labels": [v[0] for v in variants]})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Figure 10: mixed GET-SCAN workload",
         headers=["variant", "get_ops_per_sec", "get_p99_us",
                  "scan_per_sec", "hit_ratio"])
-    for label, policy, mode in variants:
-        result, env = run_one(label, policy, mode, **params)
-        out.add_row(label, round(result.get_throughput, 1),
-                    round(result.get_p99_us, 1),
-                    round(result.scan_throughput, 3),
-                    round(env.cgroup.metrics().hit_ratio, 4))
+    for label in meta["labels"]:
+        c = payloads[label]
+        out.add_row(label, round(c["get_throughput"], 1),
+                    round(c["get_p99_us"], 1),
+                    round(c["scan_throughput"], 3),
+                    round(c["hit_ratio"], 4))
     out.notes.append(
         "paper: cache_ext GET-SCAN +70% GET throughput, -57% GET P99, "
         "-18% SCAN throughput; fadvise options do not help; MGLRU "
         "worse than default")
     return out
+
+
+def run(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
+        scale: dict = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, variants=variants, scale=scale)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

@@ -17,13 +17,14 @@ number of corpus passes completed in the window (the paper's
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.apps.filesearch import FileSearcher, corpus_pages, \
     make_source_tree
 from repro.apps.lsm import DbOptions, LsmDb
-from repro.experiments.harness import ExperimentResult, attach_policy, \
-    build_machine
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec, attach_policy,
+                                       build_machine)
 from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner, load_items
 
 FULL_SCALE = {"nkeys": 40000, "ycsb_cgroup_pages": 1000,
@@ -76,18 +77,34 @@ def run_one(ycsb_policy: str, search_policy: str, nkeys: int,
     return ycsb_tput, searches
 
 
-def run(quick: bool = False, configs: Iterable[tuple] = CONFIGS,
-        scale: dict = None) -> ExperimentResult:
+def cell(ycsb_policy: str, search_policy: str, **params) -> dict:
+    tput, searches = run_one(ycsb_policy, search_policy, **params)
+    return {"ycsb_tput": tput, "searches": searches}
+
+
+def plan(quick: bool = False, configs: Iterable[tuple] = CONFIGS,
+         scale: dict = None) -> ExperimentSpec:
     params = dict(QUICK_SCALE if quick else FULL_SCALE)
     if scale:
         params.update(scale)
+    configs = [tuple(c) for c in configs]
+    cells = [CellSpec("fig11", label, cell,
+                      dict(ycsb_policy=ycsb_policy,
+                           search_policy=search_policy, **params))
+             for label, ycsb_policy, search_policy in configs]
+    return ExperimentSpec("fig11", cells, _merge,
+                          meta={"labels": [c[0] for c in configs]})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Figure 11: per-cgroup policy isolation",
         headers=["config", "ycsb_ops_per_sec", "searches_completed",
                  "ycsb_vs_baseline_pct", "search_vs_baseline_pct"])
     base = None
-    for label, ycsb_policy, search_policy in configs:
-        tput, searches = run_one(ycsb_policy, search_policy, **params)
+    for label in meta["labels"]:
+        c = payloads[label]
+        tput, searches = c["ycsb_tput"], c["searches"]
         if base is None:
             base = (tput, searches)
         out.add_row(label, round(tput, 1), round(searches, 2),
@@ -98,6 +115,14 @@ def run(quick: bool = False, configs: Iterable[tuple] = CONFIGS,
         "default/default baseline; global policies hurt the mismatched "
         "workload")
     return out
+
+
+def run(quick: bool = False, configs: Iterable[tuple] = CONFIGS,
+        scale: dict = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, configs=configs, scale=scale)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

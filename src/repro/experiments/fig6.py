@@ -20,8 +20,9 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.experiments.harness import (GENERIC_POLICY_NAMES,
-                                       ExperimentResult, make_db_env)
+from repro.experiments.harness import (GENERIC_POLICY_NAMES, CellSpec,
+                                       ExperimentResult, ExperimentSpec,
+                                       make_db_env)
 from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
 
 FULL_SCALE = {"nkeys": 40000, "cgroup_pages": 1000, "nops": 40000,
@@ -60,30 +61,64 @@ def run_one(policy: str, workload: str, nkeys: int, cgroup_pages: int,
     return result, env
 
 
-def run(quick: bool = False,
-        policies: Iterable[str] = GENERIC_POLICY_NAMES,
-        workloads: Iterable[str] = DEFAULT_WORKLOADS,
-        scale: Optional[dict] = None) -> ExperimentResult:
+def cell(policy: str, workload: str, **params) -> dict:
+    """One (policy, workload) cell as a picklable payload.
+
+    Shared with fig7 and table5, which sweep the same grid with
+    different parameters/merges.
+    """
+    result, env = run_one(policy, workload, **params)
+    metrics = env.machine.metrics()
+    return {"throughput": result.throughput,
+            "p99_read_us": result.p99_read_us,
+            "hit_ratio": metrics.cgroup(env.cgroup.name).hit_ratio,
+            "disk_pages": metrics.disk["total_pages"]}
+
+
+def plan(quick: bool = False,
+         policies: Iterable[str] = GENERIC_POLICY_NAMES,
+         workloads: Iterable[str] = DEFAULT_WORKLOADS,
+         scale: Optional[dict] = None) -> ExperimentSpec:
     params = dict(QUICK_SCALE if quick else FULL_SCALE)
     if scale:
         params.update(scale)
+    policies, workloads = list(policies), list(workloads)
+    cells = [CellSpec("fig6", f"{w}/{p}", cell,
+                      dict(policy=p, workload=w, **params))
+             for w in workloads for p in policies]
+    return ExperimentSpec("fig6", cells, _merge,
+                          meta={"params": params, "policies": policies,
+                                "workloads": workloads})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Figure 6: YCSB throughput and P99 read latency",
         headers=["workload", "policy", "ops_per_sec", "p99_read_us",
                  "hit_ratio", "disk_pages"])
-    for workload in workloads:
-        for policy in policies:
-            result, env = run_one(policy, workload, **params)
-            metrics = env.machine.metrics()
+    for workload in meta["workloads"]:
+        for policy in meta["policies"]:
+            c = payloads[f"{workload}/{policy}"]
             out.add_row(workload, policy,
-                        round(result.throughput, 1),
-                        round(result.p99_read_us, 1),
-                        round(metrics.cgroup(env.cgroup.name).hit_ratio, 4),
-                        metrics.disk["total_pages"])
+                        round(c["throughput"], 1),
+                        round(c["p99_read_us"], 1),
+                        round(c["hit_ratio"], 4),
+                        c["disk_pages"])
     out.notes.append(
-        f"scale: {params} (paper: 100 GiB DB / 10 GiB cgroup, same "
-        f"10:1 ratio)")
+        f"scale: {meta['params']} (paper: 100 GiB DB / 10 GiB cgroup, "
+        f"same 10:1 ratio)")
     return out
+
+
+def run(quick: bool = False,
+        policies: Iterable[str] = GENERIC_POLICY_NAMES,
+        workloads: Iterable[str] = DEFAULT_WORKLOADS,
+        scale: Optional[dict] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, policies=policies, workloads=workloads,
+                scale=scale)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

@@ -13,11 +13,11 @@ relationship" claim predicts to be strongly negative.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.experiments import fig6
-from repro.experiments.harness import GENERIC_POLICY_NAMES, \
-    ExperimentResult
+from repro.experiments.harness import (GENERIC_POLICY_NAMES, CellSpec,
+                                       ExperimentResult, ExperimentSpec)
 
 
 def spearman_rank_correlation(xs: list, ys: list) -> float:
@@ -37,28 +37,47 @@ def spearman_rank_correlation(xs: list, ys: list) -> float:
     return 1.0 - 6.0 * d2 / (n * (n * n - 1))
 
 
-def run(quick: bool = False,
-        policies: Iterable[str] = GENERIC_POLICY_NAMES,
-        workloads: Iterable[str] = ("A", "C")) -> ExperimentResult:
+def plan(quick: bool = False,
+         policies: Iterable[str] = GENERIC_POLICY_NAMES,
+         workloads: Iterable[str] = ("A", "C")) -> ExperimentSpec:
     params = dict(fig6.QUICK_SCALE if quick else fig6.FULL_SCALE)
+    policies, workloads = list(policies), list(workloads)
+    cells = [CellSpec("fig7", f"{w}/{p}", fig6.cell,
+                      dict(policy=p, workload=w, **params))
+             for w in workloads for p in policies]
+    return ExperimentSpec("fig7", cells, _merge,
+                          meta={"policies": policies,
+                                "workloads": workloads})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Figure 7: YCSB throughput vs total disk I/O",
         headers=["workload", "policy", "ops_per_sec", "disk_pages",
                  "disk_mib"])
-    for workload in workloads:
+    for workload in meta["workloads"]:
         points = []
-        for policy in policies:
-            result, env = fig6.run_one(policy, workload, **params)
-            pages = env.machine.metrics().disk["total_pages"]
-            out.add_row(workload, policy, round(result.throughput, 1),
+        for policy in meta["policies"]:
+            c = payloads[f"{workload}/{policy}"]
+            pages = c["disk_pages"]
+            out.add_row(workload, policy, round(c["throughput"], 1),
                         pages, round(pages * 4096 / 2**20, 1))
-            points.append((result.throughput, pages))
+            points.append((c["throughput"], pages))
         rho = spearman_rank_correlation([p[0] for p in points],
                                         [p[1] for p in points])
         out.notes.append(
             f"YCSB {workload}: throughput/disk-I/O Spearman rho = "
             f"{rho:.2f} (paper: inverse relationship, rho near -1)")
     return out
+
+
+def run(quick: bool = False,
+        policies: Iterable[str] = GENERIC_POLICY_NAMES,
+        workloads: Iterable[str] = ("A", "C"),
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, policies=policies, workloads=workloads)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

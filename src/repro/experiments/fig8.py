@@ -13,9 +13,10 @@ Takeaway 2: the winner column is not constant.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
-from repro.experiments.harness import ExperimentResult, make_db_env
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec, make_db_env)
 from repro.workloads.twitter import CLUSTERS, TwitterRunner
 
 FULL_SCALE = {"nkeys": 40000, "cgroup_pages": 1000, "nops": 40000,
@@ -36,31 +37,58 @@ def run_one(policy: str, cluster: int, nkeys: int, cgroup_pages: int,
     return runner.run(), env
 
 
-def run(quick: bool = False,
-        clusters: Iterable[int] = (17, 18, 24, 34, 52),
-        policies: Iterable[str] = POLICIES,
-        scale: dict = None) -> ExperimentResult:
+def cell(policy: str, cluster: int, **params) -> dict:
+    result, env = run_one(policy, cluster, **params)
+    return {"throughput": result.throughput,
+            "hit_ratio": env.cgroup.metrics().hit_ratio}
+
+
+def plan(quick: bool = False,
+         clusters: Iterable[int] = (17, 18, 24, 34, 52),
+         policies: Iterable[str] = POLICIES,
+         scale: dict = None) -> ExperimentSpec:
     params = dict(QUICK_SCALE if quick else FULL_SCALE)
     if scale:
         params.update(scale)
+    clusters, policies = list(clusters), list(policies)
+    cells = [CellSpec("fig8", f"{c}/{p}", cell,
+                      dict(policy=p, cluster=c, **params))
+             for c in clusters for p in policies]
+    return ExperimentSpec("fig8", cells, _merge,
+                          meta={"clusters": clusters,
+                                "policies": policies})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Figure 8: Twitter cluster traces",
         headers=["cluster", "policy", "ops_per_sec", "hit_ratio"])
     winners = {}
-    for cluster in clusters:
+    for cluster in meta["clusters"]:
         best = (None, -1.0)
-        for policy in policies:
-            result, env = run_one(policy, cluster, **params)
-            out.add_row(cluster, policy, round(result.throughput, 1),
-                        round(env.cgroup.metrics().hit_ratio, 4))
-            if result.throughput > best[1]:
-                best = (policy, result.throughput)
+        for policy in meta["policies"]:
+            c = payloads[f"{cluster}/{policy}"]
+            out.add_row(cluster, policy, round(c["throughput"], 1),
+                        round(c["hit_ratio"], 4))
+            if c["throughput"] > best[1]:
+                best = (policy, c["throughput"])
         winners[cluster] = best[0]
     out.notes.append(f"winners per cluster: {winners}")
     out.notes.append(
         "paper winners: 17->MGLRU, 18->MGLRU, 24->default (MGLRU "
         "OOMed), 34->LHD, 52->LFU; headline = no single winner")
     return out
+
+
+def run(quick: bool = False,
+        clusters: Iterable[int] = (17, 18, 24, 34, 52),
+        policies: Iterable[str] = POLICIES,
+        scale: dict = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, clusters=clusters, policies=policies,
+                scale=scale)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

@@ -9,12 +9,13 @@ making it nearly 2x faster in the paper.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.apps.filesearch import FileSearcher, corpus_pages, \
     make_source_tree
-from repro.experiments.harness import ExperimentResult, attach_policy, \
-    build_machine
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec, attach_policy,
+                                       build_machine)
 
 FULL_SCALE = {"nfiles": 500, "passes": 10, "cgroup_frac": 0.7,
               "nthreads": 4}
@@ -36,30 +37,54 @@ def run_one(policy: str, nfiles: int, passes: int, cgroup_frac: float,
     return searcher.run(), cgroup, machine
 
 
-def run(quick: bool = False,
-        policies: Iterable[str] = POLICIES,
-        scale: dict = None) -> ExperimentResult:
+def cell(policy: str, **params) -> dict:
+    result, cgroup, machine = run_one(policy, **params)
+    metrics = machine.metrics()
+    return {"seconds": result.elapsed_us / 1e6,
+            "hit_ratio": metrics.cgroup(cgroup.name).hit_ratio,
+            "disk_pages": metrics.disk["total_pages"]}
+
+
+def plan(quick: bool = False,
+         policies: Iterable[str] = POLICIES,
+         scale: dict = None) -> ExperimentSpec:
     params = dict(QUICK_SCALE if quick else FULL_SCALE)
     if scale:
         params.update(scale)
+    policies = list(policies)
+    cells = [CellSpec("fig9", policy, cell, dict(policy=policy, **params))
+             for policy in policies]
+    return ExperimentSpec("fig9", cells, _merge,
+                          meta={"policies": policies})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Figure 9: file search (ripgrep) completion time",
         headers=["policy", "seconds", "hit_ratio", "disk_pages",
                  "speedup_vs_default"])
     baseline = None
-    for policy in policies:
-        result, cgroup, machine = run_one(policy, **params)
-        seconds = result.elapsed_us / 1e6
+    for policy in meta["policies"]:
+        c = payloads[policy]
+        seconds = c["seconds"]
         if policy == "default":
             baseline = seconds
         speedup = (baseline / seconds) if baseline else 0.0
-        metrics = machine.metrics()
         out.add_row(policy, round(seconds, 2),
-                    round(metrics.cgroup(cgroup.name).hit_ratio, 4),
-                    metrics.disk["total_pages"],
+                    round(c["hit_ratio"], 4),
+                    c["disk_pages"],
                     round(speedup, 2))
     out.notes.append("paper: MRU ~2x faster than default and MGLRU")
     return out
+
+
+def run(quick: bool = False,
+        policies: Iterable[str] = POLICIES,
+        scale: dict = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, policies=policies, scale=scale)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

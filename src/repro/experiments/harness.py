@@ -14,7 +14,7 @@ results.  Policy names:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.apps.lsm import DbOptions, LsmDb
 from repro.cache_ext.ops import CacheExtOps
@@ -42,12 +42,33 @@ KERNEL_POLICIES = ("default", "mglru")
 EXPERIMENT_DISK = dict(read_us=95.0, write_us=30.0, channels=2)
 
 
+#: Per-process cell observer (see :func:`set_cell_observer`).  When an
+#: experiment cell runs under the parallel runner with tracing
+#: requested, the observer attaches trace consumers to every machine
+#: the cell builds, so serial and parallel runs can be compared on
+#: trace-derived numbers, not just final tables.
+_cell_observer: Optional[Callable[[Machine], None]] = None
+
+
+def set_cell_observer(observer: Optional[Callable[[Machine], None]]):
+    """Install a callback invoked with every machine built by
+    :func:`build_machine`; returns the previous observer so callers
+    can restore it."""
+    global _cell_observer
+    previous = _cell_observer
+    _cell_observer = observer
+    return previous
+
+
 def build_machine(policy: str) -> Machine:
     """A machine booted with the right kernel policy for ``policy``."""
     from repro.kernel.block import BlockDevice
     kernel = "mglru" if policy == "mglru" else "default"
-    return Machine(kernel_policy=kernel,
-                   disk=BlockDevice(**EXPERIMENT_DISK))
+    machine = Machine(kernel_policy=kernel,
+                      disk=BlockDevice(**EXPERIMENT_DISK))
+    if _cell_observer is not None:
+        _cell_observer(machine)
+    return machine
 
 
 def attach_policy(machine: Machine, cgroup: MemCgroup, policy: str,
@@ -125,6 +146,49 @@ def make_db_env(policy: str, cgroup_pages: int, nkeys: int,
     if compaction_thread:
         db.spawn_compaction_thread()
     return DbEnv(machine, cgroup, db, ops)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent unit of an experiment sweep.
+
+    A cell is the parallelism grain of the paper's evaluation: one
+    fresh machine, one (policy, workload, size) combination, one
+    picklable payload out.  ``fn`` must be a module-level function
+    (so cells survive a trip through ``multiprocessing``) returning a
+    plain dict of numbers/strings — never live simulator objects.
+    """
+
+    experiment: str
+    cell_id: str
+    fn: Callable[..., dict]
+    kwargs: dict = field(default_factory=dict)
+
+    def execute(self) -> dict:
+        return self.fn(**self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CellSpec({self.experiment}:{self.cell_id})"
+
+
+@dataclass
+class ExperimentSpec:
+    """A planned experiment: independent cells + a deterministic merge.
+
+    ``merge(meta, payloads)`` receives ``{cell_id: payload}`` for every
+    cell and must be a *pure* function of that mapping — all
+    cross-cell arithmetic (baselines, ratios, rank correlations,
+    winners) happens here, in the parent process, so serial and
+    parallel executions produce byte-identical tables.
+    """
+
+    name: str
+    cells: list
+    merge: Callable[[dict, dict], "ExperimentResult"]
+    meta: dict = field(default_factory=dict)
+
+    def cell_ids(self) -> list[str]:
+        return [cell.cell_id for cell in self.cells]
 
 
 @dataclass

@@ -1,0 +1,313 @@
+"""Parallel experiment runner: fan independent cells across processes.
+
+Every figure/table in the paper is a grid of *independent* simulations
+(policy x workload x size).  Each cell builds its own
+:class:`~repro.kernel.machine.Machine`, so cells share nothing and can
+run in separate worker processes; the merge step then reassembles the
+table in the parent.  Three properties make this safe:
+
+* **Determinism** — a cell's payload depends only on its kwargs (all
+  RNGs are seeded, time is virtual), so where and when it runs cannot
+  change its numbers.  Merges are pure functions of
+  ``{cell_id: payload}``; all cross-cell arithmetic (baselines,
+  ratios, winners, rank correlations) happens in the parent.  Serial
+  and parallel runs therefore produce byte-identical tables, which
+  ``tests/test_parallel.py`` asserts for every experiment.
+* **Isolation** — workers are forked per cell and exit after one
+  payload, so a crashing or wedged cell cannot corrupt its neighbours.
+  Failures (crash, timeout, unpicklable payload) are retried serially
+  in the parent, making the parallel path strictly a performance
+  feature, never a correctness risk.
+* **Observability** — per-cell wall-clock is reported (stderr by
+  default), and ``trace=True`` attaches a ``cache:lookup`` counter to
+  every machine a cell builds, giving trace-derived hit ratios that
+  can be compared across execution modes.
+
+Usage::
+
+    python -m repro.experiments.parallel fig6 --jobs 4
+    python -m repro.experiments.parallel table5 --quick --serial
+
+or from code::
+
+    spec = fig6.plan(quick=True)
+    report = execute(spec, jobs=4)
+    print(report.result.format_table())
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import multiprocessing.connection
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments import harness
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec)
+
+#: How long the scheduler waits on worker pipes before re-checking
+#: per-cell deadlines (seconds of real time).
+POLL_INTERVAL_S = 0.2
+
+#: Default per-cell timeout.  Cells are minutes at most even at full
+#: scale; a worker stuck past this is presumed wedged and its cell is
+#: re-run serially.
+DEFAULT_TIMEOUT_S = 1800.0
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose one."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+class _LookupCounter:
+    """Counts ``cache:lookup`` hit/miss events on every machine a cell
+    builds — the trace-derived cross-check of the table's hit ratios."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def attach(self, machine) -> None:
+        machine.trace.tracepoint("cache:lookup").subscribe(self._on_lookup)
+
+    def _on_lookup(self, event) -> None:
+        if event.data.get("hit"):
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def counts(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+def run_cell(cell: CellSpec, trace: bool = False) -> tuple[dict, Optional[dict]]:
+    """Execute one cell in this process; returns (payload, trace counts).
+
+    With ``trace=True`` a lookup counter is attached to every machine
+    the cell builds (via the :func:`harness.build_machine` observer),
+    so tracing-enabled runs exercise the real tracepoint dispatch path.
+    """
+    if not trace:
+        return cell.execute(), None
+    counter = _LookupCounter()
+    previous = harness.set_cell_observer(counter.attach)
+    try:
+        payload = cell.execute()
+    finally:
+        harness.set_cell_observer(previous)
+    return payload, counter.counts()
+
+
+@dataclass
+class CellTiming:
+    """Wall-clock record for one executed cell."""
+
+    cell_id: str
+    wall_s: float
+    mode: str  # "worker" | "serial" | "fallback"
+    error: Optional[str] = None
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one :func:`execute` call produced."""
+
+    result: ExperimentResult
+    timings: list = field(default_factory=list)
+    trace: dict = field(default_factory=dict)
+    #: cell_ids that failed in a worker and were re-run serially.
+    fallbacks: list = field(default_factory=list)
+    wall_s: float = 0.0
+    jobs: int = 1
+
+    def format_timings(self) -> str:
+        lines = [f"[{len(self.timings)} cells, jobs={self.jobs}, "
+                 f"wall {self.wall_s:.1f}s]"]
+        for t in sorted(self.timings, key=lambda t: -t.wall_s):
+            note = f"  ({t.mode})" if t.mode != "worker" else ""
+            lines.append(f"  {t.cell_id:<32} {t.wall_s:8.2f}s{note}")
+        if self.fallbacks:
+            lines.append(f"  serial fallbacks: {', '.join(self.fallbacks)}")
+        return "\n".join(lines)
+
+
+def _worker_main(conn, cell: CellSpec, trace: bool) -> None:
+    """Child entry: run one cell, send one message, exit."""
+    try:
+        payload, counts = run_cell(cell, trace=trace)
+        conn.send(("ok", payload, counts))
+    except BaseException as exc:  # report, don't propagate: the parent
+        try:                      # decides how to retry
+            conn.send(("err", f"{type(exc).__name__}: {exc}", None))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _execute_serial(spec: ExperimentSpec, trace: bool,
+                    report: ExecutionReport) -> dict:
+    payloads = {}
+    for cell in spec.cells:
+        t0 = time.perf_counter()
+        payload, counts = run_cell(cell, trace=trace)
+        report.timings.append(
+            CellTiming(cell.cell_id, time.perf_counter() - t0, "serial"))
+        payloads[cell.cell_id] = payload
+        if counts is not None:
+            report.trace[cell.cell_id] = counts
+    return payloads
+
+
+def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
+                      trace: bool, report: ExecutionReport) -> dict:
+    ctx = multiprocessing.get_context("fork")
+    pending = list(spec.cells)
+    running: dict = {}  # parent_conn -> (cell, process, started_at)
+    payloads: dict = {}
+    failed: list[tuple[CellSpec, str]] = []
+
+    def reap(conn, cell, proc, started) -> None:
+        wall = time.perf_counter() - started
+        try:
+            status, value, counts = conn.recv()
+        except (EOFError, OSError):
+            status, value, counts = "err", "worker died without a result", None
+        conn.close()
+        proc.join()
+        if status == "ok":
+            payloads[cell.cell_id] = value
+            report.timings.append(CellTiming(cell.cell_id, wall, "worker"))
+            if counts is not None:
+                report.trace[cell.cell_id] = counts
+        else:
+            failed.append((cell, value))
+
+    while pending or running:
+        while pending and len(running) < jobs:
+            cell = pending.pop(0)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, cell, trace),
+                               name=f"cell-{cell.cell_id}")
+            proc.start()
+            child_conn.close()
+            running[parent_conn] = (cell, proc, time.perf_counter())
+        ready = multiprocessing.connection.wait(
+            list(running), timeout=POLL_INTERVAL_S)
+        for conn in ready:
+            cell, proc, started = running.pop(conn)
+            reap(conn, cell, proc, started)
+        now = time.perf_counter()
+        for conn in [c for c, (_, _, t0) in running.items()
+                     if now - t0 > timeout_s]:
+            cell, proc, started = running.pop(conn)
+            proc.terminate()
+            proc.join()
+            conn.close()
+            failed.append((cell, f"timed out after {timeout_s:.0f}s"))
+
+    # Crash/timeout fallback: re-run failed cells serially, in plan
+    # order, in this process — determinism makes the retry exact.
+    order = {cell.cell_id: i for i, cell in enumerate(spec.cells)}
+    for cell, error in sorted(failed, key=lambda f: order[f[0].cell_id]):
+        t0 = time.perf_counter()
+        payload, counts = run_cell(cell, trace=trace)
+        report.timings.append(
+            CellTiming(cell.cell_id, time.perf_counter() - t0,
+                       "fallback", error=error))
+        report.fallbacks.append(cell.cell_id)
+        payloads[cell.cell_id] = payload
+        if counts is not None:
+            report.trace[cell.cell_id] = counts
+    return payloads
+
+
+def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
+            serial: bool = False, timeout_s: float = DEFAULT_TIMEOUT_S,
+            trace: bool = False) -> ExecutionReport:
+    """Run every cell of ``spec`` and merge; returns the full report.
+
+    ``serial=True`` (or ``jobs=1``, or a platform without ``fork``)
+    runs cells in-process in plan order — the escape hatch and the
+    reference behaviour the parallel path must reproduce byte for
+    byte.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    can_fork = "fork" in multiprocessing.get_all_start_methods()
+    report = ExecutionReport(result=None, jobs=1 if serial else jobs)
+    t0 = time.perf_counter()
+    if serial or jobs <= 1 or len(spec.cells) <= 1 or not can_fork:
+        report.jobs = 1
+        payloads = _execute_serial(spec, trace, report)
+    else:
+        payloads = _execute_parallel(spec, jobs, timeout_s, trace, report)
+    report.result = spec.merge(spec.meta, payloads)
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def run_spec(spec: ExperimentSpec, **kwargs) -> ExperimentResult:
+    """Convenience wrapper returning just the merged table."""
+    return execute(spec, **kwargs).result
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _load_experiment(name: str):
+    import importlib
+    module = importlib.import_module(f"repro.experiments.{name}")
+    if not hasattr(module, "plan"):
+        raise SystemExit(f"experiment {name!r} has no plan()")
+    return module
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run one experiment's cells across worker processes")
+    parser.add_argument("experiment",
+                        help="experiment module name (fig6, table5, ...)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes (default: min(cpus, 8))")
+    parser.add_argument("--serial", action="store_true",
+                        help="run cells in-process, in order")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes (CI smoke)")
+    parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
+                        help="per-cell timeout in seconds")
+    parser.add_argument("--trace", action="store_true",
+                        help="attach cache:lookup counters to every cell")
+    parser.add_argument("-o", "--output", default=None,
+                        help="also write the table to this file")
+    args = parser.parse_args(argv)
+
+    module = _load_experiment(args.experiment)
+    spec = module.plan(quick=args.quick)
+    report = execute(spec, jobs=args.jobs, serial=args.serial,
+                     timeout_s=args.timeout, trace=args.trace)
+    table = report.result.format_table()
+    print(table)
+    if args.trace:
+        for cell_id in sorted(report.trace):
+            counts = report.trace[cell_id]
+            total = counts["hits"] + counts["misses"]
+            ratio = counts["hits"] / total if total else 0.0
+            print(f"trace {cell_id}: {counts['hits']}/{total} "
+                  f"lookups hit ({ratio:.4f})")
+    print(report.format_timings(), file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

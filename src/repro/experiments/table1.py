@@ -14,10 +14,13 @@ We reproduce the same four rows: three KV workloads on the LSM store
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.apps.filesearch import FileSearcher, corpus_pages, \
     make_source_tree
-from repro.experiments.harness import ExperimentResult, attach_policy, \
-    build_machine, make_db_env
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec, attach_policy,
+                                       build_machine, make_db_env)
 from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
 
 #: The paper's Table 1 machines give RocksDB 8 GiB of memory, so the
@@ -92,23 +95,50 @@ def _run_search(dispatch: bool, params: dict) -> float:
     return result.elapsed_us / 1e6
 
 
-def run(quick: bool = False, scale: dict = None) -> ExperimentResult:
+def cell_kv(workload: str, dispatch: bool, **params) -> dict:
+    return {"value": _run_kv(workload, dispatch=dispatch, params=params)}
+
+
+def cell_search(dispatch: bool, **params) -> dict:
+    return {"value": _run_search(dispatch=dispatch, params=params)}
+
+
+KV_WORKLOADS = ("A", "C", "uniform")
+
+
+def plan(quick: bool = False, scale: dict = None) -> ExperimentSpec:
     params = dict(QUICK_SCALE if quick else FULL_SCALE)
     if scale:
         params.update(scale)
+    cells = []
+    for workload in KV_WORKLOADS:
+        for dispatch in (False, True):
+            suffix = "dispatch" if dispatch else "base"
+            cells.append(CellSpec(
+                "table1", f"kv/{workload}/{suffix}", cell_kv,
+                dict(workload=workload, dispatch=dispatch, **params)))
+    for dispatch in (False, True):
+        suffix = "dispatch" if dispatch else "base"
+        cells.append(CellSpec(
+            "table1", f"search/{suffix}", cell_search,
+            dict(dispatch=dispatch, **params)))
+    return ExperimentSpec("table1", cells, _merge, meta={})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Table 1: userspace-dispatch overhead",
         headers=["workload", "baseline", "benchmark", "degradation_pct",
                  "unit"])
-    for workload in ("A", "C", "uniform"):
-        base = _run_kv(workload, dispatch=False, params=params)
-        bench = _run_kv(workload, dispatch=True, params=params)
+    for workload in KV_WORKLOADS:
+        base = payloads[f"kv/{workload}/base"]["value"]
+        bench = payloads[f"kv/{workload}/dispatch"]["value"]
         label = {"A": "YCSB A", "C": "YCSB C",
                  "uniform": "Uniform"}[workload]
         out.add_row(label, round(base, 1), round(bench, 1),
                     round((bench - base) / base * 100.0, 1), "op/s")
-    base_s = _run_search(dispatch=False, params=params)
-    bench_s = _run_search(dispatch=True, params=params)
+    base_s = payloads["search/base"]["value"]
+    bench_s = payloads["search/dispatch"]["value"]
     # For the time-based row, degradation = extra time (negative sign
     # convention matches the paper's "-4.7%").
     out.add_row("Search", round(base_s, 2), round(bench_s, 2),
@@ -116,6 +146,13 @@ def run(quick: bool = False, scale: dict = None) -> ExperimentResult:
                 "seconds")
     out.notes.append("paper: -16.6% / -17.8% / -20.6% / -4.7%")
     return out
+
+
+def run(quick: bool = False, scale: dict = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, scale=scale)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

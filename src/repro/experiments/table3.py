@@ -13,7 +13,10 @@ lines, never thousands).
 
 from __future__ import annotations
 
-from repro.experiments.harness import ExperimentResult
+from typing import Optional
+
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec)
 from repro.experiments.loc import count_policy_loc
 from repro.policies import (admission, fifo, get_scan, lfu, lhd, mglru,
                             mru, s3fifo)
@@ -42,21 +45,42 @@ MODULES = (
 )
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def cell(name: str) -> dict:
+    module = dict(MODULES)[name]
+    breakdown = count_policy_loc(module, name)
+    return {"bpf_loc": breakdown.bpf_loc,
+            "loader_loc": breakdown.loader_loc}
+
+
+def plan(quick: bool = False) -> ExperimentSpec:
+    cells = [CellSpec("table3", name, cell, dict(name=name))
+             for name, _ in MODULES]
+    return ExperimentSpec("table3", cells, _merge,
+                          meta={"names": [name for name, _ in MODULES]})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Table 3: policy implementation complexity (LoC)",
         headers=["policy", "bpf_loc", "loader_loc", "paper_bpf_loc",
                  "paper_loader_loc"])
-    for name, module in MODULES:
-        breakdown = count_policy_loc(module, name)
+    for name in meta["names"]:
+        c = payloads[name]
         paper_bpf, paper_loader = PAPER_LOC[name]
-        out.add_row(name, breakdown.bpf_loc, breakdown.loader_loc,
+        out.add_row(name, c["bpf_loc"], c["loader_loc"],
                     paper_bpf, paper_loader)
     out.notes.append(
         "comparison is qualitative: both implementations put every "
         "policy in tens-to-hundreds of lines with the admission filter "
         "smallest and MGLRU largest")
     return out
+
+
+def run(quick: bool = False,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

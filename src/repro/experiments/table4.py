@@ -13,12 +13,13 @@ policy, plus the registry memory-overhead bounds of §6.3.1.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.cache_ext.registry import BUCKET_BYTES, ENTRY_BYTES
 from repro.apps.fio import FioJob
-from repro.experiments.harness import ExperimentResult, attach_policy, \
-    build_machine
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec, attach_policy,
+                                       build_machine)
 from repro.kernel.folio import PAGE_SIZE
 
 #: (label, cgroup pages, file pages) — 5/10/30 GiB scaled ~1000x with
@@ -41,31 +42,53 @@ def run_one(policy: str, cgroup_pages: int, file_pages: int,
     return job.run(), cgroup
 
 
-def run(quick: bool = False,
-        sizes: Iterable[tuple] = None) -> ExperimentResult:
+def cell(policy: str, cgroup_pages: int, file_pages: int,
+         ops_per_thread: int) -> dict:
+    result, _ = run_one(policy, cgroup_pages, file_pages,
+                        ops_per_thread)
+    return {"cpu_us_per_op": result.cpu_us_per_op}
+
+
+def plan(quick: bool = False,
+         sizes: Iterable[tuple] = None) -> ExperimentSpec:
     if sizes is None:
         sizes = QUICK_SIZES if quick else FULL_SIZES
+    sizes = [tuple(s) for s in sizes]
     ops_per_thread = QUICK_OPS if quick else FULL_OPS
+    cells = [CellSpec("table4", f"{label}/{policy}", cell,
+                      dict(policy=policy, cgroup_pages=cgroup_pages,
+                           file_pages=file_pages,
+                           ops_per_thread=ops_per_thread))
+             for label, cgroup_pages, file_pages in sizes
+             for policy in ("default", "noop")]
+    return ExperimentSpec("table4", cells, _merge,
+                          meta={"labels": [s[0] for s in sizes]})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Table 4: no-op cache_ext CPU overhead (fio randread)",
         headers=["cgroup", "default_cpu_us_per_op",
                  "noop_cpu_us_per_op", "overhead_pct",
                  "registry_mem_pct"])
-    for label, cgroup_pages, file_pages in sizes:
-        base, _ = run_one("default", cgroup_pages, file_pages,
-                          ops_per_thread)
-        noop, cgroup = run_one("noop", cgroup_pages, file_pages,
-                               ops_per_thread)
-        overhead = ((noop.cpu_us_per_op - base.cpu_us_per_op)
-                    / base.cpu_us_per_op * 100.0)
+    for label in meta["labels"]:
+        base = payloads[f"{label}/default"]["cpu_us_per_op"]
+        noop = payloads[f"{label}/noop"]["cpu_us_per_op"]
+        overhead = (noop - base) / base * 100.0
         # §6.3.1 analysis: one bucket per cgroup page, full registry.
         mem_pct = (BUCKET_BYTES + ENTRY_BYTES) / PAGE_SIZE * 100.0
-        out.add_row(label, round(base.cpu_us_per_op, 3),
-                    round(noop.cpu_us_per_op, 3),
+        out.add_row(label, round(base, 3), round(noop, 3),
                     round(overhead, 2), round(mem_pct, 2))
     out.notes.append("paper: overhead 0.17%-1.66%; registry memory "
                      "0.4% empty / 1.2% full")
     return out
+
+
+def run(quick: bool = False, sizes: Iterable[tuple] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, sizes=sizes)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

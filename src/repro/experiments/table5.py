@@ -13,10 +13,11 @@ where they run and what hook overhead they pay.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.experiments import fig6
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import (CellSpec, ExperimentResult,
+                                       ExperimentSpec)
 
 WORKLOADS = ("A", "B", "C", "D", "E", "F", "uniform", "uniform-rw")
 
@@ -28,28 +29,41 @@ def harmonic_mean(values: list) -> float:
     return len(vals) / sum(1.0 / v for v in vals)
 
 
-def run(quick: bool = False,
-        workloads: Iterable[str] = WORKLOADS) -> ExperimentResult:
+def plan(quick: bool = False,
+         workloads: Iterable[str] = WORKLOADS) -> ExperimentSpec:
     params = dict(fig6.QUICK_SCALE if quick else fig6.FULL_SCALE)
+    workloads = list(workloads)
+    cells = [CellSpec("table5", f"{w}/{p}", fig6.cell,
+                      dict(policy=p, workload=w, **params))
+             for w in workloads for p in ("mglru", "mglru-bpf")]
+    return ExperimentSpec("table5", cells, _merge,
+                          meta={"workloads": workloads})
+
+
+def _merge(meta: dict, payloads: dict) -> ExperimentResult:
     out = ExperimentResult(
         "Table 5: cache_ext MGLRU vs native MGLRU",
         headers=["workload", "native_ops_per_sec", "bpf_ops_per_sec",
                  "relative"])
     ratios = []
-    for workload in workloads:
-        native, _ = fig6.run_one("mglru", workload, **params)
-        bpf, _ = fig6.run_one("mglru-bpf", workload, **params)
-        if native.throughput > 0:
-            ratio = bpf.throughput / native.throughput
-        else:
-            ratio = 0.0
+    for workload in meta["workloads"]:
+        native = payloads[f"{workload}/mglru"]["throughput"]
+        bpf = payloads[f"{workload}/mglru-bpf"]["throughput"]
+        ratio = bpf / native if native > 0 else 0.0
         ratios.append(ratio)
-        out.add_row(workload, round(native.throughput, 1),
-                    round(bpf.throughput, 1), round(ratio, 3))
+        out.add_row(workload, round(native, 1), round(bpf, 1),
+                    round(ratio, 3))
     out.notes.append(
         f"harmonic mean relative performance: "
         f"{harmonic_mean(ratios):.3f} (paper: 0.99)")
     return out
+
+
+def run(quick: bool = False, workloads: Iterable[str] = WORKLOADS,
+        jobs: Optional[int] = None) -> ExperimentResult:
+    from repro.experiments.parallel import run_spec
+    spec = plan(quick=quick, workloads=workloads)
+    return run_spec(spec, jobs=jobs, serial=jobs is None)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

@@ -100,13 +100,40 @@ class IntrusiveList:
     def move_to_tail(self, node: ListNode) -> None:
         """Rotate ``node`` to this list's tail (it may come from another
         list)."""
-        if node.owner is not None:
-            node.owner.remove(node)
+        owner = node.owner
+        if owner is self:
+            head = self._head
+            if node.next is head:      # already at the tail
+                return
+            # Same-list rotation: relink in place, size unchanged.
+            node.prev.next = node.next
+            node.next.prev = node.prev
+            last = head.prev
+            node.prev = last
+            node.next = head
+            last.next = node
+            head.prev = node
+            return
+        if owner is not None:
+            owner.remove(node)
         self.add_tail(node)
 
     def move_to_head(self, node: ListNode) -> None:
-        if node.owner is not None:
-            node.owner.remove(node)
+        owner = node.owner
+        if owner is self:
+            head = self._head
+            if node.prev is head:      # already at the head
+                return
+            node.prev.next = node.next
+            node.next.prev = node.prev
+            first = head.next
+            node.next = first
+            node.prev = head
+            first.prev = node
+            head.next = node
+            return
+        if owner is not None:
+            owner.remove(node)
         self.add_head(node)
 
     def iter_from_head(self) -> Iterator[ListNode]:

@@ -124,8 +124,7 @@ class Filesystem:
         if f is None:
             raise EBADF(f"no such file: {name}")
         cache = self.machine.page_cache
-        for folio in f.mapping.folios():
-            cache.remove_folio_no_shadow(folio)
+        cache.remove_folios_no_shadow(f.mapping.folios())
         f.store.clear()
         f.deleted = True
 
@@ -159,10 +158,12 @@ class Filesystem:
 
         # Miss: bring the page (plus any readahead) in from the device.
         memcg = cache._current_cgroup()
-        memcg.stats.misses += 1
-        memcg.stats.lookups += 1
-        cache.stats.misses += 1
-        cache.stats.lookups += 1
+        mstats = memcg.stats
+        mstats.misses += 1
+        mstats.lookups += 1
+        stats = cache.stats
+        stats.misses += 1
+        stats.lookups += 1
         self._trace_miss(cache, f, index)
 
         ra_indices = self._readahead_indices(f, index)
@@ -251,10 +252,12 @@ class Filesystem:
             return
 
         memcg = cache._current_cgroup()
-        memcg.stats.misses += 1
-        memcg.stats.lookups += 1
-        cache.stats.misses += 1
-        cache.stats.lookups += 1
+        mstats = memcg.stats
+        mstats.misses += 1
+        mstats.lookups += 1
+        stats = cache.stats
+        stats.misses += 1
+        stats.lookups += 1
         self._trace_miss(cache, f, index)
         folio = cache.add_folio(f.mapping, index, memcg)
         if folio is None:

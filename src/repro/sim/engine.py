@@ -60,8 +60,9 @@ class SimThread:
         The memory cgroup this thread's page-cache charges accrue to.
     """
 
-    __slots__ = ("tid", "name", "step_fn", "cgroup", "clock_us", "done",
-                 "steps", "cpu_us", "start_us", "finish_us", "daemon")
+    __slots__ = ("tid", "name", "step_fn", "cgroup", "cgroup_name",
+                 "clock_us", "done", "steps", "cpu_us", "start_us",
+                 "finish_us", "daemon")
 
     def __init__(self, tid: int, name: str,
                  step_fn: Callable[["SimThread"], bool],
@@ -70,6 +71,10 @@ class SimThread:
         self.name = name
         self.step_fn = step_fn
         self.cgroup = cgroup
+        #: Cached ``cgroup.name`` ("root" when unassigned), so tracing
+        #: never recomputes it per context switch / thread exit.  Keep
+        #: in sync via :meth:`set_cgroup` when reassigning.
+        self.cgroup_name = cgroup.name if cgroup is not None else "root"
         self.clock_us: float = 0.0
         self.done = False
         self.steps = 0
@@ -80,6 +85,11 @@ class SimThread:
         #: not keep the engine alive: run() stops once every non-daemon
         #: thread has finished, like Python's threading daemons.
         self.daemon = daemon
+
+    def set_cgroup(self, cgroup) -> None:
+        """Reassign the thread's cgroup, keeping ``cgroup_name`` fresh."""
+        self.cgroup = cgroup
+        self.cgroup_name = cgroup.name if cgroup is not None else "root"
 
     def advance(self, us: float) -> None:
         """Consume ``us`` microseconds of CPU time on this thread."""
@@ -105,12 +115,20 @@ class Engine:
     clock aligned to the spawner's, so causality is preserved.
     """
 
+    #: Compaction trigger: when done threads outnumber live ones by
+    #: this factor (and there are enough of them to matter), the engine
+    #: drops finished entries from ``_threads`` and stale tuples from
+    #: ``_heap`` so long multi-phase runs don't grow unboundedly.
+    COMPACT_FACTOR = 4
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self) -> None:
         self._threads: list[SimThread] = []
         self._heap: list[tuple[float, int, SimThread]] = []
         self._seq = itertools.count()
         self._next_tid = itertools.count(1000)
         self._live_nondaemon = 0
+        self._nr_done = 0
         self.now_us: float = 0.0
         # Scheduler tracepoints (sched:switch / sched:exit); wired by
         # Machine via attach_trace, permanently disabled on a bare
@@ -154,7 +172,34 @@ class Engine:
 
     @property
     def threads(self) -> list[SimThread]:
+        """Snapshot of threads the engine still remembers.
+
+        Finished threads remain visible until a compaction pass drops
+        them (see :meth:`_maybe_compact`); callers that need a thread's
+        final counters should keep their own reference, as the apps do.
+        """
         return list(self._threads)
+
+    def _maybe_compact(self) -> None:
+        """Drop finished threads once they dominate the live set.
+
+        Lazy, amortised O(live): runs only when done entries exceed
+        live ones by :attr:`COMPACT_FACTOR`, rebuilding ``_threads``
+        and filtering stale ``_heap`` tuples (a done thread's tuple is
+        dead weight — the run loop would skip it anyway).
+        """
+        dead = self._nr_done
+        live = len(self._threads) - dead
+        if dead < self.COMPACT_MIN_DEAD or dead <= self.COMPACT_FACTOR * live:
+            return
+        self._threads = [t for t in self._threads if not t.done]
+        self._nr_done = 0
+        stale = len(self._heap) - sum(
+            1 for _, _, t in self._heap if not t.done)
+        if stale > self.COMPACT_FACTOR * max(1, len(self._heap) - stale):
+            self._heap = [entry for entry in self._heap
+                          if not entry[2].done]
+            heapq.heapify(self._heap)
 
     # ------------------------------------------------------------------
     # execution
@@ -171,29 +216,33 @@ class Engine:
             fixed-duration experiments (e.g., the 7-minute file-search
             window of Figure 11) are expressed.
         max_steps:
-            Safety valve for tests; raises ``RuntimeError`` if exceeded.
+            Safety valve for tests; raises ``RuntimeError`` as soon as
+            running one more step would exceed the budget (i.e. at most
+            ``max_steps`` steps ever execute).
         """
         global _current
         steps = 0
-        while self._heap:
+        heap = self._heap
+        while heap:
             if self._live_nondaemon == 0:
                 # Only daemons remain; they must not keep us spinning.
                 return
-            clock, _seq, thread = heapq.heappop(self._heap)
+            clock, _seq, thread = heapq.heappop(heap)
             if thread.done:
                 continue
             if until_us is not None and clock >= until_us:
                 # Not runnable within the window; push back and stop.
-                heapq.heappush(self._heap, (clock, next(self._seq), thread))
+                heapq.heappush(heap, (clock, next(self._seq), thread))
                 self.now_us = until_us
                 return
+            if max_steps is not None and steps >= max_steps:
+                heapq.heappush(heap, (clock, next(self._seq), thread))
+                raise RuntimeError(f"engine exceeded max_steps={max_steps}")
             self.now_us = clock
             tp = self._tp_switch
             if tp.enabled:
-                tp.emit(clock,
-                        thread.cgroup.name if thread.cgroup is not None
-                        else "root",
-                        thread.tid, thread=thread.name, step=thread.steps)
+                tp.emit(clock, thread.cgroup_name, thread.tid,
+                        thread=thread.name, step=thread.steps)
             _current = thread
             try:
                 more = thread.step_fn(thread)
@@ -201,24 +250,23 @@ class Engine:
                 _current = None
             thread.steps += 1
             steps += 1
-            if max_steps is not None and steps > max_steps:
-                raise RuntimeError(f"engine exceeded max_steps={max_steps}")
             if more:
                 heapq.heappush(
-                    self._heap, (thread.clock_us, next(self._seq), thread))
+                    heap, (thread.clock_us, next(self._seq), thread))
             else:
                 thread.done = True
                 thread.finish_us = thread.clock_us
+                self._nr_done += 1
                 if not thread.daemon:
                     self._live_nondaemon -= 1
                 self.now_us = max(self.now_us, thread.clock_us)
                 tp = self._tp_exit
                 if tp.enabled:
-                    tp.emit(thread.clock_us,
-                            thread.cgroup.name if thread.cgroup is not None
-                            else "root",
+                    tp.emit(thread.clock_us, thread.cgroup_name,
                             thread.tid, thread=thread.name,
                             steps=thread.steps, cpu_us=thread.cpu_us)
+                self._maybe_compact()
+                heap = self._heap
 
     def run_single(self, name: str, step_fn: Callable[[SimThread], bool],
                    cgroup=None) -> SimThread:

@@ -1,0 +1,116 @@
+"""cProfile wrapper for finding simulator hot paths.
+
+The parallel runner (:mod:`repro.experiments.parallel`) buys wall-clock
+through process fan-out; this tool guides the other half of the perf
+work — single-cell CPU cost.  It profiles one or more experiment cells
+in-process and prints the top functions, so "what should be a local
+variable / a batch / a ``__slots__`` class" is answered by data rather
+than guesswork (the eviction batching and stat-hoisting in
+``page_cache.py`` came straight from these reports).
+
+CLI::
+
+    python -m repro.tools.profile fig6 --quick              # whole grid
+    python -m repro.tools.profile fig6 --quick --cell A/lfu # one cell
+    python -m repro.tools.profile fig9 --sort tottime --top 15
+
+Library::
+
+    from repro.tools.profile import profile_callable
+    result, stats = profile_callable(my_fn, arg1, arg2)
+    stats.sort_stats("cumulative").print_stats(20)
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import importlib
+import io
+import pstats
+from typing import Callable, Optional
+
+#: Sort keys accepted by ``--sort`` (pstats names).
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+def profile_callable(fn: Callable, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, pstats.Stats)``; the profiler is disabled even
+    if ``fn`` raises, so partial profiles of failing runs still work.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    return result, pstats.Stats(profiler)
+
+
+def format_stats(stats: pstats.Stats, sort: str = "cumulative",
+                 limit: int = 25) -> str:
+    """Top-of-profile report as a string (pstats prints to a stream)."""
+    stream = io.StringIO()
+    stats.stream = stream
+    stats.sort_stats(sort).print_stats(limit)
+    return stream.getvalue()
+
+
+def profile_experiment(name: str, quick: bool = False,
+                       cell_id: Optional[str] = None):
+    """Profile an experiment's cells in-process.
+
+    Uses the experiment's :func:`plan` so the profiled work is exactly
+    what the parallel runner would distribute; returns
+    ``(payloads, pstats.Stats)``.
+    """
+    module = importlib.import_module(f"repro.experiments.{name}")
+    if not hasattr(module, "plan"):
+        raise ValueError(f"experiment {name!r} has no plan()")
+    spec = module.plan(quick=quick)
+    cells = spec.cells
+    if cell_id is not None:
+        cells = [c for c in cells if c.cell_id == cell_id]
+        if not cells:
+            known = ", ".join(spec.cell_ids())
+            raise ValueError(
+                f"no cell {cell_id!r} in {name}; cells: {known}")
+
+    def run_cells() -> dict:
+        return {c.cell_id: c.execute() for c in cells}
+
+    return profile_callable(run_cells)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Profile an experiment's cells and print the top "
+                    "functions")
+    parser.add_argument("experiment",
+                        help="experiment module name (fig6, table5, ...)")
+    parser.add_argument("--cell", default=None,
+                        help="profile only this cell id (e.g. A/lfu)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes")
+    parser.add_argument("--sort", choices=SORT_KEYS,
+                        default="cumulative")
+    parser.add_argument("--top", type=int, default=25,
+                        help="number of functions to print")
+    parser.add_argument("-o", "--output", default=None,
+                        help="also dump raw profile data here "
+                             "(snakeviz/pstats compatible)")
+    args = parser.parse_args(argv)
+
+    _, stats = profile_experiment(args.experiment, quick=args.quick,
+                                  cell_id=args.cell)
+    print(format_stats(stats, sort=args.sort, limit=args.top), end="")
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"profile data written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""Parallel-runner guarantees: equivalence, fallback, reporting.
+
+The contract under test (see :mod:`repro.experiments.parallel`): the
+parallel path is a pure performance feature — for every experiment the
+merged table and the trace-derived hit counts are byte-identical to a
+serial in-process run, and worker crashes/timeouts degrade to serial
+re-execution rather than to wrong or missing cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments import (admission, fig6, fig7, fig8, fig9, fig10,
+                               fig11, table1, table3, table4, table5)
+from repro.experiments.harness import CellSpec, ExperimentSpec
+from repro.experiments.parallel import execute, run_cell
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(not HAVE_FORK,
+                                reason="parallel runner requires fork")
+
+#: Trimmed cell grids: quick-scale parameters, subset sweeps — enough
+#: cells to exercise fan-out/merge everywhere while keeping the suite
+#: fast.  Every ported experiment appears.
+SMALL_KV = {"nkeys": 2500, "nops": 1200, "warmup_ops": 600,
+            "cgroup_pages": 128, "nthreads": 2}
+EXPERIMENTS = [
+    ("fig6", lambda: fig6.plan(quick=True, policies=("default", "lfu"),
+                               workloads=("A", "uniform"),
+                               scale=SMALL_KV)),
+    ("fig7", lambda: fig7.plan(quick=True,
+                               policies=("default", "mru", "lfu"),
+                               workloads=("A",))),
+    ("fig8", lambda: fig8.plan(quick=True, clusters=(17, 52),
+                               policies=("default", "lfu"),
+                               scale={"nkeys": 3000, "nops": 1500,
+                                      "warmup_ops": 700,
+                                      "cgroup_pages": 100})),
+    ("fig9", lambda: fig9.plan(quick=True)),
+    ("fig10", lambda: fig10.plan(
+        quick=True, variants=(fig10.VARIANTS[0], fig10.VARIANTS[-1]),
+        scale={"nkeys": 3000, "n_gets": 1500, "scan_len": 600})),
+    ("fig11", lambda: fig11.plan(quick=True,
+                                 configs=fig11.CONFIGS[:2])),
+    ("admission", lambda: admission.plan(
+        quick=True, scale={"nkeys": 3000, "nops": 1500,
+                           "warmup_ops": 500, "cgroup_pages": 128})),
+    ("table1", lambda: table1.plan(
+        quick=True, scale={"nkeys": 2000, "nops": 1200,
+                           "warmup_ops": 600, "cgroup_pages": 900,
+                           "nthreads": 2, "search_files": 30,
+                           "search_passes": 1})),
+    ("table3", lambda: table3.plan()),
+    ("table4", lambda: table4.plan(
+        quick=True, sizes=(("5GiB", 128, 1024),))),
+    ("table5", lambda: table5.plan(quick=True, workloads=("A",))),
+]
+
+
+@needs_fork
+@pytest.mark.parametrize("name,planner",
+                         EXPERIMENTS, ids=[e[0] for e in EXPERIMENTS])
+def test_serial_parallel_equivalence(name, planner):
+    """Identical tables AND identical trace-derived hit counts, with
+    tracing enabled in both execution modes."""
+    serial = execute(planner(), serial=True, trace=True)
+    parallel = execute(planner(), jobs=3, trace=True)
+    assert serial.result.format_table() == parallel.result.format_table()
+    assert serial.trace == parallel.trace
+    assert not parallel.fallbacks
+    # Timings cover every cell exactly once, in both modes.
+    spec = planner()
+    assert sorted(t.cell_id for t in serial.timings) == \
+        sorted(spec.cell_ids())
+    assert sorted(t.cell_id for t in parallel.timings) == \
+        sorted(spec.cell_ids())
+
+
+@needs_fork
+def test_trace_counts_are_real():
+    """Tracing-enabled cells report non-trivial lookup counts that
+    agree with the table's hit ratio."""
+    report = execute(fig9.plan(quick=True), jobs=2, trace=True)
+    for policy in ("default", "mglru", "mru"):
+        counts = report.trace[policy]
+        total = counts["hits"] + counts["misses"]
+        assert total > 0
+        table_ratio = report.result.find_rows(policy=policy)[0]["hit_ratio"]
+        assert counts["hits"] / total == pytest.approx(table_ratio,
+                                                       abs=5e-4)
+
+
+def test_untraced_run_attaches_nothing():
+    payload, counts = run_cell(fig9.plan(quick=True).cells[0])
+    assert counts is None
+    assert payload["seconds"] > 0
+
+
+# ----------------------------------------------------------------------
+# crash / timeout fallback
+# ----------------------------------------------------------------------
+def _well_behaved_cell(value: int) -> dict:
+    return {"value": value}
+
+
+def _crashing_cell(parent_pid: int, value: int) -> dict:
+    if os.getpid() != parent_pid:
+        # Hard kill: the worker dies without sending any message.
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"value": value}
+
+
+def _raising_cell(parent_pid: int, value: int) -> dict:
+    if os.getpid() != parent_pid:
+        raise RuntimeError("worker-only failure")
+    return {"value": value}
+
+
+def _hanging_cell(parent_pid: int, value: int) -> dict:
+    if os.getpid() != parent_pid:
+        time.sleep(300)
+    return {"value": value}
+
+
+def _sum_merge(meta: dict, payloads: dict) -> dict:
+    # Merges normally build ExperimentResult; any deterministic
+    # function of the payload mapping works.
+    return {cell_id: payloads[cell_id]["value"]
+            for cell_id in sorted(payloads)}
+
+
+def _fallback_spec(bad_fn) -> ExperimentSpec:
+    pid = os.getpid()
+    cells = [
+        CellSpec("t", "good-1", _well_behaved_cell, {"value": 1}),
+        CellSpec("t", "bad", bad_fn, {"parent_pid": pid, "value": 2}),
+        CellSpec("t", "good-2", _well_behaved_cell, {"value": 3}),
+    ]
+    return ExperimentSpec("t", cells, _sum_merge)
+
+
+@needs_fork
+@pytest.mark.parametrize("bad_fn", [_crashing_cell, _raising_cell],
+                         ids=["sigkill", "exception"])
+def test_worker_failure_falls_back_to_serial(bad_fn):
+    report = execute(_fallback_spec(bad_fn), jobs=2)
+    assert report.result == {"bad": 2, "good-1": 1, "good-2": 3}
+    assert report.fallbacks == ["bad"]
+    modes = {t.cell_id: t.mode for t in report.timings}
+    assert modes["bad"] == "fallback"
+    assert modes["good-1"] == "worker"
+    errors = {t.cell_id: t.error for t in report.timings}
+    assert errors["bad"]  # the original failure is preserved
+
+
+@needs_fork
+def test_worker_timeout_falls_back_to_serial():
+    report = execute(_fallback_spec(_hanging_cell), jobs=3,
+                     timeout_s=1.0)
+    assert report.result == {"bad": 2, "good-1": 1, "good-2": 3}
+    assert report.fallbacks == ["bad"]
+    timing = {t.cell_id: t for t in report.timings}["bad"]
+    assert timing.mode == "fallback"
+    assert "timed out" in timing.error
+
+
+def test_serial_execution_never_forks():
+    spec = _fallback_spec(_crashing_cell)  # benign in-process
+    report = execute(spec, serial=True)
+    assert report.result == {"bad": 2, "good-1": 1, "good-2": 3}
+    assert report.jobs == 1
+    assert all(t.mode == "serial" for t in report.timings)

@@ -106,6 +106,33 @@ class TestEngineBasics:
         with pytest.raises(RuntimeError):
             engine.run(max_steps=10)
 
+    def test_max_steps_is_exact(self):
+        # Regression: the guard used to allow max_steps + 1 steps.
+        engine = Engine()
+        t = engine.spawn("loop", lambda thread: True)
+        with pytest.raises(RuntimeError):
+            engine.run(max_steps=10)
+        assert t.steps == 10
+
+    def test_max_steps_zero_runs_nothing(self):
+        engine = Engine()
+        t = engine.spawn("loop", lambda thread: True)
+        with pytest.raises(RuntimeError):
+            engine.run(max_steps=0)
+        assert t.steps == 0
+
+    def test_max_steps_can_resume_after_raise(self):
+        # The interrupted thread is pushed back, so a later run()
+        # continues from where the budget ran out.
+        engine = Engine()
+        t = make_counter_thread(engine, "a", 10, 1.0)
+        with pytest.raises(RuntimeError):
+            engine.run(max_steps=4)
+        assert not t.done
+        engine.run()
+        assert t.done
+        assert t.clock_us == pytest.approx(10.0)
+
     def test_unique_tids(self):
         engine = Engine()
         threads = [make_counter_thread(engine, f"t{i}", 1, 1.0)
@@ -147,6 +174,74 @@ class TestEngineWindows:
         engine.spawn("parent", parent)
         engine.run()
         assert spawned[0].clock_us >= 100.0
+
+
+class TestCgroupNameCache:
+    def test_default_cgroup_name_is_root(self):
+        engine = Engine()
+        t = engine.spawn("t", lambda thread: False)
+        assert t.cgroup_name == "root"
+
+    def test_spawn_with_cgroup_caches_name(self):
+        class FakeCgroup:
+            name = "db"
+
+        engine = Engine()
+        t = engine.spawn("t", lambda thread: False, cgroup=FakeCgroup())
+        assert t.cgroup_name == "db"
+
+    def test_set_cgroup_refreshes_name(self):
+        class FakeCgroup:
+            def __init__(self, name):
+                self.name = name
+
+        engine = Engine()
+        t = engine.spawn("t", lambda thread: False,
+                         cgroup=FakeCgroup("old"))
+        t.set_cgroup(FakeCgroup("new"))
+        assert t.cgroup is not None and t.cgroup.name == "new"
+        assert t.cgroup_name == "new"
+        t.set_cgroup(None)
+        assert t.cgroup_name == "root"
+
+
+class TestThreadCompaction:
+    def test_finished_threads_compacted(self):
+        engine = Engine()
+        n = engine.COMPACT_MIN_DEAD * 8
+        for i in range(n):
+            make_counter_thread(engine, f"t{i}", 1, 1.0)
+        engine.run()
+        # Every thread finished; the compactor must have dropped the
+        # bulk of them (the last few may remain below the trigger).
+        assert len(engine.threads) < n
+        assert len(engine._heap) < n
+
+    def test_live_threads_survive_compaction(self):
+        engine = Engine()
+        survivors = [make_counter_thread(engine, f"live{i}", 10_000, 1.0)
+                     for i in range(3)]
+        for i in range(engine.COMPACT_MIN_DEAD * 8):
+            make_counter_thread(engine, f"t{i}", 1, 1.0)
+        engine.run()
+        assert all(t.done for t in survivors)
+        assert all(t.clock_us == pytest.approx(10_000.0)
+                   for t in survivors)
+
+    def test_compaction_preserves_schedule_order(self):
+        # Same interleaving with and without compaction kicking in.
+        def trace_run(min_dead):
+            engine = Engine()
+            engine.COMPACT_MIN_DEAD = min_dead
+            log = []
+            for i in range(300):
+                make_counter_thread(engine, f"s{i}", 2, float(i % 7 + 1),
+                                    log=log)
+            make_counter_thread(engine, "long", 50, 3.0, log=log)
+            engine.run()
+            return log
+
+        assert trace_run(min_dead=10) == trace_run(min_dead=10**9)
 
 
 class TestDaemonThreads:
