@@ -208,10 +208,22 @@ def main(argv: Optional[list] = None) -> int:
                              "exit 1 on regression")
     parser.add_argument("--baseline", default=DEFAULT_OUTPUT,
                         help="baseline path for --check")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="run the suite under cProfile and dump "
+                             "raw stats to PATH (CI uploads this as "
+                             "an artifact for hot-path inspection)")
     args = parser.parse_args(argv)
 
     experiments = args.experiments or CORE_SUITE
-    doc = run_suite(experiments, quick=args.quick, jobs=args.jobs)
+    if args.profile:
+        from repro.tools.profile import format_stats, profile_callable
+        doc, stats = profile_callable(run_suite, experiments,
+                                      quick=args.quick, jobs=args.jobs)
+        stats.dump_stats(args.profile)
+        print(f"profile data written to {args.profile}")
+        print(format_stats(stats, sort="cumulative", limit=15), end="")
+    else:
+        doc = run_suite(experiments, quick=args.quick, jobs=args.jobs)
 
     if args.check:
         failures = check_against_baseline(doc, args.baseline)

@@ -18,6 +18,11 @@ BLOOM_BITS_PER_KEY = 10
 BLOOM_HASHES = 4
 #: Bits per bloom page.
 BLOOM_PAGE_BITS = PAGE_SIZE * 8
+#: BLOOM_PAGE_BITS is a power of two, so chunk/bit splitting is a
+#: shift and a mask on the probe hot path.
+_BLOOM_PAGE_SHIFT = BLOOM_PAGE_BITS.bit_length() - 1
+_BLOOM_PAGE_MASK = BLOOM_PAGE_BITS - 1
+assert BLOOM_PAGE_BITS == 1 << _BLOOM_PAGE_SHIFT
 #: Index entries per index page (first_key + page number comfortably
 #: fit 16 bytes each at our key sizes).
 INDEX_ENTRIES_PER_PAGE = 256
@@ -77,17 +82,36 @@ class BloomFilter:
         for probe in range(BLOOM_HASHES):
             yield fnv1a(key, probe) % self.nbits
 
+    # add/test_chunks inline the fnv1a probes so the key is encoded
+    # once per operation instead of once per probe (both sit on the
+    # SSTable write and point-read hot paths).  Salts 0..BLOOM_HASHES-1
+    # and the probe arithmetic produce bit positions identical to
+    # :meth:`_positions`, which is kept as the readable reference.
+
     def add(self, key: str) -> None:
-        for pos in self._positions(key):
-            chunk, bit = divmod(pos, BLOOM_PAGE_BITS)
-            self.chunks[chunk][bit // 8] |= 1 << (bit % 8)
+        data = key.encode()
+        nbits = self.nbits
+        chunks = self.chunks
+        crc32 = zlib.crc32
+        for probe in range(BLOOM_HASHES):
+            lo = crc32(data, probe)
+            hi = crc32(data, (probe ^ 0x9E3779B9) & 0xFFFFFFFF)
+            pos = ((hi << 32) | lo) % nbits
+            # divmod by the power-of-two page size, as shift/mask.
+            bit = pos & _BLOOM_PAGE_MASK
+            chunks[pos >> _BLOOM_PAGE_SHIFT][bit >> 3] |= 1 << (bit & 7)
 
     @staticmethod
     def test_chunks(chunks: list, nbits: int, key: str) -> bool:
         """Membership probe against already-loaded chunks."""
+        data = key.encode()
+        crc32 = zlib.crc32
         for probe in range(BLOOM_HASHES):
-            pos = fnv1a(key, probe) % nbits
-            chunk, bit = divmod(pos, BLOOM_PAGE_BITS)
-            if not chunks[chunk][bit // 8] & (1 << (bit % 8)):
+            lo = crc32(data, probe)
+            hi = crc32(data, (probe ^ 0x9E3779B9) & 0xFFFFFFFF)
+            pos = ((hi << 32) | lo) % nbits
+            bit = pos & _BLOOM_PAGE_MASK
+            if not chunks[pos >> _BLOOM_PAGE_SHIFT][bit >> 3] \
+                    & (1 << (bit & 7)):
                 return False
         return True

@@ -94,13 +94,21 @@ class SSTable:
         caller can FADV_DONTNEED them afterwards.
         """
         page = self._page_for_key(start_key)
+        read_page = self.fs.read_page
+        file = self.file
         for idx in range(page, self.n_data_pages):
-            entries = self.fs.read_page(self.file, idx, noreuse=noreuse)
+            entries = read_page(file, idx, noreuse=noreuse)
             if touched is not None:
-                touched.append((self.file, idx))
-            for entry in entries:
-                if entry[0] >= start_key:
-                    yield entry
+                touched.append((file, idx))
+            if idx == page:
+                # Only the first page can straddle start_key; later
+                # pages hold strictly greater keys (sorted runs), so
+                # the per-entry comparison is skipped for them.
+                for entry in entries:
+                    if entry[0] >= start_key:
+                        yield entry
+            else:
+                yield from entries
 
     def iter_pages(self) -> Iterator[list]:
         """Yield whole data pages in order (the compaction read path)."""

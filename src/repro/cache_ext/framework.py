@@ -77,11 +77,24 @@ class CacheExtPolicy(ExtPolicyBase):
         self._memcg_stats.hook_cpu_us += us
         self._cache_stats.hook_cpu_us += us
 
+    # charge_hook/charge_kfunc run once per hook dispatch and once per
+    # kfunc call respectively; the _charge body is inlined rather than
+    # delegated so the hot path costs one frame, not two.
     def charge_hook(self) -> None:
-        self._charge(self.machine.costs.bpf_hook_us)
+        us = self.machine.costs.bpf_hook_us
+        thread = current_thread()
+        if thread is not None:
+            thread.advance(us)
+        self._memcg_stats.hook_cpu_us += us
+        self._cache_stats.hook_cpu_us += us
 
     def charge_kfunc(self) -> None:
-        self._charge(self.machine.costs.kfunc_op_us)
+        us = self.machine.costs.kfunc_op_us
+        thread = current_thread()
+        if thread is not None:
+            thread.advance(us)
+        self._memcg_stats.hook_cpu_us += us
+        self._cache_stats.hook_cpu_us += us
 
     # ------------------------------------------------------------------
     # tracing
@@ -143,8 +156,17 @@ class CacheExtPolicy(ExtPolicyBase):
         program gets its whole policy forcibly detached and the cgroup
         falls back to the kernel's own eviction.
         """
+        # Dispatch through prog.fn with the invocation bump done here:
+        # the same observable behaviour as calling the BpfProgram, one
+        # Python frame cheaper.  Plain callables (tests) lack ``fn``
+        # and take the direct path.
+        fn = getattr(prog, "fn", None)
+        if fn is None:
+            fn = prog
+        else:
+            prog.invocations += 1
         try:
-            return prog(*args)
+            return fn(*args)
         except Exception as exc:
             self.memcg.stats.ext_policy_faults += 1
             self.machine.page_cache.stats.ext_policy_faults += 1
@@ -209,9 +231,41 @@ class CacheExtPolicy(ExtPolicyBase):
             return None  # malformed hint: keep the kernel heuristic
         return pages
 
+    # The three per-folio hooks below run on every cache access,
+    # insertion and removal.  When both hook tracepoints are disabled
+    # (the overwhelmingly common case) they skip the _hook_entry /
+    # _hook_exit / charge_hook frames entirely; the charged cost and
+    # dispatch order are identical on both paths.
+
     def folio_added(self, folio: Folio) -> None:
         # Registry first (memory safety), then the policy's program.
         self.registry.insert(folio)
+        if not (self._tp_hook_entry.enabled or self._tp_hook_exit.enabled):
+            us = self.machine.costs.bpf_hook_us
+            thread = current_thread()
+            if thread is not None:
+                # inlined thread.advance(us): us is a configured cost,
+                # never negative
+                thread.clock_us += us
+                thread.cpu_us += us
+            self._memcg_stats.hook_cpu_us += us
+            self._cache_stats.hook_cpu_us += us
+            prog = self.ops.folio_added
+            if prog is not None:
+                # Inlined _run_prog (same dispatch, invocation bump and
+                # watchdog handling, one frame cheaper).
+                fn = getattr(prog, "fn", None)
+                if fn is None:
+                    fn = prog
+                else:
+                    prog.invocations += 1
+                try:
+                    fn(folio)
+                except Exception as exc:
+                    self.memcg.stats.ext_policy_faults += 1
+                    self.machine.page_cache.stats.ext_policy_faults += 1
+                    self._watchdog_detach(reason=type(exc).__name__)
+            return
         cpu = self._hook_entry("folio_added")
         self.charge_hook()
         if self.ops.folio_added is not None:
@@ -219,6 +273,31 @@ class CacheExtPolicy(ExtPolicyBase):
         self._hook_exit("folio_added", cpu)
 
     def folio_accessed(self, folio: Folio) -> None:
+        if not (self._tp_hook_entry.enabled or self._tp_hook_exit.enabled):
+            us = self.machine.costs.bpf_hook_us
+            thread = current_thread()
+            if thread is not None:
+                # inlined thread.advance(us): us is a configured cost,
+                # never negative
+                thread.clock_us += us
+                thread.cpu_us += us
+            self._memcg_stats.hook_cpu_us += us
+            self._cache_stats.hook_cpu_us += us
+            prog = self.ops.folio_accessed
+            if prog is not None:
+                # Inlined _run_prog (see folio_added).
+                fn = getattr(prog, "fn", None)
+                if fn is None:
+                    fn = prog
+                else:
+                    prog.invocations += 1
+                try:
+                    fn(folio)
+                except Exception as exc:
+                    self.memcg.stats.ext_policy_faults += 1
+                    self.machine.page_cache.stats.ext_policy_faults += 1
+                    self._watchdog_detach(reason=type(exc).__name__)
+            return
         cpu = self._hook_entry("folio_accessed")
         self.charge_hook()
         if self.ops.folio_accessed is not None:
@@ -233,6 +312,31 @@ class CacheExtPolicy(ExtPolicyBase):
         if node is not None and node.owner is not None:
             node.owner.remove(node)
         folio.ext_node = None
+        if not (self._tp_hook_entry.enabled or self._tp_hook_exit.enabled):
+            us = self.machine.costs.bpf_hook_us
+            thread = current_thread()
+            if thread is not None:
+                # inlined thread.advance(us): us is a configured cost,
+                # never negative
+                thread.clock_us += us
+                thread.cpu_us += us
+            self._memcg_stats.hook_cpu_us += us
+            self._cache_stats.hook_cpu_us += us
+            prog = self.ops.folio_removed
+            if prog is not None:
+                # Inlined _run_prog (see folio_added).
+                fn = getattr(prog, "fn", None)
+                if fn is None:
+                    fn = prog
+                else:
+                    prog.invocations += 1
+                try:
+                    fn(folio)
+                except Exception as exc:
+                    self.memcg.stats.ext_policy_faults += 1
+                    self.machine.page_cache.stats.ext_policy_faults += 1
+                    self._watchdog_detach(reason=type(exc).__name__)
+            return
         cpu = self._hook_entry("folio_removed")
         self.charge_hook()
         if self.ops.folio_removed is not None:

@@ -19,6 +19,8 @@ from repro.cache_ext.lists import (EvictionList, attach_folio, detach_folio,
 from repro.cache_ext.ops import EvictionCtx
 from repro.ebpf.runtime import bpf_kfunc
 from repro.kernel.folio import Folio
+from repro.kernel.list import ListNode
+from repro.sim import engine as _engine
 from repro.sim.engine import current_thread
 
 # Error codes (negative errno, as returned to BPF programs).
@@ -101,6 +103,11 @@ def list_create(memcg) -> int:
     return lst.id
 
 
+#: Lazily-bound framework.CacheExtPolicy (import-cycle guard); used by
+#: the inlined-charge fast paths below, mirroring _iter_hot_state.
+_CacheExtPolicy = None
+
+
 @bpf_kfunc
 def list_add(list_id: int, folio, tail: bool = True) -> int:
     """Link ``folio`` onto a list (tail by default, like the paper's
@@ -108,13 +115,57 @@ def list_add(list_id: int, folio, tail: bool = True) -> int:
 
     A folio has exactly one list node; adding a folio that is already
     on some list moves it.
+
+    Hot path: list_add runs once per insertion plus once per rotation
+    under eviction churn, so the policy/charge resolution helpers are
+    inlined here (same invariant as :func:`_iter_hot_state` — the call
+    runs inside one engine step, and the inlined charge performs the
+    identical float additions in the identical order).
     """
-    policy = _policy_of_folio(folio)
+    if folio.__class__ is Folio or isinstance(folio, Folio):
+        memcg = folio.memcg
+        policy = getattr(memcg, "ext_policy", None)
+        if policy is None:
+            policy = getattr(memcg, "_cache_ext_loading", None)
+    else:
+        policy = None
     if policy is None:
         return EINVAL
-    lst = _owned_list(policy, list_id)
-    if lst is None:
+    lst = resolve_list(list_id)
+    if lst is None or lst.policy is not policy:
         return _fail(policy, EPERM, "list_add")
+    global _CacheExtPolicy
+    if _CacheExtPolicy is None:
+        from repro.cache_ext.framework import CacheExtPolicy
+        _CacheExtPolicy = CacheExtPolicy
+    if type(policy) is _CacheExtPolicy:
+        us = policy.machine.costs.kfunc_op_us
+        thread = _engine._current
+        if thread is not None:
+            # Inlined Thread.advance; us is a configured cost, >= 0.
+            thread.clock_us += us
+            thread.cpu_us += us
+        policy._memcg_stats.hook_cpu_us += us
+        policy._cache_stats.hook_cpu_us += us
+        # Inlined attach_folio(lst, folio, tail): identical registry
+        # call sequence (each call still bumps its bucket's lock
+        # counter), one frame cheaper.
+        registry = policy.registry
+        node = registry.get_node(folio)
+        if node is None:
+            if not registry.contains(folio):
+                return _fail(policy, ENOENT, "list_add")
+            node = ListNode(folio)
+            folio.ext_node = node
+            registry.set_node(folio, node)
+        owner = node.owner
+        if owner is not None:
+            owner.remove(node)
+        if tail:
+            lst.add_tail(node)
+        else:
+            lst.add_head(node)
+        return 0
     policy.charge_kfunc()
     if not attach_folio(lst, folio, tail):
         return _fail(policy, ENOENT, "list_add")
@@ -123,13 +174,39 @@ def list_add(list_id: int, folio, tail: bool = True) -> int:
 
 @bpf_kfunc
 def list_del(folio) -> int:
-    """Remove ``folio`` from whatever eviction list holds it."""
-    policy = _policy_of_folio(folio)
+    """Remove ``folio`` from whatever eviction list holds it.
+
+    Hot path: inlined like :func:`list_add` (including
+    :func:`~repro.cache_ext.lists.detach_folio`'s body).
+    """
+    if folio.__class__ is Folio or isinstance(folio, Folio):
+        memcg = folio.memcg
+        policy = getattr(memcg, "ext_policy", None)
+        if policy is None:
+            policy = getattr(memcg, "_cache_ext_loading", None)
+    else:
+        policy = None
     if policy is None:
         return EINVAL
-    policy.charge_kfunc()
-    if not detach_folio(policy, folio):
+    global _CacheExtPolicy
+    if _CacheExtPolicy is None:
+        from repro.cache_ext.framework import CacheExtPolicy
+        _CacheExtPolicy = CacheExtPolicy
+    if type(policy) is _CacheExtPolicy:
+        us = policy.machine.costs.kfunc_op_us
+        thread = _engine._current
+        if thread is not None:
+            # Inlined Thread.advance; us is a configured cost, >= 0.
+            thread.clock_us += us
+            thread.cpu_us += us
+        policy._memcg_stats.hook_cpu_us += us
+        policy._cache_stats.hook_cpu_us += us
+    else:
+        policy.charge_kfunc()
+    node = policy.registry.get_node(folio)
+    if node is None or node.owner is None:
         return _fail(policy, ENOENT, "list_del")
+    node.owner.remove(node)
     return 0
 
 
@@ -192,27 +269,88 @@ def list_iterate(memcg, list_id: int, callback, ctx,
     return _fail(policy, EINVAL, "list_iterate")
 
 
+def _iter_hot_state(policy, callback):
+    """Hoist the per-folio charge-and-dispatch state for an iterate loop.
+
+    Returns ``(thread, us, memcg_stats, cache_stats, cb_fn)`` when the
+    charge can be inlined (a plain :class:`CacheExtPolicy`), else
+    ``None``.  The whole iteration runs inside one engine step, so the
+    current thread and the configured kfunc cost cannot change
+    mid-loop; inlining ``charge_kfunc``'s body per folio performs the
+    identical float additions in the identical order, minus two Python
+    frames per scanned folio.  ``cb_fn`` unwraps a BpfProgram callback
+    the same way :meth:`CacheExtPolicy._run_prog` does (the
+    ``invocations`` bump stays with the caller).
+    """
+    from repro.cache_ext.framework import CacheExtPolicy
+    if type(policy) is not CacheExtPolicy:
+        return None
+    return (current_thread(), policy.machine.costs.kfunc_op_us,
+            policy._memcg_stats, policy._cache_stats,
+            getattr(callback, "fn", None))
+
+
 def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
                     limit: int, dst: Optional[EvictionList]) -> int:
+    hot = _iter_hot_state(policy, callback)
     added = 0
+    head = lst._head
+    move_to_tail = lst.move_to_tail
     node = lst.head()
+    if hot is not None:
+        thread, us, memcg_stats, cache_stats, cb_fn = hot
+        is_prog = cb_fn is not None
+        call = cb_fn if is_prog else callback
+        for position in range(limit):
+            if node is None or ctx.full:
+                break
+            nxt = node.next
+            if nxt is head:
+                nxt = None
+            folio: Folio = node.item
+            if thread is not None:
+                # inlined thread.advance(us): kfunc cost, never negative
+                thread.clock_us += us
+                thread.cpu_us += us
+            memcg_stats.hook_cpu_us += us
+            cache_stats.hook_cpu_us += us
+            if is_prog:
+                callback.invocations += 1
+            verdict = call(position, folio)
+            if verdict == ITER_EVICT:
+                ctx.add_candidate(folio)
+                added += 1
+                move_to_tail(node)
+            elif verdict == ITER_MOVE:
+                if dst is None:
+                    return _fail(policy, EINVAL, "list_iterate")
+                dst.move_to_tail(node)
+            elif verdict == ITER_ROTATE:
+                move_to_tail(node)
+            elif verdict == ITER_STOP:
+                break
+            # ITER_SKIP (and unknown verdicts): leave in place.
+            node = nxt
+        return added
     for position in range(limit):
         if node is None or ctx.full:
             break
-        nxt = node.next if node.next is not lst._head else None
-        folio: Folio = node.item
+        nxt = node.next
+        if nxt is head:
+            nxt = None
+        folio = node.item
         policy.charge_kfunc()
         verdict = callback(position, folio)
         if verdict == ITER_EVICT:
             ctx.add_candidate(folio)
             added += 1
-            lst.move_to_tail(node)
+            move_to_tail(node)
         elif verdict == ITER_MOVE:
             if dst is None:
                 return _fail(policy, EINVAL, "list_iterate")
             dst.move_to_tail(node)
         elif verdict == ITER_ROTATE:
-            lst.move_to_tail(node)
+            move_to_tail(node)
         elif verdict == ITER_STOP:
             break
         # ITER_SKIP (and unknown verdicts, defensively): leave in place.
@@ -222,20 +360,51 @@ def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
 
 def _iterate_scoring(policy, lst: EvictionList, callback, ctx: EvictionCtx,
                      limit: int, want: int) -> int:
+    hot = _iter_hot_state(policy, callback)
     scored: list[tuple[int, int]] = []  # (score, position)
-    nodes = []
+    nodes: list = []
+    scored_append = scored.append
+    nodes_append = nodes.append
+    head = lst._head
     node = lst.head()
-    for position in range(limit):
-        if node is None:
-            break
-        nxt = node.next if node.next is not lst._head else None
-        policy.charge_kfunc()
-        score = callback(position, node.item)
-        if not isinstance(score, int):
-            return _fail(policy, EINVAL, "list_iterate")
-        scored.append((score, position))
-        nodes.append(node)
-        node = nxt
+    if hot is not None:
+        thread, us, memcg_stats, cache_stats, cb_fn = hot
+        is_prog = cb_fn is not None
+        call = cb_fn if is_prog else callback
+        for position in range(limit):
+            if node is None:
+                break
+            nxt = node.next
+            if nxt is head:
+                nxt = None
+            if thread is not None:
+                # inlined thread.advance(us): kfunc cost, never negative
+                thread.clock_us += us
+                thread.cpu_us += us
+            memcg_stats.hook_cpu_us += us
+            cache_stats.hook_cpu_us += us
+            if is_prog:
+                callback.invocations += 1
+            score = call(position, node.item)
+            if type(score) is not int and not isinstance(score, int):
+                return _fail(policy, EINVAL, "list_iterate")
+            scored_append((score, position))
+            nodes_append(node)
+            node = nxt
+    else:
+        for position in range(limit):
+            if node is None:
+                break
+            nxt = node.next
+            if nxt is head:
+                nxt = None
+            policy.charge_kfunc()
+            score = callback(position, node.item)
+            if not isinstance(score, int):
+                return _fail(policy, EINVAL, "list_iterate")
+            scored_append((score, position))
+            nodes_append(node)
+            node = nxt
     if not nodes:
         return 0
     # Lowest score wins eviction; ties broken towards the list head
@@ -243,12 +412,14 @@ def _iterate_scoring(policy, lst: EvictionList, callback, ctx: EvictionCtx,
     scored.sort()
     selected = {position for _score, position in scored[:want]}
     added = 0
+    add_candidate = ctx.add_candidate
+    move_to_tail = lst.move_to_tail
     for position, scanned in enumerate(nodes):
         if position in selected:
-            if ctx.add_candidate(scanned.item):
+            if add_candidate(scanned.item):
                 added += 1
         else:
-            lst.move_to_tail(scanned)
+            move_to_tail(scanned)
     return added
 
 
@@ -275,13 +446,18 @@ def folio_key(folio) -> tuple:
 
 @bpf_kfunc
 def current_tid() -> int:
-    """``bpf_get_current_pid_tgid`` analogue: the running task's TID."""
-    thread = current_thread()
+    """``bpf_get_current_pid_tgid`` analogue: the running task's TID.
+
+    Reads the engine's ``_current`` global directly (what
+    :func:`current_thread` returns) — policies call this and
+    :func:`ktime_us` on every access, and the extra frame is measurable.
+    """
+    thread = _engine._current
     return thread.tid if thread is not None else 0
 
 
 @bpf_kfunc
 def ktime_us() -> int:
     """``bpf_ktime_get_ns`` analogue, in integer microseconds."""
-    thread = current_thread()
+    thread = _engine._current
     return int(thread.clock_us) if thread is not None else 0

@@ -92,8 +92,19 @@ def plan(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
                       dict(label=label, policy=policy,
                            fadvise_mode=mode, **params))
              for label, policy, mode in variants]
+
+    def prepare() -> None:
+        # All six variants replay the same GET/SCAN streams.
+        GetScanWorkload.prepare_streams(
+            nkeys=params["nkeys"], n_gets=params["n_gets"],
+            get_threads=params["get_threads"],
+            scan_threads=params["scan_threads"],
+            zipf_theta=params["zipf_theta"],
+            seed=params.get("seed", 5))
+
     return ExperimentSpec("fig10", cells, _merge,
-                          meta={"labels": [v[0] for v in variants]})
+                          meta={"labels": [v[0] for v in variants]},
+                          prepare=prepare)
 
 
 def _merge(meta: dict, payloads: dict) -> ExperimentResult:

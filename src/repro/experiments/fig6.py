@@ -75,6 +75,33 @@ def cell(policy: str, workload: str, **params) -> dict:
             "disk_pages": metrics.disk["total_pages"]}
 
 
+def make_prepare(params: dict, workloads: Iterable[str]):
+    """Pre-fork stream warmer for any plan built on :func:`cell`.
+
+    Every policy cell of one workload replays the same op stream; this
+    materializes each (workload, scale) stream once in the parent so
+    serial runs share it and the parallel runner's forked workers
+    inherit it copy-on-write (shipping the spec, not the data).
+    Mirrors :func:`run_one`'s parameter derivation.
+    """
+    workloads = list(workloads)
+
+    def prepare() -> None:
+        for workload in workloads:
+            spec = YCSB_WORKLOADS[workload]
+            nops, warmup_ops = params["nops"], params["warmup_ops"]
+            if spec.scan > 0:
+                nops = max(nops // SCAN_OPS_DIVISOR, 200)
+                warmup_ops = warmup_ops // SCAN_OPS_DIVISOR
+            YcsbRunner.prepare_streams(
+                spec, nkeys=params["nkeys"], nops=nops,
+                nthreads=params["nthreads"],
+                seed=params.get("seed", 42), warmup_ops=warmup_ops,
+                zipf_theta=params["zipf_theta"])
+
+    return prepare
+
+
 def plan(quick: bool = False,
          policies: Iterable[str] = GENERIC_POLICY_NAMES,
          workloads: Iterable[str] = DEFAULT_WORKLOADS,
@@ -88,7 +115,8 @@ def plan(quick: bool = False,
              for w in workloads for p in policies]
     return ExperimentSpec("fig6", cells, _merge,
                           meta={"params": params, "policies": policies,
-                                "workloads": workloads})
+                                "workloads": workloads},
+                          prepare=make_prepare(params, workloads))
 
 
 def _merge(meta: dict, payloads: dict) -> ExperimentResult:

@@ -47,7 +47,8 @@ def plan(quick: bool = False,
              for w in workloads for p in policies]
     return ExperimentSpec("fig7", cells, _merge,
                           meta={"policies": policies,
-                                "workloads": workloads})
+                                "workloads": workloads},
+                          prepare=fig6.make_prepare(params, workloads))
 
 
 def _merge(meta: dict, payloads: dict) -> ExperimentResult:

@@ -54,9 +54,21 @@ def plan(quick: bool = False,
     cells = [CellSpec("fig8", f"{c}/{p}", cell,
                       dict(policy=p, cluster=c, **params))
              for c in clusters for p in policies]
+
+    def prepare() -> None:
+        # One stream per cluster, shared by every policy cell (and,
+        # under the parallel runner, by every forked worker via COW).
+        for c in clusters:
+            TwitterRunner.prepare_streams(
+                CLUSTERS[c], nkeys=params["nkeys"],
+                nops=params["nops"],
+                warmup_ops=params["warmup_ops"],
+                seed=params.get("seed", 11))
+
     return ExperimentSpec("fig8", cells, _merge,
                           meta={"clusters": clusters,
-                                "policies": policies})
+                                "policies": policies},
+                          prepare=prepare)
 
 
 def _merge(meta: dict, payloads: dict) -> ExperimentResult:

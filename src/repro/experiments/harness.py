@@ -186,6 +186,13 @@ class ExperimentSpec:
     cells: list
     merge: Callable[[dict, dict], "ExperimentResult"]
     meta: dict = field(default_factory=dict)
+    #: Optional hook the runner invokes once, in the parent process,
+    #: before any cell executes.  Used to warm shared caches (the
+    #: pre-generated workload streams of :mod:`repro.workloads.streams`)
+    #: so serial cells reuse one buffer and forked workers inherit it
+    #: copy-on-write.  Must be a pure cache-warmer: cells produce
+    #: identical payloads whether or not it ran.
+    prepare: Optional[Callable[[], None]] = None
 
     def cell_ids(self) -> list[str]:
         return [cell.cell_id for cell in self.cells]

@@ -244,6 +244,11 @@ def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
     can_fork = "fork" in multiprocessing.get_all_start_methods()
     report = ExecutionReport(result=None, jobs=1 if serial else jobs)
     t0 = time.perf_counter()
+    if spec.prepare is not None:
+        # Warm shared caches (pre-generated workload streams) in the
+        # parent: serial cells reuse them directly; forked workers
+        # inherit them copy-on-write instead of regenerating per cell.
+        spec.prepare()
     if serial or jobs <= 1 or len(spec.cells) <= 1 or not can_fork:
         report.jobs = 1
         payloads = _execute_serial(spec, trace, report)

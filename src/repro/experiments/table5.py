@@ -37,7 +37,8 @@ def plan(quick: bool = False,
                       dict(policy=p, workload=w, **params))
              for w in workloads for p in ("mglru", "mglru-bpf")]
     return ExperimentSpec("table5", cells, _merge,
-                          meta={"workloads": workloads})
+                          meta={"workloads": workloads},
+                          prepare=fig6.make_prepare(params, workloads))
 
 
 def _merge(meta: dict, payloads: dict) -> ExperimentResult:

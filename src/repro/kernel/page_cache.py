@@ -163,7 +163,14 @@ class PageCache:
         ``update_recency=False`` implements FADV_NOREUSE semantics: the
         data is read but the folio earns no promotion.
         """
-        accessor = self._current_cgroup()
+        # The calling thread is resolved once per hit: this path runs
+        # once per operation, and each current_thread() lookup costs a
+        # module-global load plus None checks.
+        thread = current_thread()
+        if thread is not None and thread.cgroup is not None:
+            accessor = thread.cgroup
+        else:
+            accessor = self.machine.root_cgroup
         # Stats objects are bound once per call: the access path runs
         # once per operation and the attribute chains add up.
         astats = accessor.stats
@@ -174,10 +181,17 @@ class PageCache:
         stats.lookups += 1
         tp = self._tp_lookup
         if tp.enabled:
-            ts, tid = self._trace_point()
+            if thread is not None:
+                ts, tid = thread.clock_us, thread.tid
+            else:
+                ts, tid = self.machine.engine.now_us, 0
             tp.emit(ts, accessor.name, tid, hit=1,
                     file=folio.mapping.file_id, index=folio.index)
-        self._charge_cpu(self.machine.costs.cache_hit_us)
+        if thread is not None:
+            # Inlined thread.advance; the hit cost is configured, >= 0.
+            us = self.machine.costs.cache_hit_us
+            thread.clock_us += us
+            thread.cpu_us += us
         if not update_recency:
             return
         owner = folio.memcg
@@ -244,8 +258,15 @@ class PageCache:
                     tp.emit(ts, memcg.name, tid, file=mapping.file_id,
                             index=index)
 
-        mapping.insert(folio)
-        memcg.charge()
+        # Inlined mapping.insert(folio): the duplicate guard is kept;
+        # the shadow pop it would repeat is a no-op here because
+        # take_shadow() above already consumed the slot.
+        folios = mapping._folios
+        if index in folios:
+            raise RuntimeError(
+                f"mapping {mapping.file_id}: duplicate insert at {index}")
+        folios[index] = folio
+        memcg.charged_pages += 1  # inlined memcg.charge()
         memcg.kernel_policy.folio_inserted(folio, refault_activate)
         # Re-read ext_policy: admit() may have watchdog-detached it.
         ext = memcg.ext_policy
@@ -258,14 +279,19 @@ class PageCache:
             ts, tid = self._trace_point()
             tp.emit(ts, memcg.name, tid, file=mapping.file_id, index=index,
                     charged=memcg.charged_pages)
-        self._charge_cpu(self.machine.costs.cache_miss_us)
+        # Inlined _charge_cpu: the insert path runs once per miss and
+        # the helper frame is measurable under eviction churn.
+        thread = current_thread()
+        if thread is not None:
+            thread.advance(self.machine.costs.cache_miss_us)
 
-        if memcg.over_limit:
-            # Direct reclaim with slack: reclaim a little beyond the
-            # excess (SWAP_CLUSTER_MAX-style, but proportional so tiny
-            # cgroups aren't flushed wholesale) so steady-state
-            # insertions don't pay a reclaim pass each — kernel
-            # watermark hysteresis.
+        limit = memcg.limit_pages
+        if limit is not None and memcg.charged_pages > limit:
+            # (Inlined memcg.over_limit.)  Direct reclaim with slack:
+            # reclaim a little beyond the excess (SWAP_CLUSTER_MAX-
+            # style, but proportional so tiny cgroups aren't flushed
+            # wholesale) so steady-state insertions don't pay a reclaim
+            # pass each — kernel watermark hysteresis.
             slack = min(EVICTION_BATCH,
                         max(1, (memcg.limit_pages or 4096) // 32))
             self.reclaim_cgroup(
@@ -363,7 +389,6 @@ class PageCache:
         kernel_policy = memcg.kernel_policy
         eviction_tier = kernel_policy.eviction_tier
         kp_removed = kernel_policy.folio_removed
-        uncharge = memcg.uncharge
         evict_us = self.machine.costs.evict_us
         tp_writeback = self._tp_writeback
         tp_evict = self._tp_evict
@@ -400,7 +425,12 @@ class PageCache:
             live_ext = memcg.ext_policy
             if live_ext is not None:
                 live_ext.folio_removed(folio)
-            uncharge()
+            # Inlined memcg.uncharge(), underflow guard preserved.
+            if memcg.charged_pages < 1:
+                raise RuntimeError(
+                    f"cgroup {memcg.name}: uncharge below zero "
+                    f"({memcg.charged_pages} - 1)")
+            memcg.charged_pages -= 1
             memcg.eviction_clock += 1
             mstats.evictions += 1
             stats.evictions += 1
@@ -410,7 +440,9 @@ class PageCache:
                               index=index, active=1 if active else 0,
                               charged=memcg.charged_pages)
             if thread is not None:
-                thread.advance(evict_us)
+                # Inlined thread.advance; evict_us is configured, >= 0.
+                thread.clock_us += evict_us
+                thread.cpu_us += evict_us
             evicted += 1
             if ext is not None and pos >= fallback_from:
                 mstats.fallback_evictions += 1
@@ -433,7 +465,11 @@ class PageCache:
         if not isinstance(folio, Folio):
             return False
         if self.validate_registry:
-            self._charge_cpu(self.registry_check_us)
+            # Inlined _charge_cpu: validation runs once per proposed
+            # candidate, i.e. once per evicted page under churn.
+            thread = current_thread()
+            if thread is not None:
+                thread.advance(self.registry_check_us)
             if not ext.holds_reference(folio):
                 return False
         if folio.mapping is None:

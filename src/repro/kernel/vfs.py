@@ -81,6 +81,11 @@ class SimFile:
 class Filesystem:
     """Machine-wide VFS: file namespace + page-cache-mediated I/O."""
 
+    #: When True (default), :meth:`read_range` takes the batched fast
+    #: path for cgroups without a cache_ext policy.  Clearing it forces
+    #: per-page semantics everywhere (debugging / equivalence tests).
+    bulk_io_enabled = True
+
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
         self._files: dict[str, SimFile] = {}
@@ -91,12 +96,25 @@ class Filesystem:
         self._tp_lookup = trace.tracepoint("cache:lookup")
         self._tp_writeback = trace.tracepoint("cache:writeback")
 
-    def _trace_miss(self, cache, f: SimFile, index: int) -> None:
+    def _account_misses(self, cache, memcg, f: SimFile, indices) -> None:
+        """Miss accounting — the single source of truth shared by
+        :meth:`read_page`, :meth:`write_page` and the batched range
+        path: bump the accessing cgroup's and the global lookup/miss
+        counters once for the whole batch, then trace each miss."""
+        n = len(indices)
+        mstats = memcg.stats
+        mstats.misses += n
+        mstats.lookups += n
+        stats = cache.stats
+        stats.misses += n
+        stats.lookups += n
         tp = self._tp_lookup
         if tp.enabled:
             ts, tid = cache._trace_point()
-            tp.emit(ts, cache._current_cgroup().name, tid, hit=0,
-                    file=f.file_id, index=index)
+            name = memcg.name
+            fid = f.file_id
+            for index in indices:
+                tp.emit(ts, name, tid, hit=0, file=fid, index=index)
 
     # ------------------------------------------------------------------
     # namespace
@@ -148,7 +166,13 @@ class Filesystem:
         if not 0 <= index < f.npages:
             raise EINVAL(f"{f.name}: read past EOF (page {index} of {f.npages})")
         cache = self.machine.page_cache
-        self._update_seq_state(f, index)
+        # Inlined _update_seq_state: read_page runs once per access and
+        # the helper frame is measurable on miss-heavy workloads.
+        if index == f.last_read_index + 1:
+            f.seq_streak += 1
+        else:
+            f.seq_streak = 0
+        f.last_read_index = index
 
         folio = f.mapping.lookup(index)
         if folio is not None:
@@ -158,15 +182,16 @@ class Filesystem:
 
         # Miss: bring the page (plus any readahead) in from the device.
         memcg = cache._current_cgroup()
-        mstats = memcg.stats
-        mstats.misses += 1
-        mstats.lookups += 1
-        stats = cache.stats
-        stats.misses += 1
-        stats.lookups += 1
-        self._trace_miss(cache, f, index)
+        self._account_misses(cache, memcg, f, (index,))
 
-        ra_indices = self._readahead_indices(f, index)
+        # Readahead probe: with no ext policy attached the heuristic's
+        # cheap rejection (random access, readahead disabled) is
+        # decided here without the helper-call frame.
+        if memcg.ext_policy is None and (not f.ra_enabled
+                                         or f.seq_streak < 2):
+            ra_indices = ()
+        else:
+            ra_indices = self._readahead_indices(f, index, memcg)
         folio = cache.add_folio(f.mapping, index, memcg)
         if folio is None:
             # Admission filter rejected the page: serve it direct-I/O
@@ -180,7 +205,7 @@ class Filesystem:
             f._last_direct_read = index
             return f.store.get(index)
 
-        folio.pin()
+        folio.pin_count += 1  # inlined folio.pin()
         try:
             inserted = 1
             for ra_index in ra_indices:
@@ -188,12 +213,126 @@ class Filesystem:
                     inserted += 1
             self.machine.disk.read(current_thread(), inserted)
         finally:
-            folio.unpin()
+            # Inlined folio.unpin(), including its underflow guard.
+            if folio.pin_count <= 0:
+                raise RuntimeError("unpin of unpinned folio")
+            folio.pin_count -= 1
         return f.store.get(index)
 
     def read_range(self, f: SimFile, start: int, npages: int) -> list:
-        """Sequential multi-page read; returns stored objects in order."""
-        return [self.read_page(f, idx) for idx in range(start, start + npages)]
+        """Sequential multi-page read; returns stored objects in order.
+
+        Fast path (the default): the whole range is classified against
+        the mapping in one pass, statistics are charged and trace
+        events emitted in bulk, missing folios (plus one trailing
+        readahead window) are inserted without re-entering
+        :meth:`read_page` per index, and all missing pages go to the
+        device as a single batched request.
+
+        Opt-out: when the accessing cgroup has a cache_ext policy
+        attached — or :attr:`bulk_io_enabled` is cleared — the read
+        falls back to the per-page loop, so policies hooking
+        per-access callbacks (admission, readahead hints, per-folio
+        ``folio_accessed``) see every event exactly as ``read_page``
+        dispatches it.
+        """
+        if npages <= 0:
+            return []
+        if f.deleted:
+            raise EBADF(f"read of deleted file: {f.name}")
+        if start < 0 or start + npages > f.npages:
+            raise EINVAL(f"{f.name}: range [{start}, {start + npages}) "
+                         f"past EOF ({f.npages} pages)")
+        cache = self.machine.page_cache
+        memcg = cache._current_cgroup()
+        if not self.bulk_io_enabled or memcg.ext_policy is not None:
+            return [self.read_page(f, idx)
+                    for idx in range(start, start + npages)]
+        return self._read_range_bulk(f, start, npages, cache, memcg)
+
+    def _read_range_bulk(self, f: SimFile, start: int, npages: int,
+                         cache, memcg) -> list:
+        """One-pass batched range read (no cache_ext policy attached).
+
+        Trace events carry one timestamp for the whole batch — a
+        single batched syscall charges no CPU between pages — but the
+        per-page event *sequence* (one ``cache:lookup`` per page in
+        index order, one ``cache:insert`` per missing page) matches
+        the per-page path.
+        """
+        end = start + npages
+        lookup = f.mapping.lookup
+        page_states = []
+        missing = []
+        nhits = 0
+        for index in range(start, end):
+            folio = lookup(index)
+            page_states.append(folio)
+            if folio is None:
+                missing.append(index)
+            else:
+                nhits += 1
+
+        # Sequential-detection state, exactly as npages consecutive
+        # read_page calls would leave it (feeds trailing readahead).
+        if start == f.last_read_index + 1:
+            f.seq_streak += npages
+        else:
+            f.seq_streak = npages - 1
+        f.last_read_index = end - 1
+
+        nmiss = len(missing)
+        mstats = memcg.stats
+        stats = cache.stats
+        mstats.lookups += npages
+        stats.lookups += npages
+        mstats.hits += nhits
+        stats.hits += nhits
+        mstats.misses += nmiss
+        stats.misses += nmiss
+        tp = cache._tp_lookup
+        if tp.enabled:
+            ts, tid = cache._trace_point()
+            name = memcg.name
+            fid = f.file_id
+            for offset, folio in enumerate(page_states):
+                tp.emit(ts, name, tid, hit=0 if folio is None else 1,
+                        file=fid, index=start + offset)
+
+        thread = current_thread()
+        if nhits:
+            if thread is not None:
+                thread.advance(
+                    self.machine.costs.cache_hit_us * nhits)
+            if not f.noreuse:
+                for folio in page_states:
+                    if folio is None:
+                        continue
+                    owner = folio.memcg
+                    owner.kernel_policy.folio_accessed(folio)
+                    # Hit folios may be owned by *other* cgroups whose
+                    # policies still get their per-folio callback.
+                    ext = owner.ext_policy
+                    if ext is not None:
+                        ext.folio_accessed(folio)
+        if nmiss == 0:
+            store_get = f.store.get
+            return [store_get(index) for index in range(start, end)]
+
+        # Insert every missing folio directly (full add_folio
+        # semantics: refault detection, charging, reclaim) — no
+        # admission filter can reject here, the bulk path requires no
+        # ext policy on the accessing cgroup.  The explicit range
+        # subsumes readahead: pages after the first miss are exactly
+        # the readahead folios, inserted without re-entering
+        # read_page per index.
+        add_folio = cache.add_folio
+        mapping = f.mapping
+        for index in missing:
+            add_folio(mapping, index, memcg)
+        self.machine.disk.read(thread, nmiss)
+        store_get = f.store.get
+        return [store_get(index) for index in range(start, end)]
 
     def _update_seq_state(self, f: SimFile, index: int) -> None:
         if index == f.last_read_index + 1:
@@ -202,7 +341,8 @@ class Filesystem:
             f.seq_streak = 0
         f.last_read_index = index
 
-    def _readahead_indices(self, f: SimFile, index: int) -> list[int]:
+    def _readahead_indices(self, f: SimFile, index: int,
+                           memcg=None) -> list[int]:
         """Pages to prefetch alongside a missed read.
 
         A cache_ext policy with the ``readahead`` extension hook (§7's
@@ -210,10 +350,11 @@ class Filesystem:
         the kernel heuristic applies: readahead arms after a short
         sequential streak and reads up to the file's window, with
         FADV_SEQUENTIAL doubling the window and FADV_RANDOM disabling
-        it, as in Linux.
+        it, as in Linux.  ``memcg`` lets the miss path reuse the cgroup
+        it already resolved.
         """
-        cache = self.machine.page_cache
-        memcg = cache._current_cgroup()
+        if memcg is None:
+            memcg = self.machine.page_cache._current_cgroup()
         window = None
         if memcg.ext_policy is not None:
             hint = memcg.ext_policy.readahead_hint(
@@ -252,13 +393,7 @@ class Filesystem:
             return
 
         memcg = cache._current_cgroup()
-        mstats = memcg.stats
-        mstats.misses += 1
-        mstats.lookups += 1
-        stats = cache.stats
-        stats.misses += 1
-        stats.lookups += 1
-        self._trace_miss(cache, f, index)
+        self._account_misses(cache, memcg, f, (index,))
         folio = cache.add_folio(f.mapping, index, memcg)
         if folio is None:
             # Admission filter rejected the write: go straight to disk,
@@ -277,20 +412,33 @@ class Filesystem:
         return index
 
     def fsync(self, f: SimFile) -> int:
-        """Write back every dirty folio of ``f``; returns pages written."""
+        """Write back every dirty folio of ``f``; returns pages written.
+
+        The device write was already one batched request; the flag
+        clears and counter bumps are batched too (per-cgroup counts
+        are accumulated in one pass, stats objects touched once per
+        cgroup instead of once per folio).  Pure integer accounting —
+        no CPU charge or device request moves, so virtual time is
+        identical to the per-folio loop.
+        """
         cache = self.machine.page_cache
         dirty = [folio for folio in f.mapping.folios() if folio.dirty]
         if not dirty:
             return 0
         self.machine.disk.write(current_thread(), len(dirty))
-        tp = self._tp_writeback
+        by_memcg: dict = {}
         for folio in dirty:
             folio.dirty = False
-            folio.memcg.stats.writebacks += 1
-            cache.stats.writebacks += 1
-            if tp.enabled:
-                ts, tid = cache._trace_point()
-                tp.emit(ts, folio.memcg.name, tid, file=f.file_id,
+            by_memcg[folio.memcg] = by_memcg.get(folio.memcg, 0) + 1
+        for memcg, count in by_memcg.items():
+            memcg.stats.writebacks += count
+        cache.stats.writebacks += len(dirty)
+        tp = self._tp_writeback
+        if tp.enabled:
+            ts, tid = cache._trace_point()
+            fid = f.file_id
+            for folio in dirty:
+                tp.emit(ts, folio.memcg.name, tid, file=fid,
                         index=folio.index)
         return len(dirty)
 

@@ -130,6 +130,14 @@ class Engine:
         self._live_nondaemon = 0
         self._nr_done = 0
         self.now_us: float = 0.0
+        #: Burst scheduling: after stepping a thread, keep stepping it
+        #: while its clock stays *strictly* below the heap top's,
+        #: skipping the push/pop round-trip.  The schedule is provably
+        #: identical — on clock ties the heap's existing entry wins by
+        #: seq number, which the strict ``<`` preserves (see
+        #: EXPERIMENTS.md, "burst-scheduling invariant").  Exposed as a
+        #: switch so the equivalence test can force the slow path.
+        self.burst_enabled = True
         # Scheduler tracepoints (sched:switch / sched:exit); wired by
         # Machine via attach_trace, permanently disabled on a bare
         # engine so the hot loop needs no None checks.
@@ -223,50 +231,70 @@ class Engine:
         global _current
         steps = 0
         heap = self._heap
+        heappop, heappush = heapq.heappop, heapq.heappush
         while heap:
             if self._live_nondaemon == 0:
                 # Only daemons remain; they must not keep us spinning.
                 return
-            clock, _seq, thread = heapq.heappop(heap)
+            clock, _seq, thread = heappop(heap)
             if thread.done:
                 continue
             if until_us is not None and clock >= until_us:
                 # Not runnable within the window; push back and stop.
-                heapq.heappush(heap, (clock, next(self._seq), thread))
-                self.now_us = until_us
+                # Clamp: a thread finishing past the deadline may have
+                # already advanced now_us beyond until_us.
+                heappush(heap, (clock, next(self._seq), thread))
+                if until_us > self.now_us:
+                    self.now_us = until_us
                 return
-            if max_steps is not None and steps >= max_steps:
-                heapq.heappush(heap, (clock, next(self._seq), thread))
-                raise RuntimeError(f"engine exceeded max_steps={max_steps}")
-            self.now_us = clock
-            tp = self._tp_switch
-            if tp.enabled:
-                tp.emit(clock, thread.cgroup_name, thread.tid,
-                        thread=thread.name, step=thread.steps)
-            _current = thread
-            try:
-                more = thread.step_fn(thread)
-            finally:
-                _current = None
-            thread.steps += 1
-            steps += 1
-            if more:
-                heapq.heappush(
-                    heap, (thread.clock_us, next(self._seq), thread))
-            else:
-                thread.done = True
-                thread.finish_us = thread.clock_us
-                self._nr_done += 1
-                if not thread.daemon:
-                    self._live_nondaemon -= 1
-                self.now_us = max(self.now_us, thread.clock_us)
-                tp = self._tp_exit
+            # Burst inner loop: step ``thread`` repeatedly while it
+            # remains *strictly* ahead of every other runnable thread.
+            # Each iteration is byte-for-byte the body of the original
+            # pop-step-push loop; only the heap round-trip is elided.
+            # A stale heap top (done thread not yet compacted) merely
+            # ends the burst early, which is safe.
+            while True:
+                if max_steps is not None and steps >= max_steps:
+                    heappush(heap, (clock, next(self._seq), thread))
+                    raise RuntimeError(
+                        f"engine exceeded max_steps={max_steps}")
+                self.now_us = clock
+                tp = self._tp_switch
                 if tp.enabled:
-                    tp.emit(thread.clock_us, thread.cgroup_name,
-                            thread.tid, thread=thread.name,
-                            steps=thread.steps, cpu_us=thread.cpu_us)
-                self._maybe_compact()
-                heap = self._heap
+                    tp.emit(clock, thread.cgroup_name, thread.tid,
+                            thread=thread.name, step=thread.steps)
+                _current = thread
+                try:
+                    more = thread.step_fn(thread)
+                finally:
+                    _current = None
+                thread.steps += 1
+                steps += 1
+                if not more:
+                    thread.done = True
+                    thread.finish_us = thread.clock_us
+                    self._nr_done += 1
+                    if not thread.daemon:
+                        self._live_nondaemon -= 1
+                    self.now_us = max(self.now_us, thread.clock_us)
+                    tp = self._tp_exit
+                    if tp.enabled:
+                        tp.emit(thread.clock_us, thread.cgroup_name,
+                                thread.tid, thread=thread.name,
+                                steps=thread.steps, cpu_us=thread.cpu_us)
+                    self._maybe_compact()
+                    heap = self._heap
+                    break
+                clock = thread.clock_us
+                # Re-read heap[0] every iteration: a spawn inside the
+                # step pushes into this same heap and must be able to
+                # preempt.  Ties go to the heap entry (smaller seq),
+                # so only a strictly smaller clock keeps the burst.
+                if (not self.burst_enabled
+                        or (heap and clock >= heap[0][0])
+                        or (until_us is not None and clock >= until_us)):
+                    heappush(heap, (clock, next(self._seq), thread))
+                    break
 
     def run_single(self, name: str, step_fn: Callable[[SimThread], bool],
                    cgroup=None) -> SimThread:

@@ -137,15 +137,21 @@ class Disk:
         timing, which the block layer's tracepoints consume.
         """
         issue_us = thread.clock_us
-        # Queue depth as observed at issue: channels still busy now.
-        depth = sum(1 for t in self._free_at if t > issue_us)
-        # Pick the earliest-available channel.
-        idx = min(range(self.channels), key=lambda i: self._free_at[i])
-        start = max(issue_us, self._free_at[idx])
+        # Channel scan at C speed: min() finds the earliest-available
+        # time, .index() the first channel holding it (same tie-break
+        # as a first-min loop), and the generator counts channels still
+        # busy at issue for the observed queue depth.
+        free_at = self._free_at
+        best = min(free_at)
+        idx = free_at.index(best)
+        depth = sum(1 for t in free_at if t > issue_us)
+        start = issue_us if best <= issue_us else best
         done = start + service_us
-        self._free_at[idx] = done
+        free_at[idx] = done
         self.stats.busy_us += service_us
-        thread.wait_until(done)
+        # Inlined thread.wait_until(done).
+        if done > thread.clock_us:
+            thread.clock_us = done
         return IoCompletion(issue_us=issue_us, wait_us=start - issue_us,
                             service_us=service_us, done_us=done,
                             queue_depth=depth)
@@ -154,8 +160,13 @@ class Disk:
              contiguous: bool = False) -> "IoCompletion":
         """Synchronously read ``npages`` pages; ``contiguous`` marks a
         continuation of a sequential stream (cheaper per page)."""
-        completion = self._submit(
-            thread, self._service_us(self.read_us, npages, contiguous))
+        # Single-random-page reads dominate cache-miss traffic; they
+        # need no per-page discount arithmetic, so skip the helper.
+        if npages == 1 and not contiguous:
+            service_us = self.read_us
+        else:
+            service_us = self._service_us(self.read_us, npages, contiguous)
+        completion = self._submit(thread, service_us)
         self.stats.reads += 1
         self.stats.read_pages += npages
         return completion
@@ -163,8 +174,11 @@ class Disk:
     def write(self, thread: SimThread, npages: int = 1,
               contiguous: bool = False) -> "IoCompletion":
         """Synchronously write ``npages`` pages (see :meth:`read`)."""
-        completion = self._submit(
-            thread, self._service_us(self.write_us, npages, contiguous))
+        if npages == 1 and not contiguous:
+            service_us = self.write_us
+        else:
+            service_us = self._service_us(self.write_us, npages, contiguous)
+        completion = self._submit(thread, service_us)
         self.stats.writes += 1
         self.stats.write_pages += npages
         return completion

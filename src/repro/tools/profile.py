@@ -59,12 +59,19 @@ def format_stats(stats: pstats.Stats, sort: str = "cumulative",
 
 
 def profile_experiment(name: str, quick: bool = False,
-                       cell_id: Optional[str] = None):
+                       cell_id: Optional[str] = None,
+                       include_prepare: bool = False):
     """Profile an experiment's cells in-process.
 
     Uses the experiment's :func:`plan` so the profiled work is exactly
     what the parallel runner would distribute; returns
     ``(payloads, pstats.Stats)``.
+
+    The plan's ``prepare`` hook (pre-generated workload streams) runs
+    *outside* the profiled region by default, matching the runner,
+    where stream generation is a one-off shared cost rather than
+    per-cell work; ``include_prepare=True`` profiles it too (useful
+    when tuning the generators themselves).
     """
     module = importlib.import_module(f"repro.experiments.{name}")
     if not hasattr(module, "plan"):
@@ -77,8 +84,12 @@ def profile_experiment(name: str, quick: bool = False,
             known = ", ".join(spec.cell_ids())
             raise ValueError(
                 f"no cell {cell_id!r} in {name}; cells: {known}")
+    if spec.prepare is not None and not include_prepare:
+        spec.prepare()
 
     def run_cells() -> dict:
+        if spec.prepare is not None and include_prepare:
+            spec.prepare()
         return {c.cell_id: c.execute() for c in cells}
 
     return profile_callable(run_cells)
@@ -98,13 +109,18 @@ def main(argv: Optional[list] = None) -> int:
                         default="cumulative")
     parser.add_argument("--top", type=int, default=25,
                         help="number of functions to print")
+    parser.add_argument("--include-prepare", action="store_true",
+                        help="profile the plan's prepare hook (stream "
+                             "pre-generation) too, instead of running "
+                             "it outside the profiled region")
     parser.add_argument("-o", "--output", default=None,
                         help="also dump raw profile data here "
                              "(snakeviz/pstats compatible)")
     args = parser.parse_args(argv)
 
     _, stats = profile_experiment(args.experiment, quick=args.quick,
-                                  cell_id=args.cell)
+                                  cell_id=args.cell,
+                                  include_prepare=args.include_prepare)
     print(format_stats(stats, sort=args.sort, limit=args.top), end="")
     if args.output:
         stats.dump_stats(args.output)

@@ -24,8 +24,9 @@ from typing import TYPE_CHECKING, Optional
 from repro.apps.lsm.db import LsmDb
 from repro.kernel.stats import LatencyRecorder
 from repro.kernel.vfs import FAdvice
+from repro.workloads import streams
 from repro.workloads.distributions import ScrambledZipfianGenerator
-from repro.workloads.ycsb import key_of
+from repro.workloads.streams import STREAM_PREGEN_MAX
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import SimThread
@@ -67,11 +68,15 @@ class GetScanWorkload:
                  scan_len: int = 1500,
                  fadvise_mode: Optional[str] = None,
                  zipf_theta: float = 1.2,
-                 seed: int = 5) -> None:
+                 seed: int = 5,
+                 pregen: Optional[bool] = None) -> None:
         """``zipf_theta`` defaults higher than the YCSB runs: the
         paper's workload "exhibits good cache locality for GETs", i.e.
         the GET working set fits the cgroup when scans don't pollute
-        it — which is exactly what the policy protects."""
+        it — which is exactly what the policy protects.  ``pregen``
+        forces the pre-generated-stream replay path on or off (default:
+        replay when the streams fit ``STREAM_PREGEN_MAX``); both paths
+        produce byte-identical results."""
         if fadvise_mode not in (None, "dontneed", "noreuse", "sequential"):
             raise ValueError(f"bad fadvise_mode: {fadvise_mode}")
         self.zipf_theta = zipf_theta
@@ -84,8 +89,30 @@ class GetScanWorkload:
         self.scan_len = scan_len
         self.fadvise_mode = fadvise_mode
         self.seed = seed
+        self.pregen = pregen
         self.result = GetScanResult()
         self.scan_tids: list[int] = []
+
+    @staticmethod
+    def prepare_streams(nkeys: int, n_gets: int, get_threads: int = 4,
+                        scan_threads: int = 2,
+                        scan_fraction: float = 0.0005,
+                        zipf_theta: float = 1.2, seed: int = 5) -> None:
+        """Warm the shared stream cache for one workload configuration
+        (see :meth:`YcsbRunner.prepare_streams`).  Mirrors
+        :meth:`spawn`'s per-thread op-count derivation."""
+        n_scans = max(1, round(n_gets * scan_fraction))
+        per_get_thread = n_gets // get_threads
+        per_scan_thread = max(1, n_scans // scan_threads)
+        streams.key_strings(nkeys)
+        if per_get_thread <= STREAM_PREGEN_MAX:
+            for worker in range(get_threads):
+                streams.zipfian_indices(nkeys, zipf_theta,
+                                        seed * 31 + worker,
+                                        per_get_thread)
+        for worker in range(scan_threads):
+            streams.uniform_indices(nkeys, seed * 97 + worker,
+                                    per_scan_thread)
 
     # ------------------------------------------------------------------
     def _apply_sequential_advice(self) -> None:
@@ -103,24 +130,37 @@ class GetScanWorkload:
         per_get_thread = self.n_gets // self.get_threads
         scan_advice = self.fadvise_mode if self.fadvise_mode in (
             "dontneed", "noreuse") else None
+        keys = streams.key_strings(self.nkeys)
+        pregen = (self.pregen if self.pregen is not None
+                  else per_get_thread <= STREAM_PREGEN_MAX)
 
         for worker in range(self.get_threads):
-            chooser = ScrambledZipfianGenerator(
-                self.nkeys, theta=self.zipf_theta,
-                seed=self.seed * 31 + worker)
-            remaining = [per_get_thread]
+            if pregen:
+                get_indices = streams.zipfian_indices(
+                    self.nkeys, self.zipf_theta,
+                    self.seed * 31 + worker, per_get_thread)
+                chooser = None
+            else:
+                get_indices = None
+                chooser = ScrambledZipfianGenerator(
+                    self.nkeys, theta=self.zipf_theta,
+                    seed=self.seed * 31 + worker)
+            pos = [0]
 
             def get_step(thread: "SimThread", chooser=chooser,
-                         remaining=remaining) -> bool:
-                if remaining[0] <= 0:
+                         get_indices=get_indices, pos=pos) -> bool:
+                i = pos[0]
+                if i >= per_get_thread:
                     return False
                 thread.advance(machine.costs.app_op_us)
-                key = key_of(chooser.next())
+                index = (get_indices[i] if get_indices is not None
+                         else chooser.next())
+                key = keys[index]
                 start = thread.clock_us
                 if self.db.get(key) is None:
                     result.missing_keys += 1
                 result.get_latency.record(thread.clock_us - start)
-                remaining[0] -= 1
+                pos[0] = i + 1
                 result.gets += 1
                 result.get_elapsed_us = max(result.get_elapsed_us,
                                             thread.clock_us)
@@ -138,11 +178,19 @@ class GetScanWorkload:
         chunk = 64
 
         for worker in range(self.scan_threads):
-            rng = random.Random(self.seed * 97 + worker)
+            if pregen:
+                scan_starts = streams.uniform_indices(
+                    self.nkeys, self.seed * 97 + worker,
+                    per_scan_thread)
+                rng = None
+            else:
+                scan_starts = None
+                rng = random.Random(self.seed * 97 + worker)
             state = {"done": 0, "cursor": None, "left": 0,
                      "started_at": 0.0}
 
             def scan_step(thread: "SimThread", rng=rng, state=state,
+                          scan_starts=scan_starts,
                           worker=worker) -> bool:
                 cursor = state["cursor"]
                 if cursor is not None:
@@ -173,7 +221,10 @@ class GetScanWorkload:
                     # GETs are behind; idle briefly without busy-wait.
                     thread.wait_until(thread.clock_us + 200.0)
                     return True
-                start_key = key_of(rng.randrange(self.nkeys))
+                start_index = (scan_starts[state["done"]]
+                               if scan_starts is not None
+                               else rng.randrange(self.nkeys))
+                start_key = keys[start_index]
                 state["cursor"] = self.db.scan_iter(start_key,
                                                     advice=scan_advice)
                 state["left"] = self.scan_len

@@ -1,0 +1,239 @@
+"""Pre-generated workload streams (performance layer).
+
+Sampling a key per operation at run time — a zipfian draw, an FNV
+scramble, a ``random.Random`` call or three — is pure Python work that
+sits on the hot path of every simulated operation.  Worse, the harness
+runs the same (workload, size, seed) cell once *per policy*, so the
+identical op sequence was being regenerated eight times per figure
+row.
+
+This module materializes each stream once per parameter tuple into
+compact ``array`` buffers (no numpy dependency) and memoizes them
+process-wide:
+
+* serial runs reuse one buffer across every policy cell;
+* the parallel runner's :attr:`ExperimentSpec.prepare` hook fills the
+  cache in the parent before forking, so worker processes inherit the
+  buffers copy-on-write and ship only the stream *spec* (the cell's
+  kwargs), never the data.
+
+Pre-generation reproduces the exact RNG draw order of the original
+on-line samplers (same ``random.Random`` seeds, same call sequence),
+so replayed runs are byte-identical to the pre-existing behaviour —
+``tests/test_workloads.py`` asserts replay == on-line for each runner.
+
+Streams whose length exceeds :data:`STREAM_PREGEN_MAX` are not
+materialized; runners fall back to on-line sampling (fig11 spawns a
+10M-op YCSB runner and cuts it off with an engine deadline — buffering
+that would cost far more than it saves).
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from typing import Optional
+
+#: Operation codes used in pre-generated streams (array-friendly).
+OP_READ, OP_UPDATE, OP_INSERT, OP_SCAN, OP_RMW = range(5)
+OP_NAMES = ("read", "update", "insert", "scan", "rmw")
+
+#: Streams longer than this (ops per stream) are never materialized;
+#: callers fall back to on-line sampling.  Bounds memory at ~9 MiB
+#: per distinct stream.
+STREAM_PREGEN_MAX = 1_000_000
+
+#: Process-global stream cache: parameter tuple -> materialized data.
+#: Filled either lazily (first cell to need a stream builds it) or
+#: eagerly by an experiment's ``prepare`` hook (pre-fork, for COW
+#: sharing).  Never invalidated: streams are pure functions of their
+#: key.
+_CACHE: dict = {}
+
+
+def clear_cache() -> None:
+    """Drop every memoized stream (test isolation hook)."""
+    _CACHE.clear()
+
+
+def cache_info() -> dict:
+    """Entry count and approximate buffered bytes (debug/test aid)."""
+    nbytes = 0
+    for value in _CACHE.values():
+        if isinstance(value, OpStream):
+            nbytes += value.nbytes
+        elif isinstance(value, array):
+            nbytes += value.buffer_info()[1] * value.itemsize
+        elif isinstance(value, list):
+            nbytes += sum(len(s) for s in value)
+    return {"entries": len(_CACHE), "bytes": nbytes}
+
+
+class OpStream:
+    """One materialized operation stream.
+
+    ``kinds[i]`` is an ``OP_*`` code; ``indices[i]`` the pre-drawn key
+    index (``-1`` for inserts, whose index is runtime state — the
+    shared insert counter); ``lengths`` carries scan lengths and is
+    ``None`` for streams that cannot contain scans.
+    """
+
+    __slots__ = ("kinds", "indices", "lengths")
+
+    def __init__(self, kinds: array, indices: array,
+                 lengths: Optional[array] = None) -> None:
+        self.kinds = kinds
+        self.indices = indices
+        self.lengths = lengths
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def nbytes(self) -> int:
+        total = (self.kinds.buffer_info()[1] * self.kinds.itemsize
+                 + self.indices.buffer_info()[1] * self.indices.itemsize)
+        if self.lengths is not None:
+            total += (self.lengths.buffer_info()[1]
+                      * self.lengths.itemsize)
+        return total
+
+
+# ----------------------------------------------------------------------
+# Shared draw helpers (single source of truth for pregen + on-line)
+# ----------------------------------------------------------------------
+def draw_op_kind(rng: random.Random, spec) -> int:
+    """One YCSB op-kind draw; *the* float walk both paths must share."""
+    r = rng.random()
+    for kind, share in ((OP_READ, spec.read), (OP_UPDATE, spec.update),
+                        (OP_INSERT, spec.insert), (OP_SCAN, spec.scan)):
+        if r < share:
+            return kind
+        r -= share
+    return OP_RMW
+
+
+def make_ycsb_chooser(spec, nkeys: int, seed: int,
+                      zipf_theta: float, latest_theta: float):
+    """The request-distribution generator for one YCSB worker."""
+    from repro.workloads.distributions import (LatestGenerator,
+                                               ScrambledZipfianGenerator,
+                                               UniformGenerator)
+    if spec.distribution == "zipfian":
+        return ScrambledZipfianGenerator(nkeys, theta=zipf_theta,
+                                         seed=seed)
+    if spec.distribution == "uniform":
+        return UniformGenerator(nkeys, seed=seed)
+    if spec.distribution == "latest":
+        return LatestGenerator(nkeys, theta=latest_theta, seed=seed)
+    raise ValueError(f"unknown distribution {spec.distribution}")
+
+
+# ----------------------------------------------------------------------
+# Stream builders
+# ----------------------------------------------------------------------
+def ycsb_stream(spec, nkeys: int, total: int, seed: int, worker: int,
+                zipf_theta: float, latest_theta: float) -> OpStream:
+    """The op stream one YCSB worker thread replays (warmup included).
+
+    Reproduces the draw order of the on-line path exactly: one
+    ``rng.random()`` per op (kind), a chooser draw for non-inserts, a
+    ``LatestGenerator.advance()`` per insert, and a scan-length
+    ``rng.randrange`` after the chooser draw.  Insert indices are
+    stored as ``-1``: they come from the runner's *shared* insert
+    counter, which is runtime state.
+    """
+    key = ("ycsb", spec, nkeys, total, seed, worker,
+           zipf_theta, latest_theta)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = random.Random(seed * 1000 + worker)
+    chooser = make_ycsb_chooser(spec, nkeys, seed * 77 + worker,
+                                zipf_theta, latest_theta)
+    is_latest = spec.distribution == "latest"
+    kinds = array("b")
+    indices = array("q")
+    lengths = array("l") if spec.scan > 0 else None
+    max_scan_len = spec.max_scan_len
+    for _ in range(total):
+        kind = draw_op_kind(rng, spec)
+        kinds.append(kind)
+        if kind == OP_INSERT:
+            indices.append(-1)
+            if is_latest:
+                chooser.advance()
+            if lengths is not None:
+                lengths.append(0)
+            continue
+        indices.append(chooser.next())
+        if lengths is not None:
+            lengths.append(1 + rng.randrange(max_scan_len)
+                           if kind == OP_SCAN else 0)
+    stream = _CACHE[key] = OpStream(kinds, indices, lengths)
+    return stream
+
+
+def twitter_stream(profile, nkeys: int, total: int, seed: int) -> OpStream:
+    """The shared op stream one Twitter cluster run consumes.
+
+    The runner's threads interleave on one stateful
+    :class:`~repro.workloads.twitter.ClusterKeyStream`, drawing exactly
+    ``warmup + nops`` ops in engine order — which makes the *sequence*
+    interleaving-independent and therefore pre-generatable.
+    """
+    key = ("twitter", profile, nkeys, total, seed)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    from repro.workloads.twitter import ClusterKeyStream
+    source = ClusterKeyStream(profile, nkeys, seed=seed)
+    kinds = array("b")
+    indices = array("q")
+    for _ in range(total):
+        kind, index = source.next_op()
+        kinds.append(OP_UPDATE if kind == "update" else OP_READ)
+        indices.append(index)
+    stream = _CACHE[key] = OpStream(kinds, indices)
+    return stream
+
+
+def zipfian_indices(nkeys: int, theta: float, seed: int,
+                    count: int) -> array:
+    """``count`` scrambled-zipfian key indices (GET-SCAN's GET side)."""
+    key = ("zipf", nkeys, theta, seed, count)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    from repro.workloads.distributions import ScrambledZipfianGenerator
+    gen = ScrambledZipfianGenerator(nkeys, theta=theta, seed=seed)
+    indices = _CACHE[key] = array(
+        "q", (gen.next() for _ in range(count)))
+    return indices
+
+
+def uniform_indices(nkeys: int, seed: int, count: int) -> array:
+    """``count`` uniform key indices (GET-SCAN's scan starts)."""
+    key = ("uniform", nkeys, seed, count)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = random.Random(seed)
+    indices = _CACHE[key] = array(
+        "q", (rng.randrange(nkeys) for _ in range(count)))
+    return indices
+
+
+def key_strings(nkeys: int) -> list:
+    """``key_of(i)`` for the loaded keyspace, formatted once.
+
+    Shared by the bulk-load phase and every runner's hot path; insert
+    indices past ``nkeys`` still format on demand.
+    """
+    key = ("keys", nkeys)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    from repro.workloads.ycsb import key_of
+    keys = _CACHE[key] = [key_of(i) for i in range(nkeys)]
+    return keys

@@ -30,14 +30,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.apps.lsm.db import LsmDb
 from repro.apps.lsm.format import fnv1a
 from repro.kernel.stats import LatencyRecorder
+from repro.workloads import streams
 from repro.workloads.distributions import CdfZipfianGenerator, \
     ZipfianGenerator
-from repro.workloads.ycsb import key_of
+from repro.workloads.streams import STREAM_PREGEN_MAX
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import SimThread
@@ -184,34 +185,70 @@ class TwitterRunner:
 
     def __init__(self, db: LsmDb, profile: ClusterProfile, nkeys: int,
                  nops: int, seed: int = 11, warmup_ops: int = 0,
-                 nthreads: int = 4) -> None:
+                 nthreads: int = 4,
+                 pregen: Optional[bool] = None) -> None:
         """``warmup_ops`` run before the measured window (steady-state
-        surrogate, as in the YCSB runner); threads share one stream."""
+        surrogate, as in the YCSB runner); threads share one stream.
+
+        The stream's op sequence does not depend on how the engine
+        interleaves the client threads (each step consumes exactly one
+        op from shared state), so by default it is materialized once
+        per (profile, nkeys, total, seed) and shared across cells; the
+        on-line path remains for oversized runs (``pregen`` forces
+        either).  Both produce byte-identical results.
+        """
         self.db = db
         self.profile = profile
+        self.nkeys = nkeys
+        self.seed = seed
         self.stream = ClusterKeyStream(profile, nkeys, seed=seed)
         self.nops = nops
         self.warmup_ops = warmup_ops
         self.nthreads = nthreads
+        self.pregen = pregen
         self.result = TwitterResult(profile.name)
 
+    @staticmethod
+    def prepare_streams(profile: ClusterProfile, nkeys: int, nops: int,
+                        warmup_ops: int = 0, seed: int = 11) -> None:
+        """Warm the shared stream cache for one runner configuration
+        (see :meth:`YcsbRunner.prepare_streams`)."""
+        total = warmup_ops + nops
+        streams.key_strings(nkeys)
+        if total <= STREAM_PREGEN_MAX:
+            streams.twitter_stream(profile, nkeys, total, seed)
+
     def run(self) -> TwitterResult:
-        state = {"warmup": self.warmup_ops, "remaining": self.nops}
+        total = self.warmup_ops + self.nops
+        warmup = self.warmup_ops
+        pregen = (self.pregen if self.pregen is not None
+                  else total <= STREAM_PREGEN_MAX)
+        if pregen:
+            ops_stream = streams.twitter_stream(
+                self.profile, self.nkeys, total, self.seed)
+            op_kinds, op_indices = ops_stream.kinds, ops_stream.indices
+        else:
+            op_kinds = op_indices = None
+        keys = streams.key_strings(self.nkeys)
+        state = {"pos": 0}
         result = self.result
         window_start = {"t": 0.0}
 
         def step(thread: "SimThread") -> bool:
-            if state["warmup"] <= 0 and state["remaining"] <= 0:
+            i = state["pos"]
+            if i >= total:
                 return False
-            warm = state["warmup"] > 0
-            if warm:
-                state["warmup"] -= 1
+            state["pos"] = i + 1
+            warm = i < warmup
+            if op_kinds is not None:
+                update = op_kinds[i]  # OP_UPDATE == 1, OP_READ == 0
+                index = op_indices[i]
             else:
-                state["remaining"] -= 1
-            kind, index = self.stream.next_op()
+                kind, index = self.stream.next_op()
+                update = kind == "update"
             thread.advance(self.db.machine.costs.app_op_us)
-            key = key_of(index)
-            if kind == "read":
+            key = keys[index]
+            if not update:
                 start = thread.clock_us
                 missing = self.db.get(key) is None
                 if not warm:

@@ -30,9 +30,11 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.apps.lsm.db import LsmDb
 from repro.kernel.stats import LatencyRecorder
-from repro.workloads.distributions import (LatestGenerator,
-                                           ScrambledZipfianGenerator,
-                                           UniformGenerator)
+from repro.workloads import streams
+from repro.workloads.distributions import LatestGenerator
+from repro.workloads.streams import (OP_INSERT, OP_NAMES, OP_READ,
+                                     OP_SCAN, OP_UPDATE,
+                                     STREAM_PREGEN_MAX)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import SimThread
@@ -76,7 +78,8 @@ def key_of(index: int) -> str:
 
 def load_items(nkeys: int) -> list[tuple]:
     """The YCSB load phase's records, for :meth:`LsmDb.bulk_load`."""
-    return [(key_of(i), ("v0", i)) for i in range(nkeys)]
+    keys = streams.key_strings(nkeys)
+    return [(keys[i], ("v0", i)) for i in range(nkeys)]
 
 
 @dataclass
@@ -107,7 +110,8 @@ class YcsbRunner:
                  nops: int, nthreads: int = 1, seed: int = 42,
                  warmup_ops: int = 0,
                  zipf_theta: float = 0.99,
-                 latest_theta: float = 1.4) -> None:
+                 latest_theta: float = 1.4,
+                 pregen: Optional[bool] = None) -> None:
         """``warmup_ops`` are executed and *discarded* before the
         measured window opens — the steady-state equivalent of the
         paper's long runs, letting frequency-learning policies (LFU,
@@ -120,6 +124,13 @@ class YcsbRunner:
         same role for workload D's recency window: at paper scale D
         runs effectively in-memory ("cached entirely in-memory",
         §6.1.1), which requires a tight offset distribution here.
+
+        ``pregen`` forces the pre-generated-stream replay path on or
+        off; the default picks replay whenever the per-worker stream
+        fits :data:`~repro.workloads.streams.STREAM_PREGEN_MAX` (fig11
+        spawns deliberately oversized runs that an engine deadline
+        cuts off — those sample on line).  Both paths produce
+        byte-identical results.
         """
         self.db = db
         self.spec = spec
@@ -130,60 +141,52 @@ class YcsbRunner:
         self.warmup_ops = warmup_ops
         self.zipf_theta = zipf_theta
         self.latest_theta = latest_theta
+        self.pregen = pregen
         self.result = YcsbResult(spec.name)
         self._insert_counter = [nkeys]
+        self._keys = streams.key_strings(nkeys)
 
     def _make_chooser(self, seed: int):
-        if self.spec.distribution == "zipfian":
-            return ScrambledZipfianGenerator(self.nkeys,
-                                             theta=self.zipf_theta,
-                                             seed=seed)
-        if self.spec.distribution == "uniform":
-            return UniformGenerator(self.nkeys, seed=seed)
-        if self.spec.distribution == "latest":
-            return LatestGenerator(self.nkeys, theta=self.latest_theta,
-                                   seed=seed)
-        raise ValueError(f"unknown distribution {self.spec.distribution}")
+        return streams.make_ycsb_chooser(self.spec, self.nkeys, seed,
+                                         self.zipf_theta,
+                                         self.latest_theta)
 
-    def _op_kind(self, rng: random.Random) -> str:
-        r = rng.random()
-        spec = self.spec
-        for kind, share in (("read", spec.read), ("update", spec.update),
-                            ("insert", spec.insert), ("scan", spec.scan)):
-            if r < share:
-                return kind
-            r -= share
-        return "rmw"
+    def _key(self, index: int) -> str:
+        # Keys in the loaded keyspace come from the shared formatted
+        # list; inserted keys past it format on demand.
+        if index < self.nkeys:
+            return self._keys[index]
+        return key_of(index)
 
-    def _run_op(self, thread: "SimThread", rng: random.Random,
-                chooser, counter: int) -> None:
-        kind = self._op_kind(rng)
+    def _do_op(self, thread: "SimThread", kind: int, index: int,
+               scan_len: int, counter: int) -> None:
+        """Execute one already-drawn op (shared by replay + on-line)."""
         result = self.result
-        result.op_counts[kind] = result.op_counts.get(kind, 0) + 1
+        name = OP_NAMES[kind]
+        result.op_counts[name] = result.op_counts.get(name, 0) + 1
         thread.advance(self.db.machine.costs.app_op_us)
-        if kind == "insert":
+        if kind == OP_INSERT:
             index = self._insert_counter[0]
             self._insert_counter[0] += 1
-            if isinstance(chooser, LatestGenerator):
-                chooser.advance()
             self.db.put(key_of(index), ("new", counter))
             return
-        index = chooser.next()
         # "latest" can point at inserts not yet performed in other
         # threads' views; clamp to the loaded keyspace + done inserts.
-        index = min(index, self._insert_counter[0] - 1)
-        key = key_of(index)
-        if kind == "read":
+        limit = self._insert_counter[0] - 1
+        if index > limit:
+            index = limit
+        key = self._key(index)
+        if kind == OP_READ:
             start = thread.clock_us
             value = self.db.get(key)
             result.read_latency.record(thread.clock_us - start)
             if value is None:
                 result.missing_keys += 1
-        elif kind == "update":
+        elif kind == OP_UPDATE:
             self.db.put(key, ("u", counter))
-        elif kind == "scan":
-            self.db.scan(key, 1 + rng.randrange(self.spec.max_scan_len))
-        elif kind == "rmw":
+        elif kind == OP_SCAN:
+            self.db.scan(key, scan_len)
+        else:  # rmw
             start = thread.clock_us
             value = self.db.get(key)
             result.read_latency.record(thread.clock_us - start)
@@ -191,43 +194,130 @@ class YcsbRunner:
                 result.missing_keys += 1
             self.db.put(key, ("rmw", counter))
 
+    def _run_op(self, thread: "SimThread", rng: random.Random,
+                chooser, counter: int) -> None:
+        """Draw one op on line and execute it (the fallback path for
+        streams too long to pre-generate)."""
+        kind = streams.draw_op_kind(rng, self.spec)
+        if kind == OP_INSERT:
+            if isinstance(chooser, LatestGenerator):
+                chooser.advance()
+            self._do_op(thread, kind, -1, 0, counter)
+            return
+        index = chooser.next()
+        scan_len = (1 + rng.randrange(self.spec.max_scan_len)
+                    if kind == OP_SCAN else 0)
+        self._do_op(thread, kind, index, scan_len, counter)
+
+    def _replay_step(self, worker: int, total: int, warmup: int):
+        """Step function replaying one worker's pre-generated stream."""
+        stream = streams.ycsb_stream(self.spec, self.nkeys, total,
+                                     self.seed, worker,
+                                     self.zipf_theta, self.latest_theta)
+        kinds, indices, lengths = (stream.kinds, stream.indices,
+                                   stream.lengths)
+        pos = [0]
+        window_start = [0.0]
+
+        def step(thread) -> bool:
+            i = pos[0]
+            if i >= total:
+                return False
+            kind = kinds[i]
+            index = indices[i]
+            scan_len = lengths[i] if lengths is not None else 0
+            if i < warmup:
+                # Warmup: same op stream, results discarded.
+                saved = self.result
+                self.result = YcsbResult(self.spec.name)
+                try:
+                    self._do_op(thread, kind, index, scan_len, 0)
+                finally:
+                    self.result = saved
+                pos[0] = i + 1
+                window_start[0] = thread.clock_us
+                return True
+            result = self.result
+            self._do_op(thread, kind, index, scan_len, result.ops)
+            pos[0] = i + 1
+            result.ops += 1
+            result.elapsed_us = max(
+                result.elapsed_us,
+                thread.clock_us - window_start[0])
+            return True
+
+        return step
+
+    def _online_step(self, worker: int, warmup_per_thread: int,
+                     per_thread: int):
+        """Step function sampling on line (oversized streams)."""
+        rng = random.Random(self.seed * 1000 + worker)
+        chooser = self._make_chooser(self.seed * 77 + worker)
+        remaining = [per_thread]
+        warmup_left = [warmup_per_thread]
+        window_start = [0.0]
+
+        def step(thread) -> bool:
+            if warmup_left[0] > 0:
+                # Warmup: same op stream, results discarded.
+                saved = self.result
+                self.result = YcsbResult(self.spec.name)
+                try:
+                    self._run_op(thread, rng, chooser, 0)
+                finally:
+                    self.result = saved
+                warmup_left[0] -= 1
+                window_start[0] = thread.clock_us
+                return True
+            if remaining[0] <= 0:
+                return False
+            self._run_op(thread, rng, chooser, self.result.ops)
+            remaining[0] -= 1
+            self.result.ops += 1
+            self.result.elapsed_us = max(
+                self.result.elapsed_us,
+                thread.clock_us - window_start[0])
+            return True
+
+        return step
+
+    @staticmethod
+    def prepare_streams(spec: YcsbSpec, nkeys: int, nops: int,
+                        nthreads: int = 1, seed: int = 42,
+                        warmup_ops: int = 0, zipf_theta: float = 0.99,
+                        latest_theta: float = 1.4) -> None:
+        """Warm the shared stream cache for one runner configuration.
+
+        Called by experiment ``prepare`` hooks before cells run (and
+        before the parallel runner forks), with the same parameters the
+        cells will pass to :class:`YcsbRunner`; a no-op for streams too
+        long to pre-generate.
+        """
+        per_thread = nops // nthreads
+        warmup_per_thread = warmup_ops // nthreads
+        total = warmup_per_thread + per_thread
+        streams.key_strings(nkeys)
+        if total > STREAM_PREGEN_MAX:
+            return
+        for worker in range(nthreads):
+            streams.ycsb_stream(spec, nkeys, total, seed, worker,
+                                zipf_theta, latest_theta)
+
     def spawn(self) -> list:
         """Start client threads; returns them (engine must be run)."""
         per_thread = self.nops // self.nthreads
         warmup_per_thread = self.warmup_ops // self.nthreads
+        total = warmup_per_thread + per_thread
+        pregen = (self.pregen if self.pregen is not None
+                  else total <= STREAM_PREGEN_MAX)
         threads = []
         for worker in range(self.nthreads):
-            rng = random.Random(self.seed * 1000 + worker)
-            chooser = self._make_chooser(self.seed * 77 + worker)
-            remaining = [per_thread]
-            warmup_left = [warmup_per_thread]
-            window_start = [0.0]
-
-            def step(thread, rng=rng, chooser=chooser,
-                     remaining=remaining, warmup_left=warmup_left,
-                     window_start=window_start) -> bool:
-                if warmup_left[0] > 0:
-                    # Warmup: same op stream, results discarded.
-                    saved = self.result
-                    self.result = YcsbResult(self.spec.name)
-                    try:
-                        self._run_op(thread, rng, chooser, 0)
-                    finally:
-                        self.result = saved
-                    warmup_left[0] -= 1
-                    window_start[0] = thread.clock_us
-                    return True
-                if remaining[0] <= 0:
-                    return False
-                self._run_op(thread, rng, chooser,
-                             self.result.ops)
-                remaining[0] -= 1
-                self.result.ops += 1
-                self.result.elapsed_us = max(
-                    self.result.elapsed_us,
-                    thread.clock_us - window_start[0])
-                return True
-
+            if pregen:
+                step = self._replay_step(worker, total,
+                                         warmup_per_thread)
+            else:
+                step = self._online_step(worker, warmup_per_thread,
+                                         per_thread)
             threads.append(self.db.machine.spawn(
                 f"ycsb-{self.spec.name}-{worker}", step,
                 cgroup=self.db.cgroup))

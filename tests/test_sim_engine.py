@@ -244,6 +244,160 @@ class TestThreadCompaction:
         assert trace_run(min_dead=10) == trace_run(min_dead=10**9)
 
 
+class TestUntilUsClamp:
+    def test_until_us_does_not_move_now_backwards(self):
+        # Regression: a thread finishing *past* the deadline advances
+        # now_us beyond until_us; the deadline return must not then
+        # drag now_us back to until_us.
+        engine = Engine()
+
+        def finisher(thread):
+            thread.advance(100.0)
+            return False
+
+        engine.spawn("finisher", finisher)
+        # Pending thread already past the 50us window: never stepped.
+        engine.spawn("slow", lambda thread: True, start_us=70.0)
+        engine.run(until_us=50.0)
+        assert engine.now_us == pytest.approx(100.0)
+
+    def test_until_us_still_advances_now(self):
+        # The normal case keeps its semantics: nothing ran past the
+        # window, so now_us lands exactly on the deadline.
+        engine = Engine()
+        make_counter_thread(engine, "a", 1000, 10.0)
+        engine.run(until_us=45.0)
+        assert engine.now_us == pytest.approx(45.0)
+
+
+class TestBurstScheduling:
+    """Burst mode must be schedule-equivalent to the pop/push loop."""
+
+    @staticmethod
+    def _contention_scenario(burst: bool):
+        """Fig11-style contention: two cgroups hammering one machine.
+
+        Random readers (cache-thrashing, fio-style) share the disk and
+        the engine with cheap sequential readers, a mid-run spawned
+        thread, a daemon poller, and a fixed run window — every
+        scheduling feature the burst loop interacts with.
+        """
+        import random
+
+        from repro.kernel.machine import Machine
+        from repro.obs.trace import TraceSession
+
+        machine = Machine()
+        machine.engine.burst_enabled = burst
+        cg_a = machine.new_cgroup("rand", limit_pages=64)
+        cg_b = machine.new_cgroup("seq", limit_pages=64)
+        f = machine.fs.create("data")
+        for idx in range(512):
+            f.store[idx] = idx
+        f.npages = 512
+
+        def rand_reader(seed):
+            rng = random.Random(seed)
+            remaining = [200]
+
+            def step(thread):
+                if remaining[0] <= 0:
+                    return False
+                thread.advance(machine.costs.syscall_us)
+                machine.fs.read_page(f, rng.randrange(512))
+                remaining[0] -= 1
+                return True
+            return step
+
+        def seq_reader():
+            pos = [0]
+
+            def step(thread):
+                if pos[0] >= 400:
+                    return False
+                thread.advance(0.5)
+                machine.fs.read_page(f, pos[0] % 512)
+                pos[0] += 1
+                return True
+            return step
+
+        def daemon_step(thread):
+            thread.advance(25.0)
+            return True
+
+        spawned = []
+
+        def spawner(thread):
+            thread.advance(40.0)
+            if thread.steps == 3:
+                spawned.append(machine.spawn(
+                    "late", rand_reader(7), cgroup=cg_a))
+            return thread.steps < 8
+
+        for i in range(3):
+            machine.spawn(f"rand-{i}", rand_reader(100 + i), cgroup=cg_a)
+        for i in range(2):
+            machine.spawn(f"seq-{i}", seq_reader(), cgroup=cg_b)
+        machine.spawn("poller", daemon_step, daemon=True)
+        machine.spawn("spawner", spawner)
+
+        with TraceSession(machine, "sched:*") as session:
+            machine.run(until_us=900.0)
+            machine.run()  # drain past the window too
+        threads = sorted(
+            ((t.tid, t.name, t.steps, t.clock_us, t.cpu_us, t.done)
+             for t in machine.engine.threads + spawned))
+        switches = [(e.ts_us, e.tid, e.data["step"])
+                    for e in session.events if e.name == "sched:switch"]
+        return switches, threads, machine.now_us
+
+    def test_burst_equivalent_to_heap_loop(self):
+        fast = self._contention_scenario(burst=True)
+        slow = self._contention_scenario(burst=False)
+        # Identical step interleavings (every sched:switch), identical
+        # final clocks/step counts, identical engine time.
+        assert fast == slow
+
+    def test_burst_single_thread_heap_stays_idle(self):
+        # A lone thread bursts to completion: the heap sees exactly one
+        # push (the spawn) and one pop.
+        engine = Engine()
+        t = make_counter_thread(engine, "solo", 1000, 1.0)
+        engine.run()
+        assert t.done
+        assert t.clock_us == pytest.approx(1000.0)
+        # Far fewer seq numbers consumed than steps: bursting elided
+        # the per-step re-push (the non-burst loop would use ~1000).
+        assert next(engine._seq) < 10
+
+    def test_burst_respects_preemption_by_spawned_thread(self):
+        engine = Engine()
+        log = []
+
+        def parent(thread):
+            thread.advance(1.0)
+            if thread.steps == 0:
+                # Spawned mid-burst at clock 1.5: the burst must end as
+                # soon as the parent's clock passes it.
+                engine.spawn("child", make_child(), start_us=1.5)
+            log.append(("parent", thread.clock_us))
+            return thread.steps < 4
+
+        def make_child():
+            def step(thread):
+                log.append(("child", thread.clock_us))
+                thread.advance(10.0)
+                return False
+            return step
+
+        engine.spawn("parent", parent)
+        engine.run()
+        # Parent runs at 1.0 and 2.0; the child (clock 1.5) preempts
+        # before the parent's third step at 3.0.
+        assert log[:3] == [("parent", 1.0), ("parent", 2.0),
+                           ("child", 1.5)]
+
+
 class TestDaemonThreads:
     def test_daemons_do_not_keep_engine_alive(self):
         engine = Engine()

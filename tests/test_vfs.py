@@ -4,6 +4,40 @@ import pytest
 
 from repro.kernel import FAdvice, Machine
 from repro.kernel.errors import EBADF, EINVAL
+from repro.kernel.page_cache import ExtPolicyBase
+from repro.kernel.vfs import MAX_RA_PAGES
+
+
+class HintPolicy(ExtPolicyBase):
+    """Minimal ext policy: only the readahead hint hook matters."""
+
+    name = "hint"
+
+    def __init__(self, hint):
+        self.hint = hint
+        self.admitted = 0
+
+    def admit(self, mapping, index):
+        self.admitted += 1
+        return True
+
+    def readahead_hint(self, mapping, index, seq_streak):
+        return self.hint
+
+    def folio_added(self, folio):
+        pass
+
+    def folio_accessed(self, folio):
+        pass
+
+    def folio_removed(self, folio):
+        pass
+
+    def propose_candidates(self, nr):
+        return []
+
+    def holds_reference(self, folio):
+        return False
 
 
 def make_fs(limit=256):
@@ -166,6 +200,167 @@ class TestReadahead:
         machine.fs.fadvise(f, FAdvice.NORMAL)
         assert f.ra_window == 8
         assert f.ra_enabled
+
+
+class TestReadaheadEdgeCases:
+    def _read(self, machine, cg, f, indices):
+        it = iter(indices)
+
+        def step(thread):
+            idx = next(it, None)
+            if idx is None:
+                return False
+            machine.fs.read_page(f, idx)
+            return True
+
+        machine.spawn("ra", step, cgroup=cg)
+        machine.run()
+
+    def test_hint_zero_disables_readahead(self):
+        machine, cg, f = make_fs()
+        cg.ext_policy = HintPolicy(0)
+        self._read(machine, cg, f, range(10))
+        # Every page was its own device read: no prefetching at all.
+        assert machine.disk.stats.read_pages == 10
+
+    def test_negative_hint_disables_readahead(self):
+        machine, cg, f = make_fs()
+        cg.ext_policy = HintPolicy(-5)
+        self._read(machine, cg, f, range(10))
+        assert machine.disk.stats.read_pages == 10
+
+    def test_hint_clamped_at_max_ra_pages(self):
+        machine, cg, f = make_fs()
+        cg.ext_policy = HintPolicy(10_000)
+        self._read(machine, cg, f, [0])
+        # One miss + a readahead window bounded by the kernel cap,
+        # not the policy's oversized ask.
+        assert machine.disk.stats.read_pages == 1 + MAX_RA_PAGES
+        assert f.mapping.lookup(MAX_RA_PAGES) is not None
+        assert f.mapping.lookup(MAX_RA_PAGES + 1) is None
+
+    def test_backward_seek_resets_streak(self):
+        machine, cg, f = make_fs()
+        self._read(machine, cg, f, [5, 6, 7])
+        assert f.seq_streak == 2
+        self._read(machine, cg, f, [3])
+        assert f.seq_streak == 0
+        assert f.last_read_index == 3
+
+    def test_readahead_stops_at_resident_folio(self):
+        machine, cg, f = make_fs()
+        # Make page 5 resident, then arm readahead at page 2: the
+        # window [3..9) must stop before the resident folio.
+        self._read(machine, cg, f, [5])
+        self._read(machine, cg, f, [0, 1, 2])
+        assert f.mapping.lookup(3) is not None
+        assert f.mapping.lookup(4) is not None
+        assert f.mapping.lookup(6) is None
+
+
+class TestBulkReadRange:
+    def test_single_device_request_for_missing_range(self):
+        machine, cg, f = make_fs()
+        values = run_in_thread(
+            machine, cg, lambda th: machine.fs.read_range(f, 0, 12))
+        assert values == [f"data{i}" for i in range(12)]
+        assert machine.disk.stats.reads == 1
+        assert machine.disk.stats.read_pages == 12
+        assert cg.stats.misses == 12
+        assert cg.stats.lookups == 12
+
+    def test_resident_range_is_all_hits(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 0, 8))
+        reads_before = machine.disk.stats.reads
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 0, 8))
+        assert machine.disk.stats.reads == reads_before
+        assert cg.stats.hits == 8
+
+    def test_mixed_range_reads_only_missing_pages(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_page(f, 5))
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 3, 6))
+        # Pages 3,4,6,7,8 missed; page 5 hit.
+        assert cg.stats.hits == 1
+        assert machine.disk.stats.read_pages == 6  # 1 + 5
+        assert machine.disk.stats.reads == 2
+
+    def test_bulk_updates_recency(self):
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 0, 4))
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 0, 4))
+        assert f.mapping.lookup(0).referenced  # first touch after insert
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 0, 4))
+        assert f.mapping.lookup(0).active  # second touch activated
+
+    def test_bulk_emits_per_page_lookup_events(self):
+        from repro.obs.trace import TraceSession
+        machine, cg, f = make_fs()
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_page(f, 2))
+        with TraceSession(machine, "cache:lookup") as session:
+            run_in_thread(machine, cg,
+                          lambda th: machine.fs.read_range(f, 0, 5))
+        events = [(e.data["index"], e.data["hit"])
+                  for e in session.events]
+        assert events == [(0, 0), (1, 0), (2, 1), (3, 0), (4, 0)]
+
+    def test_ext_policy_opts_out_of_bulk(self):
+        machine, cg, f = make_fs()
+        policy = HintPolicy(None)
+        cg.ext_policy = policy
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 0, 10))
+        # Per-page fallback: the admission filter saw every insertion
+        # (10 pages, nothing resident, hint None keeps the kernel
+        # heuristic which prefetches within the same range).
+        assert policy.admitted == 10
+        assert machine.disk.stats.reads > 1
+
+    def test_bulk_io_disabled_falls_back(self):
+        machine, cg, f = make_fs()
+        machine.fs.bulk_io_enabled = False
+        run_in_thread(machine, cg,
+                      lambda th: machine.fs.read_range(f, 0, 10))
+        # Per-page loop: first two misses are single-page reads before
+        # readahead arms, so more than one device request happens.
+        assert machine.disk.stats.reads > 1
+        assert cg.charged_pages == 10
+
+    def test_bulk_matches_per_page_residency_and_charges(self):
+        def run(bulk):
+            machine, cg, f = make_fs()
+            machine.fs.bulk_io_enabled = bulk
+            run_in_thread(machine, cg,
+                          lambda th: machine.fs.read_range(f, 0, 10))
+            return (sorted(folio.index for folio in f.mapping.folios()),
+                    cg.charged_pages, cg.stats.lookups)
+
+        assert run(bulk=True) == run(bulk=False)
+
+    def test_read_range_past_eof_rejected(self):
+        machine, cg, f = make_fs()
+        with pytest.raises(EINVAL):
+            machine.fs.read_range(f, 120, 20)
+
+    def test_read_range_empty_is_noop(self):
+        machine, cg, f = make_fs()
+        assert machine.fs.read_range(f, 0, 0) == []
+        assert machine.disk.stats.reads == 0
+
+    def test_read_range_deleted_file_rejected(self):
+        machine, cg, f = make_fs()
+        machine.fs.delete("file")
+        with pytest.raises(EBADF):
+            machine.fs.read_range(f, 0, 4)
 
 
 class TestFadviseSemantics:

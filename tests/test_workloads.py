@@ -7,6 +7,7 @@ import pytest
 from repro.apps.lsm import DbOptions, LsmDb
 from repro.apps.lsm.format import RecordFormat
 from repro.kernel import Machine
+from repro.workloads import streams
 from repro.workloads.distributions import (CdfZipfianGenerator,
                                            LatestGenerator,
                                            ScrambledZipfianGenerator,
@@ -199,6 +200,101 @@ class TestTwitter:
                                warmup_ops=100).run()
         assert result.ops == 500
         assert result.throughput > 0
+
+
+class TestStreamPregen:
+    """The pre-generated replay path must be byte-identical to the
+    on-line sampling path it replaced — same op sequence, same virtual
+    timings, same cgroup counters."""
+
+    @pytest.mark.parametrize("workload", ["A", "D", "E", "uniform-rw"])
+    def test_ycsb_replay_matches_online(self, workload):
+        outs = []
+        for pregen in (False, True):
+            machine, cg, db = small_db_env()
+            runner = YcsbRunner(db, YCSB_WORKLOADS[workload],
+                                nkeys=2000, nops=600, nthreads=3,
+                                warmup_ops=150, seed=13, pregen=pregen)
+            result = runner.run()
+            outs.append((result.ops, result.op_counts,
+                         result.elapsed_us, result.missing_keys,
+                         result.read_latency.p99,
+                         runner._insert_counter[0],
+                         machine.now_us, cg.stats.snapshot()))
+        assert outs[0] == outs[1]
+
+    def test_twitter_replay_matches_online(self):
+        outs = []
+        for pregen in (False, True):
+            machine, cg, db = small_db_env()
+            result = TwitterRunner(db, CLUSTERS[34], nkeys=2000,
+                                   nops=600, warmup_ops=150, seed=3,
+                                   pregen=pregen).run()
+            outs.append((result.ops, result.elapsed_us,
+                         result.missing_keys, result.read_latency.p99,
+                         machine.now_us, cg.stats.snapshot()))
+        assert outs[0] == outs[1]
+
+    def test_getscan_replay_matches_online(self):
+        outs = []
+        for pregen in (False, True):
+            machine, cg, db = small_db_env(nkeys=2000, limit=256)
+            result = GetScanWorkload(db, nkeys=2000, n_gets=600,
+                                     get_threads=2, scan_threads=1,
+                                     scan_len=80, seed=9,
+                                     pregen=pregen).run()
+            outs.append((result.gets, result.scans,
+                         result.get_elapsed_us, result.scan_elapsed_us,
+                         result.get_latency.p99,
+                         result.scan_latency.p99,
+                         result.missing_keys,
+                         machine.now_us, cg.stats.snapshot()))
+        assert outs[0] == outs[1]
+
+    def test_streams_are_cached_and_shared(self):
+        spec = YCSB_WORKLOADS["B"]
+        a = streams.ycsb_stream(spec, 500, 200, 21, 0, 0.99, 1.4)
+        b = streams.ycsb_stream(spec, 500, 200, 21, 0, 0.99, 1.4)
+        assert a is b
+        assert streams.cache_info()["entries"] >= 1
+
+    def test_key_strings_match_key_of(self):
+        keys = streams.key_strings(50)
+        assert keys == [key_of(i) for i in range(50)]
+        assert streams.key_strings(50) is keys
+
+    def test_insert_indices_are_runtime_state(self):
+        # Insert ops carry -1: the key index comes from the shared
+        # insert counter at replay time, not from pre-generation.
+        spec = YCSB_WORKLOADS["D"]
+        stream = streams.ycsb_stream(spec, 300, 400, 5, 0, 0.99, 1.4)
+        kinds = list(stream.kinds)
+        assert streams.OP_INSERT in kinds
+        for kind, index in zip(kinds, stream.indices):
+            if kind == streams.OP_INSERT:
+                assert index == -1
+            else:
+                assert index >= 0
+
+    def test_prepare_streams_prefills_cache(self):
+        streams.clear_cache()
+        try:
+            spec = YCSB_WORKLOADS["E"]
+            YcsbRunner.prepare_streams(spec, nkeys=400, nops=300,
+                                       nthreads=2, seed=17,
+                                       warmup_ops=100,
+                                       zipf_theta=1.1)
+            entries = streams.cache_info()["entries"]
+            assert entries >= 3  # two worker streams + key strings
+            # A runner with the same parameters reuses the cache.
+            machine, cg, db = small_db_env(nkeys=400)
+            runner = YcsbRunner(db, spec, nkeys=400, nops=300,
+                                nthreads=2, warmup_ops=100, seed=17,
+                                zipf_theta=1.1)
+            runner.spawn()
+            assert streams.cache_info()["entries"] == entries
+        finally:
+            streams.clear_cache()
 
 
 class TestGetScan:
