@@ -40,10 +40,12 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_core.json")
 
 #: The core suite: one I/O-bound sweep (fig6), one scan-pathology run
-#: (fig9), one policy-with-userspace-maps run (admission) and one
-#: CPU-overhead run (table4) — together they cover every hot path the
+#: (fig9), one policy-with-userspace-maps run (admission), one
+#: CPU-overhead run (table4) and one spans-disabled timing cell
+#: (spans_off: the latency-attribution request sites must stay at
+#: disabled-tracepoint cost) — together they cover every hot path the
 #: perf work touches (eviction, hook dispatch, lists, engine loop).
-CORE_SUITE = ("fig6", "fig9", "admission", "table4")
+CORE_SUITE = ("fig6", "fig9", "admission", "table4", "spans_off")
 
 SCHEMA = 1
 
@@ -92,10 +94,44 @@ def _column_map(result, column: str) -> dict:
             for row in result.rows}
 
 
+def run_spans_off(calibration_s: float) -> dict:
+    """Time one fig6-sized cell with spans compiled out (not attached).
+
+    The span subsystem's disabled cost — one attribute load plus a
+    branch at every request site — rides the same hot paths fig6
+    exercises, but this entry pins it down in isolation: if a future
+    change makes disabled spans expensive, this cell regresses even if
+    the parallel fig6 sweep hides it.  The entry is shaped exactly
+    like :func:`run_experiment` output so the baseline gate applies
+    unchanged.
+    """
+    from repro.obs.guard import run_cell, virtual_signature
+
+    t0 = time.perf_counter()
+    measurement = run_cell()  # quick-scale mru/C, no consumers attached
+    wall_s = time.perf_counter() - t0
+    signature = virtual_signature(measurement)
+    table = json.dumps(signature, sort_keys=True)
+    return {
+        "cells": 1,
+        "rows": 1,
+        "table_sha256": hashlib.sha256(table.encode()).hexdigest(),
+        "ops_per_sec": {"C/mru": round(signature["ops_per_sec"], 1)},
+        "hit_ratios": {"C/mru": round(signature["hit_ratio"], 4)},
+        "timing": {
+            "wall_s": round(wall_s, 3),
+            "work_units": round(wall_s / calibration_s, 2),
+            "jobs": 1,
+        },
+    }
+
+
 def run_experiment(name: str, quick: bool, jobs: Optional[int],
                    calibration_s: float) -> dict:
     from repro.experiments.parallel import execute
 
+    if name == "spans_off":
+        return run_spans_off(calibration_s)
     module = importlib.import_module(f"repro.experiments.{name}")
     spec = module.plan(quick=quick)
     report = execute(spec, jobs=jobs, serial=jobs is None)

@@ -19,6 +19,7 @@ from repro.apps.lsm.compaction import CompactionJob
 from repro.apps.lsm.format import RecordFormat
 from repro.apps.lsm.memtable import MemTable, WriteAheadLog
 from repro.apps.lsm.sstable import SSTable, SSTableWriter
+from repro.sim.engine import current_thread
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.cgroup import MemCgroup
@@ -75,6 +76,10 @@ class LsmDb:
         self.levels: list[list[SSTable]] = [
             [] for _ in range(self.opts.max_levels + 1)]
         self._sst_counter = itertools.count(1)
+        # Latency attribution (repro.obs.spans): every DB operation is
+        # a span root, so per-op latency decomposes into components.
+        self._tp_span = machine.trace.tracepoint("span:close")
+        self._spans = machine.spans
         self._job: Optional[CompactionJob] = None
         self._job_target_level = 0
         self.compaction_threads: list = []
@@ -106,11 +111,21 @@ class LsmDb:
     def put(self, key: str, value) -> None:
         if self.closed:
             raise RuntimeError("db is closed")
-        self.wal.append(key, value)
-        self.mem.put(key, value)
-        self.n_puts += 1
-        if len(self.mem) >= self.opts.memtable_entries:
-            self.flush_memtable()
+        span = None
+        tp = self._tp_span
+        if tp.enabled:
+            _thread = current_thread()
+            if _thread is not None and _thread.span is None:
+                span = self._spans.open(_thread, "lsm.put")
+        try:
+            self.wal.append(key, value)
+            self.mem.put(key, value)
+            self.n_puts += 1
+            if len(self.mem) >= self.opts.memtable_entries:
+                self.flush_memtable()
+        finally:
+            if span is not None:
+                self._spans.close(_thread, span)
 
     def delete(self, key: str) -> None:
         """Tombstone write; compaction erases it at the bottom level."""
@@ -140,20 +155,33 @@ class LsmDb:
     def get(self, key: str) -> Optional[object]:
         """Point lookup; None for missing or tombstoned keys."""
         self.n_gets += 1
-        found, value = self.mem.get(key)
-        if found:
-            return value
-        for table in self.levels[0]:  # newest first
-            found, value = table.get(key)
+        # Span opens at entry and closes at return, so ``dur_us``
+        # equals the read latency the workload driver records around
+        # this call (the acceptance anchor for attribution).
+        span = None
+        tp = self._tp_span
+        if tp.enabled:
+            _thread = current_thread()
+            if _thread is not None and _thread.span is None:
+                span = self._spans.open(_thread, "lsm.get")
+        try:
+            found, value = self.mem.get(key)
             if found:
                 return value
-        for level in self.levels[1:]:
-            table = self._table_for_key(level, key)
-            if table is not None:
+            for table in self.levels[0]:  # newest first
                 found, value = table.get(key)
                 if found:
                     return value
-        return None
+            for level in self.levels[1:]:
+                table = self._table_for_key(level, key)
+                if table is not None:
+                    found, value = table.get(key)
+                    if found:
+                        return value
+            return None
+        finally:
+            if span is not None:
+                self._spans.close(_thread, span)
 
     @staticmethod
     def _table_for_key(level: list[SSTable], key: str) -> Optional[SSTable]:
@@ -260,16 +288,29 @@ class LsmDb:
     def scan(self, start_key: str, count: int,
              advice: Optional[str] = None) -> list[tuple]:
         """Eager range scan: ``count`` records via :meth:`scan_iter`."""
-        it = self.scan_iter(start_key, advice=advice)
-        out = []
+        # The span lives here, not in the generator: a generator's
+        # frames interleave with the consumer, so only the eager
+        # wrapper has well-defined open/close times on one thread.
+        span = None
+        tp = self._tp_span
+        if tp.enabled:
+            _thread = current_thread()
+            if _thread is not None and _thread.span is None:
+                span = self._spans.open(_thread, "lsm.scan")
         try:
-            for entry in it:
-                out.append(entry)
-                if len(out) >= count:
-                    break
+            it = self.scan_iter(start_key, advice=advice)
+            out = []
+            try:
+                for entry in it:
+                    out.append(entry)
+                    if len(out) >= count:
+                        break
+            finally:
+                it.close()
+            return out
         finally:
-            it.close()
-        return out
+            if span is not None:
+                self._spans.close(_thread, span)
 
     def _drop_scanned(self, touched: list) -> None:
         """FADV_DONTNEED the pages a scan read (grouped per file)."""
@@ -329,21 +370,31 @@ class LsmDb:
 
     def compaction_step(self) -> bool:
         """One increment of background compaction; True if work ran."""
-        if self._job is None:
-            picked = self._pick_compaction()
-            if picked is None:
-                return False
-            inputs, target, drop = picked
-            self._job = CompactionJob(
-                self.machine.fs, inputs, self.opts.fmt,
-                max_table_pages=self.opts.table_pages,
-                name_fn=self._next_sst_name,
-                drop_tombstones=drop)
-            self._job_target_level = target
-        if self._job.step():
-            self._install_compaction(self._job, self._job_target_level)
-            self._job = None
-        return True
+        span = None
+        tp = self._tp_span
+        if tp.enabled:
+            _thread = current_thread()
+            if _thread is not None and _thread.span is None:
+                span = self._spans.open(_thread, "lsm.compaction")
+        try:
+            if self._job is None:
+                picked = self._pick_compaction()
+                if picked is None:
+                    return False
+                inputs, target, drop = picked
+                self._job = CompactionJob(
+                    self.machine.fs, inputs, self.opts.fmt,
+                    max_table_pages=self.opts.table_pages,
+                    name_fn=self._next_sst_name,
+                    drop_tombstones=drop)
+                self._job_target_level = target
+            if self._job.step():
+                self._install_compaction(self._job, self._job_target_level)
+                self._job = None
+            return True
+        finally:
+            if span is not None:
+                self._spans.close(_thread, span)
 
     def _install_compaction(self, job: CompactionJob, target: int) -> None:
         input_set = {t.file.file_id for t in job.inputs}

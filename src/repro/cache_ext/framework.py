@@ -85,6 +85,9 @@ class CacheExtPolicy(ExtPolicyBase):
         thread = current_thread()
         if thread is not None:
             thread.advance(us)
+            span = thread.span
+            if span is not None:
+                span.add("kfunc", us)
         self._memcg_stats.hook_cpu_us += us
         self._cache_stats.hook_cpu_us += us
 
@@ -93,6 +96,9 @@ class CacheExtPolicy(ExtPolicyBase):
         thread = current_thread()
         if thread is not None:
             thread.advance(us)
+            span = thread.span
+            if span is not None:
+                span.add("kfunc", us)
         self._memcg_stats.hook_cpu_us += us
         self._cache_stats.hook_cpu_us += us
 
@@ -248,6 +254,9 @@ class CacheExtPolicy(ExtPolicyBase):
                 # never negative
                 thread.clock_us += us
                 thread.cpu_us += us
+                span = thread.span
+                if span is not None:
+                    span.add("kfunc", us)
             self._memcg_stats.hook_cpu_us += us
             self._cache_stats.hook_cpu_us += us
             prog = self.ops.folio_added
@@ -281,6 +290,9 @@ class CacheExtPolicy(ExtPolicyBase):
                 # never negative
                 thread.clock_us += us
                 thread.cpu_us += us
+                span = thread.span
+                if span is not None:
+                    span.add("kfunc", us)
             self._memcg_stats.hook_cpu_us += us
             self._cache_stats.hook_cpu_us += us
             prog = self.ops.folio_accessed
@@ -320,6 +332,9 @@ class CacheExtPolicy(ExtPolicyBase):
                 # never negative
                 thread.clock_us += us
                 thread.cpu_us += us
+                span = thread.span
+                if span is not None:
+                    span.add("kfunc", us)
             self._memcg_stats.hook_cpu_us += us
             self._cache_stats.hook_cpu_us += us
             prog = self.ops.folio_removed

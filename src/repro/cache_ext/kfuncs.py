@@ -145,6 +145,9 @@ def list_add(list_id: int, folio, tail: bool = True) -> int:
             # Inlined Thread.advance; us is a configured cost, >= 0.
             thread.clock_us += us
             thread.cpu_us += us
+            span = thread.span
+            if span is not None:
+                span.add("kfunc", us)
         policy._memcg_stats.hook_cpu_us += us
         policy._cache_stats.hook_cpu_us += us
         # Inlined attach_folio(lst, folio, tail): identical registry
@@ -199,6 +202,9 @@ def list_del(folio) -> int:
             # Inlined Thread.advance; us is a configured cost, >= 0.
             thread.clock_us += us
             thread.cpu_us += us
+            span = thread.span
+            if span is not None:
+                span.add("kfunc", us)
         policy._memcg_stats.hook_cpu_us += us
         policy._cache_stats.hook_cpu_us += us
     else:
@@ -299,6 +305,9 @@ def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
     node = lst.head()
     if hot is not None:
         thread, us, memcg_stats, cache_stats, cb_fn = hot
+        # Hoisted: the span (like the thread) cannot change inside one
+        # engine step, so one load covers the whole scan.
+        span = thread.span if thread is not None else None
         is_prog = cb_fn is not None
         call = cb_fn if is_prog else callback
         for position in range(limit):
@@ -312,6 +321,8 @@ def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
                 # inlined thread.advance(us): kfunc cost, never negative
                 thread.clock_us += us
                 thread.cpu_us += us
+                if span is not None:
+                    span.add("kfunc", us)
             memcg_stats.hook_cpu_us += us
             cache_stats.hook_cpu_us += us
             if is_prog:
@@ -369,6 +380,8 @@ def _iterate_scoring(policy, lst: EvictionList, callback, ctx: EvictionCtx,
     node = lst.head()
     if hot is not None:
         thread, us, memcg_stats, cache_stats, cb_fn = hot
+        # Hoisted: see _iterate_simple.
+        span = thread.span if thread is not None else None
         is_prog = cb_fn is not None
         call = cb_fn if is_prog else callback
         for position in range(limit):
@@ -381,6 +394,8 @@ def _iterate_scoring(policy, lst: EvictionList, callback, ctx: EvictionCtx,
                 # inlined thread.advance(us): kfunc cost, never negative
                 thread.clock_us += us
                 thread.cpu_us += us
+                if span is not None:
+                    span.add("kfunc", us)
             memcg_stats.hook_cpu_us += us
             cache_stats.hook_cpu_us += us
             if is_prog:

@@ -38,12 +38,14 @@ or from code::
 from __future__ import annotations
 
 import argparse
+import json
 import multiprocessing
 import multiprocessing.connection
 import os
 import sys
 import time
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from typing import Optional
 
 from repro.experiments import harness
@@ -86,22 +88,45 @@ class _LookupCounter:
         return {"hits": self.hits, "misses": self.misses}
 
 
-def run_cell(cell: CellSpec, trace: bool = False) -> tuple[dict, Optional[dict]]:
-    """Execute one cell in this process; returns (payload, trace counts).
+def run_cell(cell: CellSpec, trace: bool = False,
+             breakdown: bool = False) -> tuple:
+    """Execute one cell in this process; returns
+    ``(payload, trace counts, latency breakdown)``.
 
     With ``trace=True`` a lookup counter is attached to every machine
     the cell builds (via the :func:`harness.build_machine` observer),
     so tracing-enabled runs exercise the real tracepoint dispatch path.
+    With ``breakdown=True`` a
+    :class:`~repro.obs.attr.SpanAggregator` rides along the same way —
+    which *enables* span recording on the cell's machines — and the
+    third element carries its JSON-safe summary plus collapsed-stack
+    text.  Both are deterministic, so serial and parallel runs of the
+    same cell produce byte-identical breakdowns.
     """
-    if not trace:
-        return cell.execute(), None
-    counter = _LookupCounter()
-    previous = harness.set_cell_observer(counter.attach)
+    if not trace and not breakdown:
+        return cell.execute(), None, None
+    counter = _LookupCounter() if trace else None
+    aggregator = None
+    if breakdown:
+        from repro.obs.attr import SpanAggregator
+        aggregator = SpanAggregator()
+
+    def observe(machine) -> None:
+        if counter is not None:
+            counter.attach(machine)
+        if aggregator is not None:
+            aggregator.attach(machine)
+
+    previous = harness.set_cell_observer(observe)
     try:
         payload = cell.execute()
     finally:
         harness.set_cell_observer(previous)
-    return payload, counter.counts()
+    bdown = None
+    if aggregator is not None:
+        bdown = {"summary": aggregator.to_dict(),
+                 "collapsed": aggregator.collapsed()}
+    return payload, counter.counts() if counter is not None else None, bdown
 
 
 @dataclass
@@ -121,6 +146,9 @@ class ExecutionReport:
     result: ExperimentResult
     timings: list = field(default_factory=list)
     trace: dict = field(default_factory=dict)
+    #: cell_id -> {"summary": ..., "collapsed": ...} latency
+    #: attribution (populated with ``breakdown=True``).
+    breakdown: dict = field(default_factory=dict)
     #: cell_ids that failed in a worker and were re-run serially.
     fallbacks: list = field(default_factory=list)
     wall_s: float = 0.0
@@ -137,36 +165,42 @@ class ExecutionReport:
         return "\n".join(lines)
 
 
-def _worker_main(conn, cell: CellSpec, trace: bool) -> None:
+def _worker_main(conn, cell: CellSpec, trace: bool,
+                 breakdown: bool) -> None:
     """Child entry: run one cell, send one message, exit."""
     try:
-        payload, counts = run_cell(cell, trace=trace)
-        conn.send(("ok", payload, counts))
+        payload, counts, bdown = run_cell(cell, trace=trace,
+                                          breakdown=breakdown)
+        conn.send(("ok", payload, counts, bdown))
     except BaseException as exc:  # report, don't propagate: the parent
         try:                      # decides how to retry
-            conn.send(("err", f"{type(exc).__name__}: {exc}", None))
+            conn.send(("err", f"{type(exc).__name__}: {exc}", None, None))
         except Exception:
             pass
     finally:
         conn.close()
 
 
-def _execute_serial(spec: ExperimentSpec, trace: bool,
+def _execute_serial(spec: ExperimentSpec, trace: bool, breakdown: bool,
                     report: ExecutionReport) -> dict:
     payloads = {}
     for cell in spec.cells:
         t0 = time.perf_counter()
-        payload, counts = run_cell(cell, trace=trace)
+        payload, counts, bdown = run_cell(cell, trace=trace,
+                                          breakdown=breakdown)
         report.timings.append(
             CellTiming(cell.cell_id, time.perf_counter() - t0, "serial"))
         payloads[cell.cell_id] = payload
         if counts is not None:
             report.trace[cell.cell_id] = counts
+        if bdown is not None:
+            report.breakdown[cell.cell_id] = bdown
     return payloads
 
 
 def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
-                      trace: bool, report: ExecutionReport) -> dict:
+                      trace: bool, breakdown: bool,
+                      report: ExecutionReport) -> dict:
     ctx = multiprocessing.get_context("fork")
     pending = list(spec.cells)
     running: dict = {}  # parent_conn -> (cell, process, started_at)
@@ -176,9 +210,10 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
     def reap(conn, cell, proc, started) -> None:
         wall = time.perf_counter() - started
         try:
-            status, value, counts = conn.recv()
+            status, value, counts, bdown = conn.recv()
         except (EOFError, OSError):
-            status, value, counts = "err", "worker died without a result", None
+            status, value, counts, bdown = \
+                "err", "worker died without a result", None, None
         conn.close()
         proc.join()
         if status == "ok":
@@ -186,6 +221,8 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
             report.timings.append(CellTiming(cell.cell_id, wall, "worker"))
             if counts is not None:
                 report.trace[cell.cell_id] = counts
+            if bdown is not None:
+                report.breakdown[cell.cell_id] = bdown
         else:
             failed.append((cell, value))
 
@@ -194,7 +231,7 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
             cell = pending.pop(0)
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_worker_main,
-                               args=(child_conn, cell, trace),
+                               args=(child_conn, cell, trace, breakdown),
                                name=f"cell-{cell.cell_id}")
             proc.start()
             child_conn.close()
@@ -218,7 +255,8 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
     order = {cell.cell_id: i for i, cell in enumerate(spec.cells)}
     for cell, error in sorted(failed, key=lambda f: order[f[0].cell_id]):
         t0 = time.perf_counter()
-        payload, counts = run_cell(cell, trace=trace)
+        payload, counts, bdown = run_cell(cell, trace=trace,
+                                          breakdown=breakdown)
         report.timings.append(
             CellTiming(cell.cell_id, time.perf_counter() - t0,
                        "fallback", error=error))
@@ -226,18 +264,21 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
         payloads[cell.cell_id] = payload
         if counts is not None:
             report.trace[cell.cell_id] = counts
+        if bdown is not None:
+            report.breakdown[cell.cell_id] = bdown
     return payloads
 
 
 def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
             serial: bool = False, timeout_s: float = DEFAULT_TIMEOUT_S,
-            trace: bool = False) -> ExecutionReport:
+            trace: bool = False, breakdown: bool = False) -> ExecutionReport:
     """Run every cell of ``spec`` and merge; returns the full report.
 
     ``serial=True`` (or ``jobs=1``, or a platform without ``fork``)
     runs cells in-process in plan order — the escape hatch and the
     reference behaviour the parallel path must reproduce byte for
-    byte.
+    byte.  ``breakdown=True`` records a per-cell latency-attribution
+    summary in :attr:`ExecutionReport.breakdown`.
     """
     if jobs is None:
         jobs = default_jobs()
@@ -251,9 +292,10 @@ def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
         spec.prepare()
     if serial or jobs <= 1 or len(spec.cells) <= 1 or not can_fork:
         report.jobs = 1
-        payloads = _execute_serial(spec, trace, report)
+        payloads = _execute_serial(spec, trace, breakdown, report)
     else:
-        payloads = _execute_parallel(spec, jobs, timeout_s, trace, report)
+        payloads = _execute_parallel(spec, jobs, timeout_s, trace,
+                                     breakdown, report)
     report.result = spec.merge(spec.meta, payloads)
     report.wall_s = time.perf_counter() - t0
     return report
@@ -262,6 +304,55 @@ def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
 def run_spec(spec: ExperimentSpec, **kwargs) -> ExperimentResult:
     """Convenience wrapper returning just the merged table."""
     return execute(spec, **kwargs).result
+
+
+# ----------------------------------------------------------------------
+# breakdown artifacts
+# ----------------------------------------------------------------------
+def breakdown_json(report: ExecutionReport) -> str:
+    """The ``--breakdown`` JSON artifact: per-cell attribution summary.
+
+    Sorted keys throughout, so serial and parallel runs of the same
+    plan serialize byte-identically.
+    """
+    summary = {cell_id: report.breakdown[cell_id]["summary"]
+               for cell_id in sorted(report.breakdown)}
+    return json.dumps(summary, indent=2, sort_keys=True) + "\n"
+
+
+def breakdown_collapsed(report: ExecutionReport) -> str:
+    """Collapsed stacks across cells: ``cell;cgroup;policy;kind;comp N``."""
+    lines = []
+    for cell_id in sorted(report.breakdown):
+        for line in report.breakdown[cell_id]["collapsed"].splitlines():
+            lines.append(f"{cell_id};{line}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _subset_merge(meta: dict, payloads: dict) -> ExperimentResult:
+    """Merge for ``--cells``-filtered runs: experiment merges assume
+    the full grid, so a subset is rendered as raw per-cell payloads."""
+    out = ExperimentResult("cell subset", headers=["cell", "payload"])
+    for cell_id in sorted(payloads):
+        out.add_row(cell_id,
+                    json.dumps(payloads[cell_id], sort_keys=True))
+    return out
+
+
+def filter_cells(spec: ExperimentSpec, pattern: str) -> ExperimentSpec:
+    """A new spec containing only cells whose id matches ``pattern``.
+
+    CI uses this to run one quick cell of a big grid with
+    ``--breakdown`` without paying for the rest of the sweep.
+    """
+    selected = [cell for cell in spec.cells
+                if fnmatchcase(cell.cell_id, pattern)]
+    if not selected:
+        raise ValueError(
+            f"no cell of {spec.name!r} matches {pattern!r} "
+            f"(cells: {', '.join(spec.cell_ids())})")
+    return ExperimentSpec(spec.name, selected, _subset_merge,
+                          meta=spec.meta, prepare=spec.prepare)
 
 
 # ----------------------------------------------------------------------
@@ -290,16 +381,37 @@ def main(argv: Optional[list] = None) -> int:
                         help="per-cell timeout in seconds")
     parser.add_argument("--trace", action="store_true",
                         help="attach cache:lookup counters to every cell")
+    parser.add_argument("--breakdown", default=None, metavar="PATH",
+                        help="record per-cell latency attribution; "
+                             "write the JSON artifact to PATH and "
+                             "collapsed stacks to PATH + '.collapsed'")
+    parser.add_argument("--cells", default=None, metavar="PATTERN",
+                        help="run only cells whose id matches this glob "
+                             "(e.g. 'C/mru'); the table shows raw "
+                             "per-cell payloads")
     parser.add_argument("-o", "--output", default=None,
                         help="also write the table to this file")
     args = parser.parse_args(argv)
 
     module = _load_experiment(args.experiment)
     spec = module.plan(quick=args.quick)
+    if args.cells:
+        try:
+            spec = filter_cells(spec, args.cells)
+        except ValueError as exc:
+            parser.error(str(exc))
     report = execute(spec, jobs=args.jobs, serial=args.serial,
-                     timeout_s=args.timeout, trace=args.trace)
+                     timeout_s=args.timeout, trace=args.trace,
+                     breakdown=args.breakdown is not None)
     table = report.result.format_table()
     print(table)
+    if args.breakdown:
+        with open(args.breakdown, "w") as fh:
+            fh.write(breakdown_json(report))
+        with open(args.breakdown + ".collapsed", "w") as fh:
+            fh.write(breakdown_collapsed(report))
+        print(f"breakdown: {args.breakdown} "
+              f"(+ {args.breakdown}.collapsed)", file=sys.stderr)
     if args.trace:
         for cell_id in sorted(report.trace):
             counts = report.trace[cell_id]

@@ -17,6 +17,7 @@ from repro.kernel.page_cache import PageCache
 from repro.kernel.vfs import Filesystem
 from repro.obs.metrics import CgroupMetrics, MachineMetrics, \
     snapshot_cgroup, snapshot_machine
+from repro.obs.spans import SpanRecorder
 from repro.obs.trace import TraceRegistry
 from repro.sim.engine import Engine, SimThread
 from repro.sim.resources import CpuCosts
@@ -37,6 +38,9 @@ KERNEL_TRACEPOINTS = (
     "cache_ext:fallback_eviction",
     # virtual-time scheduler (sched:sched_switch / sched_process_exit)
     "sched:switch", "sched:exit",
+    # latency attribution (repro.obs.spans): one event per request,
+    # components summing exactly to the request's virtual duration
+    "span:close",
 )
 
 
@@ -68,6 +72,11 @@ class Machine:
             self.trace.tracepoint(name)
         self.engine.attach_trace(self.trace)
         self.disk.attach_trace(self.trace)
+        #: Latency-attribution recorder (repro.obs.spans).  Built
+        #: before the VFS/LSM layers so they can cache it; gated by
+        #: the ``span:close`` tracepoint, so it costs nothing until a
+        #: consumer subscribes.
+        self.spans = SpanRecorder(self.trace)
         self.page_cache = PageCache(self)
         self.fs = Filesystem(self)
         self.struct_ops = StructOpsRegistry()

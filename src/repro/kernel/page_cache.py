@@ -192,6 +192,9 @@ class PageCache:
             us = self.machine.costs.cache_hit_us
             thread.clock_us += us
             thread.cpu_us += us
+            span = thread.span
+            if span is not None:
+                span.add("cache_hit", us)
         if not update_recency:
             return
         owner = folio.memcg
@@ -312,30 +315,45 @@ class PageCache:
             target = memcg.excess_pages()
         else:
             target = min(nr_pages, memcg.charged_pages)
-        total_evicted = 0
-        stalled_passes = 0
-        while total_evicted < target or memcg.over_limit:
-            remaining = max(target - total_evicted, memcg.excess_pages())
-            batch = min(EVICTION_BATCH, remaining)
-            if batch <= 0:
-                break
-            evicted = self._shrink_batch(memcg, batch)
-            total_evicted += evicted
-            if evicted == 0:
-                stalled_passes += 1
-                # The kernel retries reclaim many times before OOMing;
-                # policies like MGLRU legitimately need several passes
-                # when a scan keeps promoting protected folios.
-                if stalled_passes >= 16:
-                    if memcg.over_limit:
-                        raise ENOMEM(
-                            f"cgroup {memcg.name}: cannot reclaim "
-                            f"{remaining} pages "
-                            f"({memcg.charged_pages}/{memcg.limit_pages})")
-                    break  # slack portion is best-effort
-            else:
-                stalled_passes = 0
-        return total_evicted
+        # Attribution: everything inside direct reclaim — candidate
+        # proposal, validation, eviction CPU, writeback I/O — is a
+        # stall on the access path; only explicit kfunc charges stay
+        # attributed as policy time (repro.obs.spans section deltas).
+        thread = current_thread()
+        span = thread.span if thread is not None else None
+        if span is not None:
+            sect = span.begin_section("reclaim_stall", thread.clock_us)
+        try:
+            total_evicted = 0
+            stalled_passes = 0
+            while total_evicted < target or memcg.over_limit:
+                remaining = max(target - total_evicted,
+                                memcg.excess_pages())
+                batch = min(EVICTION_BATCH, remaining)
+                if batch <= 0:
+                    break
+                evicted = self._shrink_batch(memcg, batch)
+                total_evicted += evicted
+                if evicted == 0:
+                    stalled_passes += 1
+                    # The kernel retries reclaim many times before
+                    # OOMing; policies like MGLRU legitimately need
+                    # several passes when a scan keeps promoting
+                    # protected folios.
+                    if stalled_passes >= 16:
+                        if memcg.over_limit:
+                            raise ENOMEM(
+                                f"cgroup {memcg.name}: cannot reclaim "
+                                f"{remaining} pages "
+                                f"({memcg.charged_pages}/"
+                                f"{memcg.limit_pages})")
+                        break  # slack portion is best-effort
+                else:
+                    stalled_passes = 0
+            return total_evicted
+        finally:
+            if span is not None:
+                span.end_section(thread.clock_us, sect)
 
     def _shrink_batch(self, memcg: MemCgroup, nr: int) -> int:
         """One batched pass of the eviction-candidate interface."""
@@ -491,36 +509,49 @@ class PageCache:
         """
         if folio.mapping is None or folio.pinned or folio.memcg is not memcg:
             return False
-        if folio.dirty:
-            self.machine.disk.write(current_thread(), 1)
-            folio.dirty = False
-            memcg.stats.writebacks += 1
-            self.stats.writebacks += 1
-            tp = self._tp_writeback
+        # Attribution: eviction work (writeback, shadow entry, list
+        # surgery) is a reclaim stall.  Nested inside reclaim_cgroup's
+        # section this is a harmless save/restore; standalone callers
+        # (DONTNEED) get their eviction time labelled too.
+        thread = current_thread()
+        span = thread.span if thread is not None else None
+        if span is not None:
+            sect = span.begin_section("reclaim_stall", thread.clock_us)
+        try:
+            if folio.dirty:
+                self.machine.disk.write(thread, 1)
+                folio.dirty = False
+                memcg.stats.writebacks += 1
+                self.stats.writebacks += 1
+                tp = self._tp_writeback
+                if tp.enabled:
+                    ts, tid = self._trace_point()
+                    tp.emit(ts, memcg.name, tid,
+                            file=folio.mapping.file_id,
+                            index=folio.index)
+            shadow = make_shadow(
+                memcg,
+                workingset=folio.active or folio.workingset,
+                tier=memcg.kernel_policy.eviction_tier(folio))
+            folio.mapping.store_shadow(folio.index, shadow)
+            file_id = folio.mapping.file_id
+            index = folio.index
+            active = folio.active
+            self._remove_folio(folio, memcg)
+            memcg.eviction_clock += 1
+            memcg.stats.evictions += 1
+            self.stats.evictions += 1
+            tp = self._tp_evict
             if tp.enabled:
                 ts, tid = self._trace_point()
-                tp.emit(ts, memcg.name, tid, file=folio.mapping.file_id,
-                        index=folio.index)
-        shadow = make_shadow(
-            memcg,
-            workingset=folio.active or folio.workingset,
-            tier=memcg.kernel_policy.eviction_tier(folio))
-        folio.mapping.store_shadow(folio.index, shadow)
-        file_id = folio.mapping.file_id
-        index = folio.index
-        active = folio.active
-        self._remove_folio(folio, memcg)
-        memcg.eviction_clock += 1
-        memcg.stats.evictions += 1
-        self.stats.evictions += 1
-        tp = self._tp_evict
-        if tp.enabled:
-            ts, tid = self._trace_point()
-            tp.emit(ts, memcg.name, tid, file=file_id, index=index,
-                    active=1 if active else 0,
-                    charged=memcg.charged_pages)
-        self._charge_cpu(self.machine.costs.evict_us)
-        return True
+                tp.emit(ts, memcg.name, tid, file=file_id, index=index,
+                        active=1 if active else 0,
+                        charged=memcg.charged_pages)
+            self._charge_cpu(self.machine.costs.evict_us)
+            return True
+        finally:
+            if span is not None:
+                span.end_section(thread.clock_us, sect)
 
     def remove_folio_no_shadow(self, folio: Folio) -> None:
         """Removal outside the eviction path (truncate/file delete).

@@ -95,6 +95,10 @@ class Filesystem:
         trace = machine.trace
         self._tp_lookup = trace.tracepoint("cache:lookup")
         self._tp_writeback = trace.tracepoint("cache:writeback")
+        # Latency-attribution gate: spans open only while a consumer
+        # is subscribed to span:close (repro.obs.spans).
+        self._tp_span = trace.tracepoint("span:close")
+        self._spans = machine.spans
 
     def _account_misses(self, cache, memcg, f: SimFile, indices) -> None:
         """Miss accounting — the single source of truth shared by
@@ -165,59 +169,73 @@ class Filesystem:
             raise EBADF(f"read of deleted file: {f.name}")
         if not 0 <= index < f.npages:
             raise EINVAL(f"{f.name}: read past EOF (page {index} of {f.npages})")
-        cache = self.machine.page_cache
-        # Inlined _update_seq_state: read_page runs once per access and
-        # the helper frame is measurable on miss-heavy workloads.
-        if index == f.last_read_index + 1:
-            f.seq_streak += 1
-        else:
-            f.seq_streak = 0
-        f.last_read_index = index
-
-        folio = f.mapping.lookup(index)
-        if folio is not None:
-            cache.mark_accessed(
-                folio, update_recency=not (f.noreuse or noreuse))
-            return f.store.get(index)
-
-        # Miss: bring the page (plus any readahead) in from the device.
-        memcg = cache._current_cgroup()
-        self._account_misses(cache, memcg, f, (index,))
-
-        # Readahead probe: with no ext policy attached the heuristic's
-        # cheap rejection (random access, readahead disabled) is
-        # decided here without the helper-call frame.
-        if memcg.ext_policy is None and (not f.ra_enabled
-                                         or f.seq_streak < 2):
-            ra_indices = ()
-        else:
-            ra_indices = self._readahead_indices(f, index, memcg)
-        folio = cache.add_folio(f.mapping, index, memcg)
-        if folio is None:
-            # Admission filter rejected the page: serve it direct-I/O
-            # style — one device read, no readahead (nothing would be
-            # allowed to stay resident anyway).  Back-to-back rejected
-            # reads at consecutive offsets stream at sequential rates,
-            # as a real device would service them.
-            contiguous = index == f._last_direct_read + 1
-            self.machine.disk.read(current_thread(), 1,
-                                   contiguous=contiguous)
-            f._last_direct_read = index
-            return f.store.get(index)
-
-        folio.pin_count += 1  # inlined folio.pin()
+        span = None
+        tp = self._tp_span
+        if tp.enabled:
+            _thread = current_thread()
+            if _thread is not None and _thread.span is None:
+                span = self._spans.open(_thread, "vfs.read")
         try:
-            inserted = 1
-            for ra_index in ra_indices:
-                if cache.add_folio(f.mapping, ra_index, memcg) is not None:
-                    inserted += 1
-            self.machine.disk.read(current_thread(), inserted)
+            cache = self.machine.page_cache
+            # Inlined _update_seq_state: read_page runs once per access
+            # and the helper frame is measurable on miss-heavy
+            # workloads.
+            if index == f.last_read_index + 1:
+                f.seq_streak += 1
+            else:
+                f.seq_streak = 0
+            f.last_read_index = index
+
+            folio = f.mapping.lookup(index)
+            if folio is not None:
+                cache.mark_accessed(
+                    folio, update_recency=not (f.noreuse or noreuse))
+                return f.store.get(index)
+
+            # Miss: bring the page (plus any readahead) in from the
+            # device.
+            memcg = cache._current_cgroup()
+            self._account_misses(cache, memcg, f, (index,))
+
+            # Readahead probe: with no ext policy attached the
+            # heuristic's cheap rejection (random access, readahead
+            # disabled) is decided here without the helper-call frame.
+            if memcg.ext_policy is None and (not f.ra_enabled
+                                             or f.seq_streak < 2):
+                ra_indices = ()
+            else:
+                ra_indices = self._readahead_indices(f, index, memcg)
+            folio = cache.add_folio(f.mapping, index, memcg)
+            if folio is None:
+                # Admission filter rejected the page: serve it
+                # direct-I/O style — one device read, no readahead
+                # (nothing would be allowed to stay resident anyway).
+                # Back-to-back rejected reads at consecutive offsets
+                # stream at sequential rates, as a real device would
+                # service them.
+                contiguous = index == f._last_direct_read + 1
+                self.machine.disk.read(current_thread(), 1,
+                                       contiguous=contiguous)
+                f._last_direct_read = index
+                return f.store.get(index)
+
+            folio.pin_count += 1  # inlined folio.pin()
+            try:
+                inserted = 1
+                for ra_index in ra_indices:
+                    if cache.add_folio(f.mapping, ra_index,
+                                       memcg) is not None:
+                        inserted += 1
+                self.machine.disk.read(current_thread(), inserted)
+            finally:
+                # Inlined folio.unpin(), including its underflow guard.
+                if folio.pin_count <= 0:
+                    raise RuntimeError("unpin of unpinned folio")
+                folio.pin_count -= 1
+            return f.store.get(index)
         finally:
-            # Inlined folio.unpin(), including its underflow guard.
-            if folio.pin_count <= 0:
-                raise RuntimeError("unpin of unpinned folio")
-            folio.pin_count -= 1
-        return f.store.get(index)
+            if span is not None:
+                self._spans.close(_thread, span)
 
     def read_range(self, f: SimFile, start: int, npages: int) -> list:
         """Sequential multi-page read; returns stored objects in order.
@@ -245,10 +263,23 @@ class Filesystem:
                          f"past EOF ({f.npages} pages)")
         cache = self.machine.page_cache
         memcg = cache._current_cgroup()
-        if not self.bulk_io_enabled or memcg.ext_policy is not None:
-            return [self.read_page(f, idx)
-                    for idx in range(start, start + npages)]
-        return self._read_range_bulk(f, start, npages, cache, memcg)
+        # One span covers the whole range on both paths: per-page
+        # read_page calls inside it are absorbed (non-reentrancy), and
+        # the bulk path charges its batched costs against it directly.
+        span = None
+        tp = self._tp_span
+        if tp.enabled:
+            _thread = current_thread()
+            if _thread is not None and _thread.span is None:
+                span = self._spans.open(_thread, "vfs.read_range")
+        try:
+            if not self.bulk_io_enabled or memcg.ext_policy is not None:
+                return [self.read_page(f, idx)
+                        for idx in range(start, start + npages)]
+            return self._read_range_bulk(f, start, npages, cache, memcg)
+        finally:
+            if span is not None:
+                self._spans.close(_thread, span)
 
     def _read_range_bulk(self, f: SimFile, start: int, npages: int,
                          cache, memcg) -> list:
@@ -302,8 +333,13 @@ class Filesystem:
         thread = current_thread()
         if nhits:
             if thread is not None:
-                thread.advance(
-                    self.machine.costs.cache_hit_us * nhits)
+                us = self.machine.costs.cache_hit_us * nhits
+                thread.advance(us)
+                # Batched span charge: one add for the whole batch's
+                # hit servicing (the per-page path charges per hit).
+                span = thread.span
+                if span is not None:
+                    span.add("cache_hit", us)
             if not f.noreuse:
                 for folio in page_states:
                     if folio is None:
@@ -383,27 +419,38 @@ class Filesystem:
         if index < 0:
             raise EINVAL(f"negative page index: {index}")
         cache = self.machine.page_cache
-        f.store[index] = obj
-        f.npages = max(f.npages, index + 1)
+        span = None
+        tp = self._tp_span
+        if tp.enabled:
+            _thread = current_thread()
+            if _thread is not None and _thread.span is None:
+                span = self._spans.open(_thread, "vfs.write")
+        try:
+            f.store[index] = obj
+            f.npages = max(f.npages, index + 1)
 
-        folio = f.mapping.lookup(index)
-        if folio is not None:
+            folio = f.mapping.lookup(index)
+            if folio is not None:
+                folio.dirty = True
+                cache.mark_accessed(folio, update_recency=not f.noreuse)
+                return
+
+            memcg = cache._current_cgroup()
+            self._account_misses(cache, memcg, f, (index,))
+            folio = cache.add_folio(f.mapping, index, memcg)
+            if folio is None:
+                # Admission filter rejected the write: go straight to
+                # disk, direct-I/O style (sequential continuation
+                # priced as such).
+                contiguous = index == f._last_direct_write + 1
+                self.machine.disk.write(current_thread(), 1,
+                                        contiguous=contiguous)
+                f._last_direct_write = index
+                return
             folio.dirty = True
-            cache.mark_accessed(folio, update_recency=not f.noreuse)
-            return
-
-        memcg = cache._current_cgroup()
-        self._account_misses(cache, memcg, f, (index,))
-        folio = cache.add_folio(f.mapping, index, memcg)
-        if folio is None:
-            # Admission filter rejected the write: go straight to disk,
-            # direct-I/O style (sequential continuation priced as such).
-            contiguous = index == f._last_direct_write + 1
-            self.machine.disk.write(current_thread(), 1,
-                                    contiguous=contiguous)
-            f._last_direct_write = index
-            return
-        folio.dirty = True
+        finally:
+            if span is not None:
+                self._spans.close(_thread, span)
 
     def append_page(self, f: SimFile, obj: Any) -> int:
         """Write the next page of the file; returns its index."""
@@ -425,22 +472,40 @@ class Filesystem:
         dirty = [folio for folio in f.mapping.folios() if folio.dirty]
         if not dirty:
             return 0
-        self.machine.disk.write(current_thread(), len(dirty))
-        by_memcg: dict = {}
-        for folio in dirty:
-            folio.dirty = False
-            by_memcg[folio.memcg] = by_memcg.get(folio.memcg, 0) + 1
-        for memcg, count in by_memcg.items():
-            memcg.stats.writebacks += count
-        cache.stats.writebacks += len(dirty)
-        tp = self._tp_writeback
-        if tp.enabled:
-            ts, tid = cache._trace_point()
-            fid = f.file_id
+        thread = current_thread()
+        # Attribution: a standalone fsync gets its own span; an fsync
+        # inside another request (LSM flush during a put) brackets a
+        # "fsync" section on the outer span, so the batched writeback's
+        # device time lands in the fsync component either way.
+        span = None
+        tp = self._tp_span
+        if tp.enabled and thread is not None and thread.span is None:
+            span = self._spans.open(thread, "vfs.fsync")
+        aspan = thread.span if thread is not None else None
+        if aspan is not None:
+            sect = aspan.begin_section("fsync", thread.clock_us)
+        try:
+            self.machine.disk.write(thread, len(dirty))
+            by_memcg: dict = {}
             for folio in dirty:
-                tp.emit(ts, folio.memcg.name, tid, file=fid,
-                        index=folio.index)
-        return len(dirty)
+                folio.dirty = False
+                by_memcg[folio.memcg] = by_memcg.get(folio.memcg, 0) + 1
+            for memcg, count in by_memcg.items():
+                memcg.stats.writebacks += count
+            cache.stats.writebacks += len(dirty)
+            tp = self._tp_writeback
+            if tp.enabled:
+                ts, tid = cache._trace_point()
+                fid = f.file_id
+                for folio in dirty:
+                    tp.emit(ts, folio.memcg.name, tid, file=fid,
+                            index=folio.index)
+            return len(dirty)
+        finally:
+            if aspan is not None:
+                aspan.end_section(thread.clock_us, sect)
+            if span is not None:
+                self._spans.close(thread, span)
 
     # ------------------------------------------------------------------
     # fadvise

@@ -14,17 +14,22 @@ better, and this package is how:
   distance, hit-ratio-over-time;
 * :mod:`repro.obs.metrics` — one-call typed snapshots surfaced as
   ``Machine.metrics()`` / ``MemCgroup.metrics()``;
+* :mod:`repro.obs.spans` / :mod:`repro.obs.attr` — span-based latency
+  attribution: every request's virtual duration decomposed exactly
+  into named components, aggregated per cgroup/policy/kind;
 * :mod:`repro.obs.guard` — the <5% disabled-tracing overhead guard.
 
 See DESIGN.md ("Observability") for the mapping from each tracepoint
 to its real-kernel analogue.
 """
 
+from repro.obs.attr import SpanAggregator, SpanStats, format_breakdown
 from repro.obs.collectors import (Collector, EventCounter, Histogram,
                                   HitRatioTimeline, InterReferenceCollector,
                                   IoLatencyCollector, WindowedSeries)
 from repro.obs.metrics import (CgroupMetrics, MachineMetrics, PolicyMetrics,
                                snapshot_cgroup, snapshot_machine)
+from repro.obs.spans import COMPONENTS, Span, SpanRecorder
 from repro.obs.trace import (NULL_TRACEPOINT, TraceEvent, Tracepoint,
                              TraceRegistry, TraceSession, read_jsonl)
 
@@ -35,4 +40,6 @@ __all__ = [
     "IoLatencyCollector", "InterReferenceCollector", "HitRatioTimeline",
     "MachineMetrics", "CgroupMetrics", "PolicyMetrics",
     "snapshot_machine", "snapshot_cgroup",
+    "COMPONENTS", "Span", "SpanRecorder",
+    "SpanAggregator", "SpanStats", "format_breakdown",
 ]

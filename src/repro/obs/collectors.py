@@ -165,11 +165,16 @@ class Collector:
     def attach(self, source) -> "Collector":
         from repro.obs.trace import _registry_of
         registry = _registry_of(source)
-        self._attached_tps = []
+        # Extend, don't reset: attaching to a second machine must not
+        # orphan the first machine's subscriptions (detach would miss
+        # them and leave its tracepoints enabled forever).
+        attached = getattr(self, "_attached_tps", None)
+        if attached is None:
+            attached = self._attached_tps = []
         for pattern in self.tracepoints:
             for tp in registry.match(pattern):
                 tp.subscribe(self.handle)
-                self._attached_tps.append(tp)
+                attached.append(tp)
         return self
 
     def detach(self) -> None:

@@ -49,12 +49,14 @@ DEFAULT_THRESHOLD = 0.05
 
 
 def run_cell(policy: str = "mru", workload: str = "C",
-             counter: EventCounter = None, scale: dict = None) -> dict:
+             counter: EventCounter = None, scale: dict = None,
+             collectors=()) -> dict:
     """One fig6-style (policy, workload) cell; returns measurements.
 
-    With ``counter`` given, a collector-only :class:`TraceSession`
-    (no buffering) is active for the measured window, so the counter
-    sees every event the fully-enabled registry dispatches.
+    With ``counter`` (or any ``collectors``) given, a collector-only
+    :class:`TraceSession` (no buffering) is active for the measured
+    window, so the consumers see every event the enabled registry
+    dispatches.
     """
     from repro.experiments.fig6 import QUICK_SCALE
     from repro.experiments.harness import make_db_env
@@ -70,9 +72,12 @@ def run_cell(policy: str = "mru", workload: str = "C",
                         nthreads=params["nthreads"],
                         warmup_ops=params["warmup_ops"],
                         zipf_theta=params["zipf_theta"])
-    session = None
+    active = list(collectors)
     if counter is not None:
-        session = TraceSession(env.machine, collectors=[counter],
+        active.append(counter)
+    session = None
+    if active:
+        session = TraceSession(env.machine, collectors=active,
                                buffer=False)
         session.start()
     t0 = time.perf_counter()
@@ -156,6 +161,66 @@ def run_guard(policy: str = "mru", workload: str = "C",
     }
 
 
+def run_spans_check(policy: str = "mru", workload: str = "C",
+                    scale: dict = None) -> dict:
+    """Assert spans are purely observational on a fig6-sized run.
+
+    Runs the cell once with spans disabled and once with a
+    :class:`~repro.obs.attr.SpanAggregator` attached (which enables
+    span recording), and requires:
+
+    1. the virtual-time results are bit-identical — opening, annotating
+       and closing spans never advances any clock;
+    2. spans actually fired (the instrumentation is alive);
+    3. the aggregate per-component totals reproduce the aggregate
+       duration (the per-event bitwise invariant is asserted in
+       ``tests/test_spans.py``; across thousands of events the *sums*
+       only agree to float accumulation error, so this check uses a
+       relative tolerance).
+    """
+    from repro.obs.attr import SpanAggregator
+
+    base = run_cell(policy, workload, scale=scale)
+    agg = SpanAggregator()
+    spanned = run_cell(policy, workload, scale=scale, collectors=[agg])
+    identical = virtual_signature(base) == virtual_signature(spanned)
+
+    total_dur = sum(s.dur_us for s in agg.stats.values())
+    total_comp = sum(sum(s.comps.values()) for s in agg.stats.values())
+    sum_error = abs(total_comp - total_dur)
+    sums_ok = sum_error <= 1e-6 * max(1.0, total_dur)
+
+    return {
+        "policy": policy,
+        "workload": workload,
+        "virtual_results": virtual_signature(base),
+        "spans_identical": identical,
+        "total_spans": agg.total_spans,
+        "span_kinds": sorted({key[2] for key in agg.stats}),
+        "total_dur_us": total_dur,
+        "total_components_us": total_comp,
+        "sum_error_us": sum_error,
+        "passed": identical and agg.total_spans > 0 and sums_ok,
+    }
+
+
+def format_spans_report(report: dict) -> str:
+    lines = [
+        f"span guard: fig6-sized run "
+        f"(policy={report['policy']}, workload={report['workload']})",
+        f"  virtual results identical : "
+        f"{'yes' if report['spans_identical'] else 'NO  <-- spans perturbed time'}",
+        f"  spans recorded            : {report['total_spans']:,} "
+        f"({', '.join(report['span_kinds'])})",
+        f"  sum(components) vs sum(dur): "
+        f"{report['total_components_us']:.1f} / "
+        f"{report['total_dur_us']:.1f} us "
+        f"(err {report['sum_error_us']:.3g} us)",
+        "PASS" if report["passed"] else "FAIL",
+    ]
+    return "\n".join(lines)
+
+
 def format_report(report: dict) -> str:
     wall = report["baseline_wall_s"]
     lines = [
@@ -188,7 +253,20 @@ def main(argv=None) -> int:
                              "(default: 0.05)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
+    parser.add_argument("--spans", action="store_true",
+                        help="check span-based latency attribution "
+                             "instead: enabled vs disabled runs must be "
+                             "bit-identical and components must sum to "
+                             "durations")
     args = parser.parse_args(argv)
+
+    if args.spans:
+        report = run_spans_check(args.policy, args.workload)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_spans_report(report))
+        return 0 if report["passed"] else 1
 
     report = run_guard(args.policy, args.workload, threshold=args.threshold)
     if args.json:

@@ -247,6 +247,13 @@ class TraceSession:
     buffer:
         Keep raw events in :attr:`events` (default True).  Disable for
         collector-only sessions over long runs.
+    sink:
+        Optional path: stream every matched event to this file as JSON
+        Lines *while the session runs*, instead of (or besides)
+        buffering.  The file is opened by :meth:`start` and is always
+        flushed and closed by :meth:`stop` — including when the ``with``
+        body raises — so a crashed run still leaves a complete,
+        parseable trace of everything up to the failure.
 
     Usage::
 
@@ -256,44 +263,77 @@ class TraceSession:
     """
 
     def __init__(self, source, *events: str, collectors: Iterable = (),
-                 buffer: bool = True) -> None:
+                 buffer: bool = True, sink: Optional[str] = None) -> None:
         self.registry = _registry_of(source)
         self.patterns = events or ("*",)
         self.collectors = list(collectors)
         self.buffer = buffer
+        self.sink = sink
         self.events: list[TraceEvent] = []
         self._attached: list[tuple[Tracepoint, Callable]] = []
+        self._sink_fp: Optional[TextIO] = None
         self.active = False
 
     # ------------------------------------------------------------------
     def _record(self, event: TraceEvent) -> None:
         self.events.append(event)
 
+    def _stream(self, event: TraceEvent) -> None:
+        self._sink_fp.write(json.dumps(event.to_json_obj(),
+                                       separators=(",", ":"),
+                                       sort_keys=True))
+        self._sink_fp.write("\n")
+
     def start(self) -> "TraceSession":
         if self.active:
             raise RuntimeError("trace session already active")
-        for tp in self.registry.match(*self.patterns):
-            if self.buffer:
-                tp.subscribe(self._record)
-                self._attached.append((tp, self._record))
-        for collector in self.collectors:
-            for name in collector.tracepoints:
-                for tp in self.registry.match(name):
-                    tp.subscribe(collector.handle)
-                    self._attached.append((tp, collector.handle))
+        # Everything below must unwind on failure: a half-started
+        # session (sink open, some tracepoints subscribed) would leak
+        # subscriptions into the next run and hold the file open.
+        try:
+            if self.sink is not None:
+                self._sink_fp = open(self.sink, "w")
+            for tp in self.registry.match(*self.patterns):
+                if self.buffer:
+                    tp.subscribe(self._record)
+                    self._attached.append((tp, self._record))
+                if self._sink_fp is not None:
+                    tp.subscribe(self._stream)
+                    self._attached.append((tp, self._stream))
+            for collector in self.collectors:
+                for name in collector.tracepoints:
+                    for tp in self.registry.match(name):
+                        tp.subscribe(collector.handle)
+                        self._attached.append((tp, collector.handle))
+        except BaseException:
+            self._teardown()
+            raise
         self.active = True
         return self
 
-    def stop(self) -> None:
+    def _teardown(self) -> None:
+        """Detach everything and close the sink; safe to call twice."""
         for tp, callback in self._attached:
             tp.unsubscribe(callback)
         self._attached.clear()
+        fp = self._sink_fp
+        if fp is not None:
+            self._sink_fp = None
+            try:
+                fp.flush()
+            finally:
+                fp.close()
         self.active = False
+
+    def stop(self) -> None:
+        self._teardown()
 
     def __enter__(self) -> "TraceSession":
         return self.start()
 
     def __exit__(self, *exc) -> None:
+        # Runs on exception unwind too: collectors detach and the sink
+        # is flushed/closed no matter how the body exits.
         self.stop()
 
     # ------------------------------------------------------------------

@@ -62,7 +62,7 @@ class SimThread:
 
     __slots__ = ("tid", "name", "step_fn", "cgroup", "cgroup_name",
                  "clock_us", "done", "steps", "cpu_us", "start_us",
-                 "finish_us", "daemon")
+                 "finish_us", "daemon", "span")
 
     def __init__(self, tid: int, name: str,
                  step_fn: Callable[["SimThread"], bool],
@@ -85,6 +85,10 @@ class SimThread:
         #: not keep the engine alive: run() stops once every non-daemon
         #: thread has finished, like Python's threading daemons.
         self.daemon = daemon
+        #: The open latency-attribution span, or None (the common
+        #: case; see :mod:`repro.obs.spans`).  Kernel charge sites
+        #: test this with one attribute load plus a branch.
+        self.span = None
 
     def set_cgroup(self, cgroup) -> None:
         """Reassign the thread's cgroup, keeping ``cgroup_name`` fresh."""

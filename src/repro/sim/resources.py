@@ -152,6 +152,15 @@ class Disk:
         # Inlined thread.wait_until(done).
         if done > thread.clock_us:
             thread.clock_us = done
+        # Latency attribution: charge queueing and service explicitly
+        # — unless a section (reclaim/fsync) is open, in which case the
+        # I/O folds into that section's stall (repro.obs.spans).
+        span = thread.span
+        if span is not None and span.section is None:
+            wait = start - issue_us
+            if wait > 0.0:
+                span.add("device_wait", wait)
+            span.add("device_service", service_us)
         return IoCompletion(issue_us=issue_us, wait_us=start - issue_us,
                             service_us=service_us, done_us=done,
                             queue_depth=depth)

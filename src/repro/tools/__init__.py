@@ -6,15 +6,30 @@
   release is meant to enable.  Also a CLI:
   ``python -m repro.tools.cachesim``.
 * :mod:`repro.tools.cachetop` — per-cgroup page-cache summaries
-  (cachetop/biolatency style) from a :class:`~repro.obs.trace.
-  TraceSession` JSONL export.  Also a CLI:
-  ``python -m repro.tools.cachetop``.
+  (cachetop style, with latency-breakdown columns when the trace has
+  spans) from a :class:`~repro.obs.trace.TraceSession` JSONL export.
+  Also a CLI: ``python -m repro.tools.cachetop``.
+* :mod:`repro.tools.biolatency` — per-cgroup block I/O queue/service
+  histograms.  Also a CLI: ``python -m repro.tools.biolatency``.
+* :mod:`repro.tools.cachestat` — machine-wide hit/miss/churn rates per
+  virtual-time window.  Also a CLI: ``python -m repro.tools.cachestat``.
+* :mod:`repro.tools.funclatency` — per-(policy, hook) latency
+  histograms for the eBPF policy runtime.  Also a CLI:
+  ``python -m repro.tools.funclatency``.
+
+Every trace-consuming tool runs either offline (a JSONL trace file) or
+live (``--live`` runs a quick fig6-sized cell with the collector
+attached).
 """
 
 _CACHESIM = ("replay_trace", "simulate_policies", "TraceReport")
 _CACHETOP = ("summarize", "format_views", "CgroupView")
+_BIOLATENCY = ("BioLatencyCollector", "format_biolatency")
+_CACHESTAT = ("CacheStatCollector", "format_cachestat")
+_FUNCLATENCY = ("FuncLatencyCollector", "format_funclatency")
 
-__all__ = list(_CACHESIM + _CACHETOP)
+__all__ = list(_CACHESIM + _CACHETOP + _BIOLATENCY + _CACHESTAT
+               + _FUNCLATENCY)
 
 
 def __getattr__(name):
@@ -26,4 +41,13 @@ def __getattr__(name):
     if name in _CACHETOP:
         from repro.tools import cachetop
         return getattr(cachetop, name)
+    if name in _BIOLATENCY:
+        from repro.tools import biolatency
+        return getattr(biolatency, name)
+    if name in _CACHESTAT:
+        from repro.tools import cachestat
+        return getattr(cachestat, name)
+    if name in _FUNCLATENCY:
+        from repro.tools import funclatency
+        return getattr(funclatency, name)
     raise AttributeError(name)

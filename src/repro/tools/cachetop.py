@@ -51,6 +51,13 @@ class CgroupView:
     io_write_pages: int = 0
     hook_cpu_us: float = 0.0
     io_latency: Histogram = field(default_factory=Histogram)
+    # Latency-attribution aggregates (span:close events, when the
+    # trace was recorded with spans enabled).
+    span_count: int = 0
+    span_dur_us: float = 0.0
+    device_wait_us: float = 0.0
+    device_service_us: float = 0.0
+    reclaim_stall_us: float = 0.0
 
     @property
     def misses(self) -> int:
@@ -99,6 +106,12 @@ def summarize(events: Iterable[TraceEvent]) -> dict:
             view.watchdog_detaches += 1
         elif name == "cache_ext:hook_exit":
             view.hook_cpu_us += event.data.get("cpu_us", 0.0)
+        elif name == "span:close":
+            view.span_count += 1
+            view.span_dur_us += event.data.get("dur_us", 0.0)
+            view.device_wait_us += event.data.get("device_wait", 0.0)
+            view.device_service_us += event.data.get("device_service", 0.0)
+            view.reclaim_stall_us += event.data.get("reclaim_stall", 0.0)
         elif name == "block:io_complete":
             pages = event.data.get("pages", 0)
             if event.data.get("op") == "write":
@@ -110,21 +123,35 @@ def summarize(events: Iterable[TraceEvent]) -> dict:
 
 
 def format_views(views: dict, ts_us: Optional[float] = None) -> str:
-    """One cachetop-style table over a set of cgroup views."""
+    """One cachetop-style table over a set of cgroup views.
+
+    When the trace carries ``span:close`` events, three extra columns
+    break each cgroup's average request down: device wait, device
+    service, and reclaim stall per span (µs).
+    """
+    spans = any(v.span_count for v in views.values())
     header = (f"{'CGROUP':<14s} {'LOOKUPS':>8s} {'HITS':>8s} {'HIT%':>7s} "
               f"{'INSERT':>7s} {'EVICT':>7s} {'REFLT':>6s} "
               f"{'IO_RD':>7s} {'IO_WR':>7s} {'LAT_US':>8s}")
+    if spans:
+        header += f" {'DWAIT':>7s} {'DSERV':>7s} {'RSTALL':>7s}"
     lines = []
     if ts_us is not None:
         lines.append(f"--- t = {ts_us / 1000.0:.1f} ms ---")
     lines.append(header)
     for name in sorted(views):
         v = views[name]
-        lines.append(
+        row = (
             f"{v.name:<14.14s} {v.lookups:>8d} {v.hits:>8d} "
             f"{100.0 * v.hit_ratio:>6.2f}% {v.inserts:>7d} {v.evicts:>7d} "
             f"{v.refaults:>6d} {v.io_read_pages:>7d} {v.io_write_pages:>7d} "
             f"{v.io_latency.mean:>8.1f}")
+        if spans:
+            n = v.span_count if v.span_count else 1
+            row += (f" {v.device_wait_us / n:>7.1f}"
+                    f" {v.device_service_us / n:>7.1f}"
+                    f" {v.reclaim_stall_us / n:>7.1f}")
+        lines.append(row)
         if v.unhealthy:
             lines.append(
                 f"{'':<14s} !! fallback={v.fallback_evictions} "

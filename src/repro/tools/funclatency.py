@@ -1,0 +1,115 @@
+"""funclatency: per-hook latency histograms for cache_ext programs.
+
+The BCC ``funclatency`` tool histograms the latency of one traced
+function; this is the same view for the eBPF policy runtime: one log2
+histogram per ``(policy, hook slot)`` of the CPU time each hook
+invocation charged — dispatch plus every kfunc the program ran —
+computed from ``cache_ext:hook_exit`` events.
+
+Hook costs are tens of *nano*seconds at the configured cost model
+(``bpf_hook_us`` = 0.03 µs), so histograms are kept in nanoseconds —
+a µs histogram would collapse every invocation into bucket zero.
+
+Offline against a recorded trace, or live against a fig6-sized cell::
+
+    python -m repro.tools.funclatency run.jsonl
+    python -m repro.tools.funclatency --live --policy lfu --workload A
+
+Live mode enables the hook tracepoints, which takes the framework off
+its inlined fast paths — virtual results are unchanged (the guard
+asserts that), only host-time cost grows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Optional
+
+from repro.obs.collectors import Collector, Histogram
+from repro.obs.trace import TraceEvent, TraceSession
+
+
+class FuncLatencyCollector(Collector):
+    """Per-(policy, slot) histograms of hook CPU time in nanoseconds."""
+
+    tracepoints = ("cache_ext:hook_exit",)
+
+    def __init__(self) -> None:
+        #: (policy, slot) -> Histogram of per-invocation ns.
+        self.per_hook: dict[tuple, Histogram] = {}
+
+    def handle(self, event: TraceEvent) -> None:
+        key = (event.data.get("policy", "?"), event.data.get("slot", "?"))
+        hist = self.per_hook.get(key)
+        if hist is None:
+            hist = self.per_hook[key] = Histogram()
+        hist.record(event.data.get("cpu_us", 0.0) * 1000.0)
+
+    def replay(self, events: Iterable[TraceEvent]) -> "FuncLatencyCollector":
+        for event in events:
+            if event.name == "cache_ext:hook_exit":
+                self.handle(event)
+        return self
+
+
+def format_funclatency(collector: FuncLatencyCollector) -> str:
+    if not collector.per_hook:
+        return ("(no hook events observed — was the trace recorded with "
+                "cache_ext:* enabled?)")
+    chunks = []
+    for key in sorted(collector.per_hook):
+        policy, slot = key
+        hist = collector.per_hook[key]
+        chunks.append(f"policy {policy}, hook {slot}: "
+                      f"{hist.count} calls, mean {hist.mean:.0f} ns\n"
+                      + hist.format())
+    return "\n\n".join(chunks)
+
+
+def run_live(policy: str, workload: str) -> FuncLatencyCollector:
+    """Run one fig6-sized cell with the collector attached."""
+    from repro.obs.guard import run_cell
+    collector = FuncLatencyCollector()
+    run_cell(policy, workload, collectors=[collector])
+    return collector
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Per-(policy, hook) latency histograms from "
+                    "cache_ext:hook_exit events")
+    parser.add_argument("trace", nargs="?",
+                        help="JSONL trace file ('-' for stdin)")
+    parser.add_argument("--live", action="store_true",
+                        help="run a quick fig6-sized cell instead of "
+                             "reading a trace")
+    parser.add_argument("--policy", default="mru",
+                        help="policy for --live (default: mru)")
+    parser.add_argument("--workload", default="C",
+                        help="YCSB workload for --live (default: C)")
+    args = parser.parse_args(argv)
+
+    if args.live:
+        collector = run_live(args.policy, args.workload)
+    else:
+        if not args.trace:
+            parser.error("a trace file is required (or --live)")
+        try:
+            if args.trace == "-":
+                events = TraceSession.load(sys.stdin)
+            else:
+                events = TraceSession.load(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"funclatency: {exc}", file=sys.stderr)
+            return 1
+        collector = FuncLatencyCollector().replay(events)
+    print(format_funclatency(collector))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        raise SystemExit(0)

@@ -1,9 +1,24 @@
 """Trace-simulator tool tests."""
 
+import json
+
 import pytest
 
+from repro.obs.trace import TraceEvent
 from repro.tools.cachesim import (format_reports, parse_trace,
                                   replay_trace, simulate_policies)
+
+
+def ev(name, ts_us=0.0, cgroup="app", tid=1, **data):
+    return TraceEvent(name, ts_us, cgroup, tid, data)
+
+
+def write_jsonl(path, events):
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_json_obj(),
+                                separators=(",", ":"), sort_keys=True))
+            fh.write("\n")
 
 
 class TestParseTrace:
@@ -86,3 +101,202 @@ class TestCli:
         assert rc == 0
         out = capsys.readouterr().out
         assert "sieve" in out
+
+
+# ----------------------------------------------------------------------
+# biolatency
+# ----------------------------------------------------------------------
+def _io_events():
+    return [
+        ev("block:io_complete", 10.0, cgroup="a", wait_us=0.0,
+           service_us=100.0, pages=1, op="read", latency_us=100.0),
+        ev("block:io_complete", 250.0, cgroup="a", wait_us=40.0,
+           service_us=210.0, pages=2, op="read", latency_us=250.0),
+        ev("block:io_complete", 500.0, cgroup="b", wait_us=3.0,
+           service_us=97.0, pages=1, op="write", latency_us=100.0),
+        ev("cache:lookup", 11.0, cgroup="a", hit=1),  # ignored
+    ]
+
+
+class TestBioLatency:
+    def test_replay_splits_queue_and_service(self):
+        from repro.tools.biolatency import BioLatencyCollector
+        collector = BioLatencyCollector().replay(_io_events())
+        assert collector.total_ios == 3
+        assert sorted(collector.per_cgroup) == ["a", "b"]
+        queue, service = collector.per_cgroup["a"]
+        assert queue.count == 2
+        assert queue.total == 40
+        assert service.total == 310
+
+    def test_format(self):
+        from repro.tools.biolatency import (BioLatencyCollector,
+                                            format_biolatency)
+        text = format_biolatency(
+            BioLatencyCollector().replay(_io_events()))
+        assert "cgroup a: 2 I/Os" in text
+        assert "queue delay" in text
+        assert "service time" in text
+        assert format_biolatency(BioLatencyCollector()) == \
+            "(no block I/O observed)"
+
+    def test_cli(self, tmp_path, capsys):
+        from repro.tools.biolatency import main
+        trace = tmp_path / "io.jsonl"
+        write_jsonl(trace, _io_events())
+        assert main([str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cgroup b" in out
+
+    def test_cli_rejects_missing_trace(self, tmp_path, capsys):
+        from repro.tools.biolatency import main
+        assert main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "biolatency:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# cachestat
+# ----------------------------------------------------------------------
+def _cache_events():
+    # Two 1 ms windows: 3 lookups (2 hits) then 2 lookups (0 hits).
+    return [
+        ev("cache:lookup", 100.0, hit=1),
+        ev("cache:lookup", 200.0, hit=1),
+        ev("cache:lookup", 300.0, hit=0),
+        ev("cache:insert", 350.0),
+        ev("cache:lookup", 1100.0, hit=0),
+        ev("cache:lookup", 1200.0, hit=0),
+        ev("cache:insert", 1250.0),
+        ev("cache:evict", 1300.0),
+        ev("block:io_complete", 400.0, latency_us=10.0),  # ignored
+    ]
+
+
+class TestCacheStat:
+    def test_window_bucketing(self):
+        from repro.tools.cachestat import CacheStatCollector
+        collector = CacheStatCollector(window_us=1000.0)
+        collector.replay(_cache_events())
+        assert collector.rows() == [
+            (0.0, 2, 1, 1, 0),
+            (1000.0, 0, 2, 1, 1),
+        ]
+
+    def test_invalid_window_rejected(self):
+        from repro.tools.cachestat import CacheStatCollector
+        with pytest.raises(ValueError, match="positive"):
+            CacheStatCollector(window_us=0.0)
+
+    def test_format(self):
+        from repro.tools.cachestat import (CacheStatCollector,
+                                           format_cachestat)
+        collector = CacheStatCollector(1000.0)
+        collector.replay(_cache_events())
+        text = format_cachestat(collector)
+        assert "HITS" in text
+        assert "overall: 5 lookups, 40.00% hit ratio" in text
+        assert format_cachestat(CacheStatCollector(1000.0)) == \
+            "(no cache events observed)"
+
+    def test_cli(self, tmp_path, capsys):
+        from repro.tools.cachestat import main
+        trace = tmp_path / "cache.jsonl"
+        write_jsonl(trace, _cache_events())
+        assert main([str(trace), "--window-ms", "1"]) == 0
+        assert "overall" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# funclatency
+# ----------------------------------------------------------------------
+def _hook_events():
+    return [
+        ev("cache_ext:hook_exit", 10.0, policy="mru",
+           slot="folio_accessed", cpu_us=0.03),
+        ev("cache_ext:hook_exit", 20.0, policy="mru",
+           slot="folio_accessed", cpu_us=0.03),
+        ev("cache_ext:hook_exit", 30.0, policy="mru",
+           slot="evict_folios", cpu_us=0.5),
+        ev("cache:lookup", 40.0, hit=1),  # ignored
+    ]
+
+
+class TestFuncLatency:
+    def test_replay_keys_and_ns_conversion(self):
+        from repro.tools.funclatency import FuncLatencyCollector
+        collector = FuncLatencyCollector().replay(_hook_events())
+        assert sorted(collector.per_hook) == [
+            ("mru", "evict_folios"), ("mru", "folio_accessed")]
+        hist = collector.per_hook[("mru", "folio_accessed")]
+        assert hist.count == 2
+        assert hist.mean == pytest.approx(30.0)  # 0.03 µs = 30 ns
+
+    def test_format(self):
+        from repro.tools.funclatency import (FuncLatencyCollector,
+                                             format_funclatency)
+        text = format_funclatency(
+            FuncLatencyCollector().replay(_hook_events()))
+        assert "policy mru, hook evict_folios" in text
+        assert "no hook events" in \
+            format_funclatency(FuncLatencyCollector())
+
+    def test_cli(self, tmp_path, capsys):
+        from repro.tools.funclatency import main
+        trace = tmp_path / "hooks.jsonl"
+        write_jsonl(trace, _hook_events())
+        assert main([str(trace)]) == 0
+        assert "folio_accessed" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# cachetop latency-breakdown columns
+# ----------------------------------------------------------------------
+def _span_events():
+    return [
+        ev("cache:lookup", 10.0, hit=1),
+        ev("span:close", 100.0, span="vfs.read", policy="kernel",
+           dur_us=120.0, cpu=10.0, device_wait=20.0,
+           device_service=80.0, reclaim_stall=10.0),
+        ev("span:close", 300.0, span="vfs.read", policy="kernel",
+           dur_us=40.0, cpu=10.0, device_service=30.0),
+    ]
+
+
+class TestCachetopSpanColumns:
+    def test_summarize_folds_span_components(self):
+        from repro.tools.cachetop import summarize
+        view = summarize(_span_events())["app"]
+        assert view.span_count == 2
+        assert view.span_dur_us == pytest.approx(160.0)
+        assert view.device_wait_us == pytest.approx(20.0)
+        assert view.device_service_us == pytest.approx(110.0)
+        assert view.reclaim_stall_us == pytest.approx(10.0)
+
+    def test_columns_appear_only_with_spans(self):
+        from repro.tools.cachetop import format_views, summarize
+        with_spans = format_views(summarize(_span_events()))
+        assert "DWAIT" in with_spans and "RSTALL" in with_spans
+        # Per-span averages: 110 µs service / 2 spans = 55.0.
+        assert "   55.0" in with_spans
+        without = format_views(
+            summarize([ev("cache:lookup", 1.0, hit=1)]))
+        assert "DWAIT" not in without
+
+    def test_cli_renders_span_columns(self, tmp_path, capsys):
+        from repro.tools.cachetop import main
+        trace = tmp_path / "spans.jsonl"
+        write_jsonl(trace, _span_events())
+        assert main([str(trace)]) == 0
+        assert "DSERV" in capsys.readouterr().out
+
+
+class TestToolPackageExports:
+    def test_lazy_reexports(self):
+        import repro.tools as tools
+        for name in ("BioLatencyCollector", "format_biolatency",
+                     "CacheStatCollector", "format_cachestat",
+                     "FuncLatencyCollector", "format_funclatency",
+                     "summarize", "format_views"):
+            assert callable(getattr(tools, name))
+        with pytest.raises(AttributeError):
+            tools.no_such_tool
