@@ -43,9 +43,13 @@ DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_core.json")
 #: (fig9), one policy-with-userspace-maps run (admission), one
 #: CPU-overhead run (table4) and one spans-disabled timing cell
 #: (spans_off: the latency-attribution request sites must stay at
-#: disabled-tracepoint cost) — together they cover every hot path the
-#: perf work touches (eviction, hook dispatch, lists, engine loop).
-CORE_SUITE = ("fig6", "fig9", "admission", "table4", "spans_off")
+#: disabled-tracepoint cost) plus a faults-disarmed timing cell
+#: (faults_off: the repro.faults gates on the block/VFS/hook hot paths
+#: must stay at one-load-one-branch cost when no plan is armed) —
+#: together they cover every hot path the perf work touches (eviction,
+#: hook dispatch, lists, engine loop).
+CORE_SUITE = ("fig6", "fig9", "admission", "table4", "spans_off",
+              "faults_off")
 
 SCHEMA = 1
 
@@ -126,12 +130,44 @@ def run_spans_off(calibration_s: float) -> dict:
     }
 
 
+def run_faults_off(calibration_s: float) -> dict:
+    """Time one fig6-sized cell with no fault plan armed.
+
+    The fault-injection plane gates the block device, the VFS
+    read/write/fsync paths and the policy hook dispatch; unarmed, each
+    gate must cost one attribute load plus a branch.  A different
+    (policy, workload) pair from :func:`run_spans_off` so the two
+    zero-overhead cells don't shadow each other in the baseline.
+    """
+    from repro.obs.guard import run_cell, virtual_signature
+
+    t0 = time.perf_counter()
+    measurement = run_cell(policy="lfu", workload="A")
+    wall_s = time.perf_counter() - t0
+    signature = virtual_signature(measurement)
+    table = json.dumps(signature, sort_keys=True)
+    return {
+        "cells": 1,
+        "rows": 1,
+        "table_sha256": hashlib.sha256(table.encode()).hexdigest(),
+        "ops_per_sec": {"A/lfu": round(signature["ops_per_sec"], 1)},
+        "hit_ratios": {"A/lfu": round(signature["hit_ratio"], 4)},
+        "timing": {
+            "wall_s": round(wall_s, 3),
+            "work_units": round(wall_s / calibration_s, 2),
+            "jobs": 1,
+        },
+    }
+
+
 def run_experiment(name: str, quick: bool, jobs: Optional[int],
                    calibration_s: float) -> dict:
     from repro.experiments.parallel import execute
 
     if name == "spans_off":
         return run_spans_off(calibration_s)
+    if name == "faults_off":
+        return run_faults_off(calibration_s)
     module = importlib.import_module(f"repro.experiments.{name}")
     spec = module.plan(quick=quick)
     report = execute(spec, jobs=jobs, serial=jobs is None)

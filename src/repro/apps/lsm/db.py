@@ -19,6 +19,7 @@ from repro.apps.lsm.compaction import CompactionJob
 from repro.apps.lsm.format import RecordFormat
 from repro.apps.lsm.memtable import MemTable, WriteAheadLog
 from repro.apps.lsm.sstable import SSTable, SSTableWriter
+from repro.kernel.errors import EIO, ETIMEDOUT
 from repro.sim.engine import current_thread
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -90,6 +91,10 @@ class LsmDb:
         self.n_scans = 0
         self.n_flushes = 0
         self.n_compactions = 0
+        #: Operations degraded by an exhausted-retry I/O error (the DB
+        #: absorbs :class:`EIO`/:class:`ETIMEDOUT` instead of crashing:
+        #: a get reports a miss, a put drops the write).
+        self.n_io_errors = 0
 
     # ------------------------------------------------------------------
     # helpers
@@ -118,11 +123,17 @@ class LsmDb:
             if _thread is not None and _thread.span is None:
                 span = self._spans.open(_thread, "lsm.put")
         try:
-            self.wal.append(key, value)
-            self.mem.put(key, value)
-            self.n_puts += 1
-            if len(self.mem) >= self.opts.memtable_entries:
-                self.flush_memtable()
+            try:
+                self.wal.append(key, value)
+                self.mem.put(key, value)
+                self.n_puts += 1
+                if len(self.mem) >= self.opts.memtable_entries:
+                    self.flush_memtable()
+            except (EIO, ETIMEDOUT):
+                # Retries are exhausted below us; degrade by dropping
+                # the write (the memtable keeps whatever landed, so a
+                # failed flush retries on the next threshold crossing).
+                self.n_io_errors += 1
         finally:
             if span is not None:
                 self._spans.close(_thread, span)
@@ -165,20 +176,26 @@ class LsmDb:
             if _thread is not None and _thread.span is None:
                 span = self._spans.open(_thread, "lsm.get")
         try:
-            found, value = self.mem.get(key)
-            if found:
-                return value
-            for table in self.levels[0]:  # newest first
-                found, value = table.get(key)
+            try:
+                found, value = self.mem.get(key)
                 if found:
                     return value
-            for level in self.levels[1:]:
-                table = self._table_for_key(level, key)
-                if table is not None:
+                for table in self.levels[0]:  # newest first
                     found, value = table.get(key)
                     if found:
                         return value
-            return None
+                for level in self.levels[1:]:
+                    table = self._table_for_key(level, key)
+                    if table is not None:
+                        found, value = table.get(key)
+                        if found:
+                            return value
+                return None
+            except (EIO, ETIMEDOUT):
+                # Exhausted-retry read failure: degrade to a miss
+                # rather than tearing down the workload.
+                self.n_io_errors += 1
+                return None
         finally:
             if span is not None:
                 self._spans.close(_thread, span)
@@ -301,10 +318,14 @@ class LsmDb:
             it = self.scan_iter(start_key, advice=advice)
             out = []
             try:
-                for entry in it:
-                    out.append(entry)
-                    if len(out) >= count:
-                        break
+                try:
+                    for entry in it:
+                        out.append(entry)
+                        if len(out) >= count:
+                            break
+                except (EIO, ETIMEDOUT):
+                    # Degrade to a truncated result set.
+                    self.n_io_errors += 1
             finally:
                 it.close()
             return out
@@ -388,8 +409,17 @@ class LsmDb:
                     name_fn=self._next_sst_name,
                     drop_tombstones=drop)
                 self._job_target_level = target
-            if self._job.step():
-                self._install_compaction(self._job, self._job_target_level)
+            try:
+                if self._job.step():
+                    self._install_compaction(self._job,
+                                             self._job_target_level)
+                    self._job = None
+            except (EIO, ETIMEDOUT):
+                # Abandon the job; inputs stay installed and a later
+                # step re-picks the compaction from scratch.  An
+                # unhandled error here would tear down the background
+                # daemon — and with it the whole engine run.
+                self.n_io_errors += 1
                 self._job = None
             return True
         finally:

@@ -58,7 +58,19 @@ class CacheExtPolicy(ExtPolicyBase):
         self.lists: list[EvictionList] = []
         #: kfunc calls that returned an error (policy bug indicator).
         self.kfunc_errors = 0
+        #: Eviction-candidate accounting for the health score: how many
+        #: candidates the kernel asked for vs how many the policy's
+        #: ``evict_folios`` program actually delivered.
+        self.candidate_requests = 0
+        self.candidates_delivered = 0
+        #: Hook dispatches that blew the per-hook runtime budget.
+        self.budget_overruns = 0
         self.attached = False
+        #: Hook guard (fault injection + runtime budget), or None —
+        #: the default, keeping every hook fast path at one extra
+        #: attribute load and an is-None branch.  Set by the machine
+        #: when faults or a budget are armed (repro.faults).
+        self._guard = machine._policy_guard(memcg)
         # Cached tracepoints (repro.obs): one attribute load + branch
         # per dispatch when tracing is off.
         trace = machine.trace
@@ -114,27 +126,50 @@ class CacheExtPolicy(ExtPolicyBase):
     def _hook_entry(self, slot: str):
         """Emit ``cache_ext:hook_entry``; returns the hook-CPU baseline
         consumed by the matching :meth:`_hook_exit` (``None`` when both
-        hook tracepoints are disabled, so the common case costs two
-        attribute loads and a branch)."""
-        if not (self._tp_hook_entry.enabled or self._tp_hook_exit.enabled):
+        hook tracepoints are disabled and no guard is armed, so the
+        common case costs a few attribute loads and branches).
+
+        With a guard armed, fault injection (stalls, kfunc misuse)
+        happens *after* the baseline is taken, so an injected stall
+        counts against the per-hook runtime budget like real hook CPU.
+        """
+        guard = self._guard
+        trace_on = (self._tp_hook_entry.enabled
+                    or self._tp_hook_exit.enabled)
+        if guard is None and not trace_on:
             return None
-        ts, tid = self._trace_point()
-        tp = self._tp_hook_entry
-        if tp.enabled:
-            tp.emit(ts, self.memcg.name, tid, slot=slot, policy=self.name)
-        return self.memcg.stats.hook_cpu_us
+        if trace_on:
+            ts, tid = self._trace_point()
+            tp = self._tp_hook_entry
+            if tp.enabled:
+                tp.emit(ts, self.memcg.name, tid, slot=slot,
+                        policy=self.name)
+        cpu_base = self._memcg_stats.hook_cpu_us
+        if guard is not None:
+            guard.inject(self)
+        return cpu_base
 
     def _hook_exit(self, slot: str, cpu_base) -> None:
         """Emit ``cache_ext:hook_exit`` with the CPU charged between
         entry and exit (hook dispatch plus every kfunc the program
-        ran)."""
+        ran), and enforce the per-hook runtime budget: one dispatch
+        charging more than the budget gets the policy watchdog-detached
+        (reason="budget"), exactly like a faulting program."""
         if cpu_base is None:
             return
+        used = self._memcg_stats.hook_cpu_us - cpu_base
         tp = self._tp_hook_exit
         if tp.enabled:
             ts, tid = self._trace_point()
             tp.emit(ts, self.memcg.name, tid, slot=slot, policy=self.name,
-                    cpu_us=self.memcg.stats.hook_cpu_us - cpu_base)
+                    cpu_us=used)
+        guard = self._guard
+        if guard is not None and guard.budget_us is not None \
+                and used > guard.budget_us and self.attached:
+            self.budget_overruns += 1
+            self.memcg.stats.budget_overruns += 1
+            self.machine.page_cache.stats.budget_overruns += 1
+            self._watchdog_detach(reason="budget")
 
     def note_kfunc_error(self, code: int, kfunc: str) -> None:
         """Record one kfunc error return: bumps the per-policy counter
@@ -200,6 +235,12 @@ class CacheExtPolicy(ExtPolicyBase):
                 if node.item is not None:
                     node.item.ext_node = None
                 node = lst.pop_head()
+        # Quarantine (opt-in): instead of staying detached forever, the
+        # policy's ops go into backoff custody and re-attach on a later
+        # reclaim pass (repro.faults.QuarantineManager).
+        quarantine = self.machine.quarantine
+        if quarantine is not None:
+            quarantine.admit(self, reason)
 
     # ------------------------------------------------------------------
     # list ownership
@@ -246,7 +287,8 @@ class CacheExtPolicy(ExtPolicyBase):
     def folio_added(self, folio: Folio) -> None:
         # Registry first (memory safety), then the policy's program.
         self.registry.insert(folio)
-        if not (self._tp_hook_entry.enabled or self._tp_hook_exit.enabled):
+        if self._guard is None and not (self._tp_hook_entry.enabled
+                                        or self._tp_hook_exit.enabled):
             us = self.machine.costs.bpf_hook_us
             thread = current_thread()
             if thread is not None:
@@ -282,7 +324,8 @@ class CacheExtPolicy(ExtPolicyBase):
         self._hook_exit("folio_added", cpu)
 
     def folio_accessed(self, folio: Folio) -> None:
-        if not (self._tp_hook_entry.enabled or self._tp_hook_exit.enabled):
+        if self._guard is None and not (self._tp_hook_entry.enabled
+                                        or self._tp_hook_exit.enabled):
             us = self.machine.costs.bpf_hook_us
             thread = current_thread()
             if thread is not None:
@@ -324,7 +367,8 @@ class CacheExtPolicy(ExtPolicyBase):
         if node is not None and node.owner is not None:
             node.owner.remove(node)
         folio.ext_node = None
-        if not (self._tp_hook_entry.enabled or self._tp_hook_exit.enabled):
+        if self._guard is None and not (self._tp_hook_entry.enabled
+                                        or self._tp_hook_exit.enabled):
             us = self.machine.costs.bpf_hook_us
             thread = current_thread()
             if thread is not None:
@@ -371,7 +415,8 @@ class CacheExtPolicy(ExtPolicyBase):
         charge_hook = self.charge_hook
         prog = self.ops.folio_removed
         trace_hooks = (self._tp_hook_entry.enabled
-                       or self._tp_hook_exit.enabled)
+                       or self._tp_hook_exit.enabled
+                       or self._guard is not None)
         for folio in folios:
             node = registry_remove(folio)
             if node is not None and node.owner is not None:
@@ -392,17 +437,54 @@ class CacheExtPolicy(ExtPolicyBase):
     def propose_candidates(self, nr: int) -> list[Folio]:
         if self.ops.evict_folios is None:
             return []
+        self.candidate_requests += nr
         ctx = EvictionCtx(nr)
         cpu = self._hook_entry("evict_folios")
         self.charge_hook()
         self._run_prog(self.ops.evict_folios, ctx, self.memcg)
         self._hook_exit("evict_folios", cpu)
-        return list(ctx.candidates)
+        out = list(ctx.candidates)
+        # Delivery is measured on what the *policy* produced; corrupted
+        # entries a guard appends below are the kernel's problem to
+        # reject, not the policy's delivery credit.
+        self.candidates_delivered += len(out)
+        guard = self._guard
+        if guard is not None:
+            out = guard.mangle_candidates(self, out)
+        return out
 
     def holds_reference(self, folio: Folio) -> bool:
         return self.registry.contains(folio)
 
     # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def hook_dispatches(self) -> int:
+        """Total program invocations across every installed slot."""
+        return sum(getattr(prog, "invocations", 0)
+                   for prog in self.ops.programs().values()
+                   if prog is not None)
+
+    def health_score(self) -> float:
+        """Composite policy health in [0, 1] (1.0 = no symptoms).
+
+        Three penalty terms, mirroring the misbehaviour classes the
+        watchdog acts on: kfunc error rate (helper misuse), eviction
+        under-delivery (the kernel fallback is doing this policy's
+        job), and runtime-budget overruns (hook CPU out of bounds —
+        any overrun is an automatic detach, so it weighs heavily).
+        """
+        score = 1.0
+        dispatches = self.hook_dispatches()
+        if dispatches > 0 and self.kfunc_errors > 0:
+            score -= 0.4 * min(1.0, self.kfunc_errors / dispatches)
+        if self.candidate_requests > 0:
+            delivery = self.candidates_delivered / self.candidate_requests
+            score -= 0.3 * max(0.0, 1.0 - delivery)
+        if self.budget_overruns > 0:
+            score -= 0.3
+        return max(0.0, score)
+
     def nr_listed(self) -> int:
         """Total folios across this policy's eviction lists."""
         return sum(len(lst) for lst in self.lists)

@@ -15,9 +15,11 @@ table in the parent.  Three properties make this safe:
   ``tests/test_parallel.py`` asserts for every experiment.
 * **Isolation** — workers are forked per cell and exit after one
   payload, so a crashing or wedged cell cannot corrupt its neighbours.
-  Failures (crash, timeout, unpicklable payload) are retried serially
-  in the parent, making the parallel path strictly a performance
-  feature, never a correctness risk.
+  A failed cell (crash, timeout, unpicklable payload) is retried once
+  in a fresh worker — absorbing transient host-level failures (OOM
+  kill, fork pressure) — and then serially in the parent, making the
+  parallel path strictly a performance feature, never a correctness
+  risk.  Worker tracebacks are captured and surfaced on the report.
 * **Observability** — per-cell wall-clock is reported (stderr by
   default), and ``trace=True`` attaches a ``cache:lookup`` counter to
   every machine a cell builds, giving trace-derived hit ratios that
@@ -151,6 +153,10 @@ class ExecutionReport:
     breakdown: dict = field(default_factory=dict)
     #: cell_ids that failed in a worker and were re-run serially.
     fallbacks: list = field(default_factory=list)
+    #: cell_id -> list of worker failure messages (one per failed
+    #: attempt, each carrying the child's traceback when it produced
+    #: one) — populated even when a retry or fallback later succeeded.
+    worker_errors: dict = field(default_factory=dict)
     wall_s: float = 0.0
     jobs: int = 1
 
@@ -162,6 +168,12 @@ class ExecutionReport:
             lines.append(f"  {t.cell_id:<32} {t.wall_s:8.2f}s{note}")
         if self.fallbacks:
             lines.append(f"  serial fallbacks: {', '.join(self.fallbacks)}")
+        for cell_id in sorted(self.worker_errors):
+            for attempt, error in enumerate(self.worker_errors[cell_id],
+                                            start=1):
+                first_line = error.splitlines()[0] if error else error
+                lines.append(f"  worker error {cell_id} "
+                             f"(attempt {attempt}): {first_line}")
         return "\n".join(lines)
 
 
@@ -173,8 +185,11 @@ def _worker_main(conn, cell: CellSpec, trace: bool,
                                           breakdown=breakdown)
         conn.send(("ok", payload, counts, bdown))
     except BaseException as exc:  # report, don't propagate: the parent
-        try:                      # decides how to retry
-            conn.send(("err", f"{type(exc).__name__}: {exc}", None, None))
+        import traceback          # decides how to retry
+        try:
+            message = (f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
+            conn.send(("err", message, None, None))
         except Exception:
             pass
     finally:
@@ -206,6 +221,18 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
     running: dict = {}  # parent_conn -> (cell, process, started_at)
     payloads: dict = {}
     failed: list[tuple[CellSpec, str]] = []
+    attempts: dict[str, int] = {}
+
+    def record_failure(cell, error: str) -> None:
+        # First worker failure: retry once in a fresh worker (absorbs
+        # transient host-level failures); second: serial fallback.
+        n = attempts.get(cell.cell_id, 0) + 1
+        attempts[cell.cell_id] = n
+        report.worker_errors.setdefault(cell.cell_id, []).append(error)
+        if n < 2:
+            pending.append(cell)
+        else:
+            failed.append((cell, error))
 
     def reap(conn, cell, proc, started) -> None:
         wall = time.perf_counter() - started
@@ -217,14 +244,15 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
         conn.close()
         proc.join()
         if status == "ok":
+            mode = "worker" if cell.cell_id not in attempts else "retry"
             payloads[cell.cell_id] = value
-            report.timings.append(CellTiming(cell.cell_id, wall, "worker"))
+            report.timings.append(CellTiming(cell.cell_id, wall, mode))
             if counts is not None:
                 report.trace[cell.cell_id] = counts
             if bdown is not None:
                 report.breakdown[cell.cell_id] = bdown
         else:
-            failed.append((cell, value))
+            record_failure(cell, value)
 
     while pending or running:
         while pending and len(running) < jobs:
@@ -248,7 +276,7 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
             proc.terminate()
             proc.join()
             conn.close()
-            failed.append((cell, f"timed out after {timeout_s:.0f}s"))
+            record_failure(cell, f"timed out after {timeout_s:.0f}s")
 
     # Crash/timeout fallback: re-run failed cells serially, in plan
     # order, in this process — determinism makes the retry exact.

@@ -1,0 +1,27 @@
+"""repro.faults: deterministic fault injection for the simulated stack.
+
+Declare what goes wrong with a :class:`FaultPlan` (pure data, seeded),
+arm it with :meth:`repro.kernel.machine.Machine.arm_faults`, and the
+block device, VFS, cache_ext framework and cgroup layers inject and
+*survive* the declared faults — emitting ``fault:inject`` /
+``block:io_error`` / ``cache_ext:quarantine`` / ``cache_ext:reattach``
+tracepoints along the way.  See DESIGN.md, "Fault model & graceful
+degradation".
+"""
+
+from repro.faults.plan import (FOREVER, DeviceFault, FaultPlan, MemoryFault,
+                               PolicyFault, QuarantineConfig)
+from repro.faults.injector import (FaultInjector, PolicyGuard,
+                                   QuarantineManager)
+
+__all__ = [
+    "FOREVER",
+    "DeviceFault",
+    "PolicyFault",
+    "MemoryFault",
+    "QuarantineConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "PolicyGuard",
+    "QuarantineManager",
+]

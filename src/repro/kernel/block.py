@@ -38,6 +38,9 @@ class BlockDevice(Disk):
         self.per_cgroup: dict[int, CgroupIoStats] = defaultdict(CgroupIoStats)
         self._tp_issue = NULL_TRACEPOINT
         self._tp_complete = NULL_TRACEPOINT
+        #: Armed :class:`repro.faults.injector.FaultInjector`, or None.
+        #: One load + is-None branch per request when faults are off.
+        self._faults = None
 
     def attach_trace(self, registry) -> None:
         """Cache block tracepoints from a machine's registry."""
@@ -70,6 +73,10 @@ class BlockDevice(Disk):
         if thread is None:
             thread = current_thread()
         if thread is not None:
+            faults = self._faults
+            if faults is not None:
+                return faults.device_io(self, thread, "read", npages,
+                                        contiguous)
             # Inlined Disk.read (service time + submit + counters): one
             # request per cache miss makes the extra super() frame
             # measurable.  Stats are bumped in the same order.
@@ -98,6 +105,10 @@ class BlockDevice(Disk):
         if thread is None:
             thread = current_thread()
         if thread is not None:
+            faults = self._faults
+            if faults is not None:
+                return faults.device_io(self, thread, "write", npages,
+                                        contiguous)
             # Inlined Disk.write (see read).
             if npages == 1 and not contiguous:
                 service_us = self.write_us

@@ -24,3 +24,11 @@ class EBADF(KernelError):
 
 class EBUSY(KernelError):
     """Target folio is pinned or otherwise in use."""
+
+
+class EIO(KernelError):
+    """A block-device request failed (transient or permanent)."""
+
+
+class ETIMEDOUT(KernelError):
+    """A block-device request exceeded its completion deadline."""

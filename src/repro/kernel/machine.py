@@ -36,6 +36,11 @@ KERNEL_TRACEPOINTS = (
     "cache_ext:hook_entry", "cache_ext:hook_exit",
     "cache_ext:kfunc_error", "cache_ext:watchdog_detach",
     "cache_ext:fallback_eviction",
+    # policy quarantine lifecycle (repro.faults)
+    "cache_ext:quarantine", "cache_ext:reattach",
+    # fault-injection plane (repro.faults): one event per injected
+    # fault, plus the block layer's error completions
+    "fault:inject", "block:io_error",
     # virtual-time scheduler (sched:sched_switch / sched_process_exit)
     "sched:switch", "sched:exit",
     # latency attribution (repro.obs.spans): one event per request,
@@ -80,6 +85,15 @@ class Machine:
         self.page_cache = PageCache(self)
         self.fs = Filesystem(self)
         self.struct_ops = StructOpsRegistry()
+        #: Armed fault injector (:meth:`arm_faults`), or None — the
+        #: default, costing each gated site one load and a branch.
+        self.faults = None
+        #: Per-hook runtime budget for cache_ext policies, in CPU
+        #: microseconds charged per dispatch (None = no budget).
+        self.hook_budget_us: Optional[float] = None
+        #: Quarantine manager for watchdog-detached policies, or None
+        #: (detaches stay permanent, the historical behaviour).
+        self.quarantine = None
         self.default_kernel_policy = kernel_policy
         self.root_cgroup = MemCgroup("root", limit_pages=None)
         self.root_cgroup.kernel_policy = PageCache.make_kernel_policy(
@@ -142,6 +156,77 @@ class Machine:
         if cgroup.ext_policy is None:
             raise ValueError(f"cgroup {cgroup.name!r} has no policy")
         unload_policy(cgroup.ext_policy)
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def arm_faults(self, plan):
+        """Arm a :class:`~repro.faults.plan.FaultPlan` on this machine.
+
+        Builds the injector, gates the block device and VFS onto their
+        fault paths, applies the plan's hook budget and quarantine
+        config, retrofits guards onto already-attached policies, and
+        spawns one daemon thread per memory fault.  Returns the
+        :class:`~repro.faults.injector.FaultInjector` (its ``fired``
+        counter is the per-seed deterministic fault record).
+        """
+        from repro.faults.injector import FaultInjector, QuarantineManager
+        if self.faults is not None:
+            raise ValueError("a fault plan is already armed")
+        injector = FaultInjector(self, plan)
+        self.faults = injector
+        self.disk._faults = injector
+        self.fs._fault_mode = True
+        if plan.hook_budget_us is not None:
+            self.hook_budget_us = plan.hook_budget_us
+        if plan.quarantine is not None:
+            self.quarantine = QuarantineManager(self, plan.quarantine)
+        self._refresh_policy_guards()
+        for fault in plan.memory:
+            self._spawn_memory_fault(injector, fault)
+        return injector
+
+    def set_hook_budget(self, budget_us: Optional[float]) -> None:
+        """Enable (or clear) budget-based watchdog detach standalone:
+        a hook dispatch charging more than ``budget_us`` of CPU gets
+        its policy detached, no full fault plan required."""
+        self.hook_budget_us = budget_us
+        self._refresh_policy_guards()
+
+    def enable_quarantine(self, config=None):
+        """Quarantine watchdog-detached policies for backoff re-attach
+        (off by default: a detach is permanent unless enabled here or
+        via an armed plan).  Returns the manager."""
+        from repro.faults.injector import QuarantineManager
+        self.quarantine = QuarantineManager(self, config)
+        return self.quarantine
+
+    def _policy_guard(self, memcg):
+        """The hook guard a policy attaching to ``memcg`` should carry
+        (None when neither faults nor a budget are armed — the hook
+        fast paths stay guard-free)."""
+        if self.faults is None and self.hook_budget_us is None:
+            return None
+        from repro.faults.injector import PolicyGuard
+        return PolicyGuard(self.faults, self.hook_budget_us, memcg.name)
+
+    def _refresh_policy_guards(self) -> None:
+        for memcg in self._cgroups.values():
+            policy = memcg.ext_policy
+            if policy is not None:
+                policy._guard = self._policy_guard(memcg)
+
+    def _spawn_memory_fault(self, injector, fault) -> None:
+        def step(thread: SimThread) -> bool:
+            if thread.clock_us < fault.at_us:
+                thread.wait_until(fault.at_us)
+                return True
+            injector.fire_memory_fault(fault)
+            return False
+        # Daemon: the fault does not keep the machine alive — a window
+        # past the end of the workload simply never fires.
+        self.engine.spawn(f"fault:mem:{fault.cgroup}", step,
+                          cgroup=self.root_cgroup, daemon=True)
 
     # ------------------------------------------------------------------
     # metrics

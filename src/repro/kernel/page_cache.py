@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.kernel.address_space import AddressSpace
 from repro.kernel.cgroup import MemCgroup
 from repro.kernel.default_policy import DefaultLruPolicy, KernelPolicy
-from repro.kernel.errors import ENOMEM
+from repro.kernel.errors import EBUSY, EIO, ENOMEM, ETIMEDOUT
 from repro.kernel.folio import Folio
 from repro.kernel.mglru import MgLruPolicy
 from repro.kernel.shadow import make_shadow, refault_should_activate
@@ -361,6 +361,14 @@ class PageCache:
         seen: set[int] = set()
 
         ext = memcg.ext_policy
+        if ext is None:
+            # Lazy quarantine exit: a watchdog-detached policy whose
+            # backoff has elapsed re-attaches on the cgroup's next
+            # reclaim pass (None when no quarantine is configured —
+            # one attribute load and branch on the batch path).
+            quarantine = self.machine.quarantine
+            if quarantine is not None:
+                ext = quarantine.maybe_reattach(memcg)
         if ext is not None:
             proposals = ext.propose_candidates(nr)
             memcg.stats.ext_candidates += len(proposals)
@@ -419,7 +427,15 @@ class PageCache:
                     or folio.memcg is not memcg:
                 continue
             if folio.dirty:
-                disk_write(thread, 1)
+                try:
+                    disk_write(thread, 1)
+                except (EIO, ETIMEDOUT):
+                    # Writeback failed: the folio stays dirty and
+                    # resident, reclaim moves on to the next candidate
+                    # (the kernel's PG_error + redirty path).
+                    mstats.writeback_errors += 1
+                    stats.writeback_errors += 1
+                    continue
                 folio.dirty = False
                 mstats.writebacks += 1
                 stats.writebacks += 1
@@ -506,9 +522,17 @@ class PageCache:
 
         Dirty folios are written back first (counted disk I/O — this is
         how write-heavy workloads show up on Figure 7's x-axis).
+
+        Raises :class:`EBUSY` for a pinned folio: the caller asked to
+        evict a page the kernel is actively using (batch reclaim never
+        does — candidates are validated against pin counts first).
         """
-        if folio.mapping is None or folio.pinned or folio.memcg is not memcg:
+        if folio.mapping is None or folio.memcg is not memcg:
             return False
+        if folio.pinned:
+            raise EBUSY(
+                f"folio {folio.mapping.file_id}:{folio.index} is pinned "
+                f"(pin_count={folio.pin_count})")
         # Attribution: eviction work (writeback, shadow entry, list
         # surgery) is a reclaim stall.  Nested inside reclaim_cgroup's
         # section this is a harmless save/restore; standalone callers
@@ -519,7 +543,13 @@ class PageCache:
             sect = span.begin_section("reclaim_stall", thread.clock_us)
         try:
             if folio.dirty:
-                self.machine.disk.write(thread, 1)
+                try:
+                    self.machine.disk.write(thread, 1)
+                except (EIO, ETIMEDOUT):
+                    # Writeback failed: leave the folio dirty+resident.
+                    memcg.stats.writeback_errors += 1
+                    self.stats.writeback_errors += 1
+                    return False
                 folio.dirty = False
                 memcg.stats.writebacks += 1
                 self.stats.writebacks += 1

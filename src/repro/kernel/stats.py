@@ -40,6 +40,24 @@ class CacheStats:
     #: Policies forcibly detached by the watchdog (each detach also
     #: emits a ``cache_ext:watchdog_detach`` trace event).
     watchdog_detaches: int = 0
+    #: Block requests that completed with EIO (before VFS retries).
+    io_errors: int = 0
+    #: Block requests the VFS re-issued after a transient failure.
+    io_retries: int = 0
+    #: Block requests that exceeded the per-request deadline.
+    io_timeouts: int = 0
+    #: Dirty pages whose writeback failed (folio stays dirty+resident).
+    writeback_errors: int = 0
+    #: Hook dispatches that blew the per-hook runtime budget (each one
+    #: watchdog-detaches the policy, reason="budget").
+    budget_overruns: int = 0
+    #: Detached policies taken into quarantine (backoff re-attach).
+    quarantines: int = 0
+    #: Quarantined policies successfully re-attached after backoff.
+    reattaches: int = 0
+    #: Direct-reclaim passes that gave up (ENOMEM absorbed by a
+    #: fault-plane memory shrink rather than raised to an app).
+    reclaim_failures: int = 0
     #: CPU microseconds spent inside cache_ext hooks and kfuncs.
     hook_cpu_us: float = 0.0
 

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from repro.kernel.address_space import AddressSpace
 from repro.kernel.cgroup import MemCgroup
-from repro.kernel.errors import EBADF, EINVAL
+from repro.kernel.errors import EBADF, EINVAL, EIO, ETIMEDOUT
 from repro.sim.engine import current_thread
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -37,6 +37,11 @@ _file_ids = itertools.count(1)
 #: Default readahead window in pages (Linux default is 128 KiB = 32
 #: pages; we scale down with everything else).
 DEFAULT_RA_PAGES = 8
+#: Bounded-retry policy for transiently failing block requests (only
+#: consulted when a FaultPlan is armed): up to IO_MAX_RETRIES
+#: re-issues, exponential backoff starting at IO_BACKOFF_BASE_US.
+IO_MAX_RETRIES = 3
+IO_BACKOFF_BASE_US = 50.0
 #: Hard cap on any readahead window, including custom policy hints
 #: (kernel-side bounds checking, as for every cache_ext input).
 MAX_RA_PAGES = 64
@@ -85,6 +90,11 @@ class Filesystem:
     #: path for cgroups without a cache_ext policy.  Clearing it forces
     #: per-page semantics everywhere (debugging / equivalence tests).
     bulk_io_enabled = True
+    #: Set by :meth:`repro.kernel.machine.Machine.arm_faults`.  When
+    #: True, device I/O goes through :meth:`_io_with_retry` (bounded
+    #: retry + error accounting); the fault-free hot path keeps its
+    #: direct disk calls behind one class-attribute load and branch.
+    _fault_mode = False
 
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
@@ -119,6 +129,50 @@ class Filesystem:
             fid = f.file_id
             for index in indices:
                 tp.emit(ts, name, tid, hit=0, file=fid, index=index)
+
+    def _io_with_retry(self, op: str, thread, npages: int,
+                       contiguous: bool = False):
+        """Issue one block request with bounded retry (fault mode only).
+
+        Transient :class:`EIO`/:class:`ETIMEDOUT` completions are
+        retried up to :data:`IO_MAX_RETRIES` times with exponential
+        backoff (the backoff is virtual-time waiting, attributed as
+        ``device_wait`` unless an enclosing span section absorbs it);
+        every error and retry is counted against the accessing cgroup
+        and machine-wide.  On exhaustion the last error propagates,
+        typed, to the caller.
+        """
+        disk = self.machine.disk
+        disk_fn = disk.read if op == "read" else disk.write
+        if thread is not None and thread.cgroup is not None:
+            memcg = thread.cgroup
+        else:
+            memcg = self.machine.root_cgroup
+        mstats = memcg.stats
+        stats = self.machine.page_cache.stats
+        delay = IO_BACKOFF_BASE_US
+        for attempt in range(IO_MAX_RETRIES + 1):
+            try:
+                return disk_fn(thread, npages, contiguous=contiguous)
+            except EIO:
+                mstats.io_errors += 1
+                stats.io_errors += 1
+                if attempt == IO_MAX_RETRIES:
+                    raise
+            except ETIMEDOUT:
+                mstats.io_timeouts += 1
+                stats.io_timeouts += 1
+                if attempt == IO_MAX_RETRIES:
+                    raise
+            mstats.io_retries += 1
+            stats.io_retries += 1
+            if thread is not None:
+                span = thread.span
+                if span is not None and span.section is None:
+                    span.add("device_wait", delay)
+                thread.wait_until(thread.clock_us + delay)
+            delay *= 2.0
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # namespace
@@ -214,24 +268,52 @@ class Filesystem:
                 # stream at sequential rates, as a real device would
                 # service them.
                 contiguous = index == f._last_direct_read + 1
-                self.machine.disk.read(current_thread(), 1,
-                                       contiguous=contiguous)
+                if self._fault_mode:
+                    self._io_with_retry("read", current_thread(), 1,
+                                        contiguous=contiguous)
+                else:
+                    self.machine.disk.read(current_thread(), 1,
+                                           contiguous=contiguous)
                 f._last_direct_read = index
                 return f.store.get(index)
 
             folio.pin_count += 1  # inlined folio.pin()
+            ra_folios = None
             try:
-                inserted = 1
-                for ra_index in ra_indices:
-                    if cache.add_folio(f.mapping, ra_index,
-                                       memcg) is not None:
-                        inserted += 1
-                self.machine.disk.read(current_thread(), inserted)
-            finally:
-                # Inlined folio.unpin(), including its underflow guard.
-                if folio.pin_count <= 0:
-                    raise RuntimeError("unpin of unpinned folio")
-                folio.pin_count -= 1
+                try:
+                    inserted = 1
+                    if self._fault_mode:
+                        # Track inserted readahead folios: a read that
+                        # fails after retries must not leave folios
+                        # whose data never arrived in the cache.
+                        ra_folios = []
+                        for ra_index in ra_indices:
+                            raf = cache.add_folio(f.mapping, ra_index,
+                                                  memcg)
+                            if raf is not None:
+                                ra_folios.append(raf)
+                                inserted += 1
+                        self._io_with_retry("read", current_thread(),
+                                            inserted)
+                    else:
+                        for ra_index in ra_indices:
+                            if cache.add_folio(f.mapping, ra_index,
+                                               memcg) is not None:
+                                inserted += 1
+                        self.machine.disk.read(current_thread(), inserted)
+                finally:
+                    # Inlined folio.unpin(), incl. its underflow guard.
+                    if folio.pin_count <= 0:
+                        raise RuntimeError("unpin of unpinned folio")
+                    folio.pin_count -= 1
+            except (EIO, ETIMEDOUT):
+                # Retries exhausted: the pages never arrived.  Drop the
+                # optimistically inserted folios (no shadow entry — the
+                # data was never resident) and surface the typed error.
+                cache.remove_folio_no_shadow(folio)
+                if ra_folios:
+                    cache.remove_folios_no_shadow(ra_folios)
+                raise
             return f.store.get(index)
         finally:
             if span is not None:
@@ -364,9 +446,23 @@ class Filesystem:
         # read_page per index.
         add_folio = cache.add_folio
         mapping = f.mapping
-        for index in missing:
-            add_folio(mapping, index, memcg)
-        self.machine.disk.read(thread, nmiss)
+        if self._fault_mode:
+            inserted_folios = []
+            for index in missing:
+                fo = add_folio(mapping, index, memcg)
+                if fo is not None:
+                    inserted_folios.append(fo)
+            try:
+                self._io_with_retry("read", thread, nmiss)
+            except (EIO, ETIMEDOUT):
+                # Exhausted retries: the batch never arrived; drop the
+                # folios inserted for it (see read_page).
+                cache.remove_folios_no_shadow(inserted_folios)
+                raise
+        else:
+            for index in missing:
+                add_folio(mapping, index, memcg)
+            self.machine.disk.read(thread, nmiss)
         store_get = f.store.get
         return [store_get(index) for index in range(start, end)]
 
@@ -443,8 +539,12 @@ class Filesystem:
                 # disk, direct-I/O style (sequential continuation
                 # priced as such).
                 contiguous = index == f._last_direct_write + 1
-                self.machine.disk.write(current_thread(), 1,
+                if self._fault_mode:
+                    self._io_with_retry("write", current_thread(), 1,
                                         contiguous=contiguous)
+                else:
+                    self.machine.disk.write(current_thread(), 1,
+                                            contiguous=contiguous)
                 f._last_direct_write = index
                 return
             folio.dirty = True
@@ -485,7 +585,22 @@ class Filesystem:
         if aspan is not None:
             sect = aspan.begin_section("fsync", thread.clock_us)
         try:
-            self.machine.disk.write(thread, len(dirty))
+            if self._fault_mode:
+                try:
+                    self._io_with_retry("write", thread, len(dirty))
+                except (EIO, ETIMEDOUT):
+                    # Writeback failed for good: folios stay dirty and
+                    # resident (nothing was lost, nothing was cleaned),
+                    # the caller gets the typed error.
+                    n = len(dirty)
+                    accessor = thread.cgroup if thread is not None \
+                        and thread.cgroup is not None \
+                        else self.machine.root_cgroup
+                    accessor.stats.writeback_errors += n
+                    cache.stats.writeback_errors += n
+                    raise
+            else:
+                self.machine.disk.write(thread, len(dirty))
             by_memcg: dict = {}
             for folio in dirty:
                 folio.dirty = False

@@ -204,6 +204,54 @@ def run_spans_check(policy: str = "mru", workload: str = "C",
     }
 
 
+def run_faults_check(scenarios=("flaky-disk", "buggy-policy"),
+                     workload: str = "A") -> dict:
+    """Assert fault injection is deterministic on chaos-sized runs.
+
+    Runs one quick-scale chaos cell per scenario twice and requires the
+    two payloads — throughput, hit ratio, error/retry/quarantine
+    counters and the injector's fired-fault record — to be
+    byte-identical, with at least one fault actually fired.  This is
+    the single-process half of the determinism contract; the
+    serial-vs-parallel half is asserted in ``tests/test_chaos.py``.
+    """
+    from repro.experiments import chaos
+
+    params = dict(chaos.QUICK_SCALE)
+    horizon = params.pop("horizon_us")
+    checks = []
+    for scenario in scenarios:
+        first = chaos.cell(workload, scenario, horizon, **params)
+        second = chaos.cell(workload, scenario, horizon, **params)
+        fired = sum(first["fired"].values())
+        checks.append({
+            "scenario": scenario,
+            "identical": first == second,
+            "fired": dict(first["fired"]),
+            "n_fired": fired,
+            "payload": first,
+        })
+    return {
+        "workload": workload,
+        "checks": checks,
+        "passed": all(c["identical"] and c["n_fired"] > 0
+                      for c in checks),
+    }
+
+
+def format_faults_report(report: dict) -> str:
+    lines = [f"fault guard: chaos-sized cells "
+             f"(workload={report['workload']})"]
+    for c in report["checks"]:
+        verdict = ("identical" if c["identical"]
+                   else "DIVERGED  <-- determinism broken")
+        lines.append(f"  {c['scenario']:<14} run1 == run2: {verdict}; "
+                     f"{c['n_fired']:,} faults fired "
+                     f"({', '.join(sorted(c['fired']))})")
+    lines.append("PASS" if report["passed"] else "FAIL")
+    return "\n".join(lines)
+
+
 def format_spans_report(report: dict) -> str:
     lines = [
         f"span guard: fig6-sized run "
@@ -258,7 +306,20 @@ def main(argv=None) -> int:
                              "instead: enabled vs disabled runs must be "
                              "bit-identical and components must sum to "
                              "durations")
+    parser.add_argument("--faults", action="store_true",
+                        help="check fault-injection determinism "
+                             "instead: two runs of a fault-armed chaos "
+                             "cell must be byte-identical, with faults "
+                             "actually fired")
     args = parser.parse_args(argv)
+
+    if args.faults:
+        report = run_faults_check()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_faults_report(report))
+        return 0 if report["passed"] else 1
 
     if args.spans:
         report = run_spans_check(args.policy, args.workload)

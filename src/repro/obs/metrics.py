@@ -31,6 +31,14 @@ class PolicyMetrics:
     registry_folios: int
     listed_folios: int
     nr_lists: int
+    #: Composite health in [0, 1] (kfunc error rate, eviction
+    #: under-delivery, budget overruns); see
+    #: :meth:`~repro.cache_ext.framework.CacheExtPolicy.health_score`.
+    health: float = 1.0
+    hook_dispatches: int = 0
+    candidate_requests: int = 0
+    candidates_delivered: int = 0
+    budget_overruns: int = 0
 
 
 @dataclass(frozen=True)
@@ -80,6 +88,10 @@ def _policy_metrics(memcg: "MemCgroup") -> Optional[PolicyMetrics]:
     policy = memcg.ext_policy
     if policy is None:
         return None
+    health = policy.health_score() if hasattr(policy, "health_score") \
+        else 1.0
+    dispatches = policy.hook_dispatches() \
+        if hasattr(policy, "hook_dispatches") else 0
     return PolicyMetrics(
         name=policy.name,
         attached=bool(getattr(policy, "attached", True)),
@@ -87,7 +99,12 @@ def _policy_metrics(memcg: "MemCgroup") -> Optional[PolicyMetrics]:
         registry_folios=len(getattr(policy, "registry", ())),
         listed_folios=(policy.nr_listed()
                        if hasattr(policy, "nr_listed") else 0),
-        nr_lists=len(getattr(policy, "lists", ())))
+        nr_lists=len(getattr(policy, "lists", ())),
+        health=health,
+        hook_dispatches=dispatches,
+        candidate_requests=getattr(policy, "candidate_requests", 0),
+        candidates_delivered=getattr(policy, "candidates_delivered", 0),
+        budget_overruns=getattr(policy, "budget_overruns", 0))
 
 
 def snapshot_cgroup(machine: "Machine",
@@ -117,6 +134,7 @@ def snapshot_machine(machine: "Machine") -> MachineMetrics:
               "read_pages": disk.read_pages,
               "write_pages": disk.write_pages,
               "total_pages": disk.total_pages,
-              "busy_us": disk.busy_us},
+              "busy_us": disk.busy_us,
+              "errors": disk.errors},
         cgroups={memcg.name: snapshot_cgroup(machine, memcg)
                  for memcg in machine.cgroups()})

@@ -62,6 +62,9 @@ class DiskStats:
     read_pages: int = 0
     write_pages: int = 0
     busy_us: float = 0.0
+    #: Requests that completed with an injected error (EIO/timeout);
+    #: not counted in reads/writes — the transfer never succeeded.
+    errors: int = 0
 
     @property
     def total_pages(self) -> int:

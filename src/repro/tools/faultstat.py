@@ -1,0 +1,181 @@
+"""faultstat: injected faults and degradation events over time.
+
+The fault-injection plane (:mod:`repro.faults`) emits one tracepoint
+per injected fault (``fault:inject``, tagged with a domain and kind),
+one per failed block request (``block:io_error``) and one per policy
+quarantine transition (``cache_ext:quarantine`` /
+``cache_ext:reattach``).  This tool aggregates them into fixed windows
+of *virtual* time — the chaos-experiment counterpart of
+:mod:`repro.tools.cachestat` — so a run's fault timeline reads as a
+table: when the device browned out, when the retries spiked, when the
+policy was benched and when it came back.
+
+Offline against a recorded trace, or live against a chaos cell::
+
+    python -m repro.tools.faultstat run.jsonl
+    python -m repro.tools.faultstat run.jsonl --window-ms 20
+    python -m repro.tools.faultstat --live --scenario flaky-disk
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Optional
+
+from repro.obs.collectors import Collector
+from repro.obs.trace import TraceEvent, TraceSession
+
+DEFAULT_WINDOW_MS = 20.0
+
+
+class FaultStatCollector(Collector):
+    """Per-window fault/degradation counters."""
+
+    tracepoints = ("fault:inject", "block:io_error",
+                   "cache_ext:watchdog_detach", "cache_ext:quarantine",
+                   "cache_ext:reattach")
+
+    def __init__(self, window_us: float = DEFAULT_WINDOW_MS * 1000.0) -> None:
+        if window_us <= 0:
+            raise ValueError(f"window must be positive: {window_us}")
+        self.window_us = window_us
+        #: window index -> [device, policy, memory, io_errors,
+        #: detaches, quarantines, reattaches].
+        self.windows: dict[int, list] = {}
+        #: ``domain:kind`` -> total count across the run.
+        self.by_kind: dict[str, int] = {}
+
+    def _slot(self, ts_us: float) -> list:
+        index = int(ts_us // self.window_us)
+        slot = self.windows.get(index)
+        if slot is None:
+            slot = self.windows[index] = [0, 0, 0, 0, 0, 0, 0]
+        return slot
+
+    def handle(self, event: TraceEvent) -> None:
+        name = event.name
+        slot = self._slot(event.ts_us)
+        if name == "fault:inject":
+            domain = event.data.get("domain", "?")
+            kind = event.data.get("kind", "?")
+            key = f"{domain}:{kind}"
+            self.by_kind[key] = self.by_kind.get(key, 0) + 1
+            if domain == "device":
+                slot[0] += 1
+            elif domain == "policy":
+                slot[1] += 1
+            else:
+                slot[2] += 1
+        elif name == "block:io_error":
+            slot[3] += 1
+        elif name == "cache_ext:watchdog_detach":
+            slot[4] += 1
+        elif name == "cache_ext:quarantine":
+            slot[5] += 1
+        elif name == "cache_ext:reattach":
+            slot[6] += 1
+
+    def replay(self, events: Iterable[TraceEvent]) -> "FaultStatCollector":
+        names = set(self.tracepoints)
+        for event in events:
+            if event.name in names:
+                self.handle(event)
+        return self
+
+    def rows(self) -> list[tuple]:
+        """``(window_start_us, device, policy, memory, io_errors,
+        detaches, quarantines, reattaches)`` rows."""
+        return [(index * self.window_us, *counts)
+                for index, counts in sorted(self.windows.items())]
+
+
+def format_faultstat(collector: FaultStatCollector) -> str:
+    rows = collector.rows()
+    if not rows:
+        return "(no fault events observed)"
+    lines = [f"{'TIME_MS':>10s} {'DEVICE':>7s} {'POLICY':>7s} "
+             f"{'MEMORY':>7s} {'IO_ERR':>7s} {'DETACH':>7s} "
+             f"{'QUARAN':>7s} {'REATT':>7s}"]
+    for start_us, dev, pol, mem, ioerr, det, quar, reat in rows:
+        lines.append(f"{start_us / 1000.0:>10.1f} {dev:>7d} {pol:>7d} "
+                     f"{mem:>7d} {ioerr:>7d} {det:>7d} {quar:>7d} "
+                     f"{reat:>7d}")
+    total = sum(sum(r[1:4]) for r in rows)
+    kinds = ", ".join(f"{k}={v}" for k, v in
+                      sorted(collector.by_kind.items()))
+    lines.append(f"overall: {total} faults injected"
+                 + (f" ({kinds})" if kinds else ""))
+    return "\n".join(lines)
+
+
+def run_live(scenario: str, workload: str,
+             window_us: float) -> FaultStatCollector:
+    """Run one quick-scale chaos cell with the collector attached."""
+    from repro.experiments import chaos
+    from repro.experiments.harness import make_db_env
+
+    params = dict(chaos.QUICK_SCALE)
+    horizon = params.pop("horizon_us")
+    if workload.startswith("tw"):
+        horizon *= chaos.TWITTER_HORIZON_MULT
+    env = make_db_env(chaos.POLICY,
+                      cgroup_pages=params["cgroup_pages"],
+                      nkeys=params["nkeys"], compaction_thread=True)
+    plan = chaos.scenario_plan(scenario, horizon)
+    if plan is not None:
+        env.machine.arm_faults(plan)
+    collector = FaultStatCollector(window_us)
+    session = TraceSession(env.machine, collectors=[collector],
+                           buffer=False)
+    session.start()
+    chaos._run_workload(env, workload, params)
+    session.stop()
+    return collector
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Injected faults and degradation events per "
+                    "virtual-time window")
+    parser.add_argument("trace", nargs="?",
+                        help="JSONL trace file ('-' for stdin)")
+    parser.add_argument("--window-ms", type=float,
+                        default=DEFAULT_WINDOW_MS,
+                        help=f"window size in virtual ms "
+                             f"(default: {DEFAULT_WINDOW_MS:.0f})")
+    parser.add_argument("--live", action="store_true",
+                        help="run a quick chaos cell instead of "
+                             "reading a trace")
+    parser.add_argument("--scenario", default="flaky-disk",
+                        help="chaos scenario for --live "
+                             "(default: flaky-disk)")
+    parser.add_argument("--workload", default="A",
+                        help="workload for --live: a YCSB letter or "
+                             "twNN (default: A)")
+    args = parser.parse_args(argv)
+
+    window_us = args.window_ms * 1000.0
+    if args.live:
+        collector = run_live(args.scenario, args.workload, window_us)
+    else:
+        if not args.trace:
+            parser.error("a trace file is required (or --live)")
+        try:
+            if args.trace == "-":
+                events = TraceSession.load(sys.stdin)
+            else:
+                events = TraceSession.load(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"faultstat: {exc}", file=sys.stderr)
+            return 1
+        collector = FaultStatCollector(window_us).replay(events)
+    print(format_faultstat(collector))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        raise SystemExit(0)

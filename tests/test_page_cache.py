@@ -6,7 +6,7 @@ from repro.cache_ext import load_policy
 from repro.cache_ext.ops import CacheExtOps, EvictionCtx
 from repro.ebpf.runtime import bpf_program
 from repro.kernel import Machine
-from repro.kernel.errors import ENOMEM
+from repro.kernel.errors import EBUSY, ENOMEM
 from repro.kernel.folio import Folio
 from repro.kernel.page_cache import EVICTION_BATCH
 
@@ -109,13 +109,18 @@ class TestDirtyWriteback:
 
 
 class TestEvictFolioGuards:
-    def test_pinned_folio_refused(self):
+    def test_pinned_folio_raises_ebusy(self):
         machine, cg, f = make_machine()
         machine.fs.read_page(f, 0)  # root context outside engine? via cg
         folio = f.mapping.lookup(0)
         folio.memcg.charge(0)
         folio.pin()
-        assert not machine.page_cache.evict_folio(folio, folio.memcg)
+        with pytest.raises(EBUSY):
+            machine.page_cache.evict_folio(folio, folio.memcg)
+        # The refused eviction must leave the folio untouched: still
+        # resident, still charged, no eviction counted.
+        assert f.mapping.lookup(0) is folio
+        assert folio.memcg.stats.evictions == 0
         folio.unpin()
         assert machine.page_cache.evict_folio(folio, folio.memcg)
 
@@ -218,6 +223,38 @@ class TestEnomem:
         machine.run()
         with pytest.raises(ENOMEM):
             cache.reclaim_cgroup(cg)
+
+    def test_no_progress_insertion_raises(self):
+        """The ENOMEM no-progress path reached the way applications
+        reach it: a fault-in triggers direct reclaim, but pinned folios
+        plus an unreclaimable kernel charge mean 16 stalled passes give
+        up with the cgroup still over its limit, and the error
+        propagates out of ``read_page``."""
+        machine, cg, f = make_machine(limit=8)
+        caught = {}
+
+        def step(thread):
+            for i in range(8):
+                machine.fs.read_page(f, i)
+            for folio in f.mapping.folios():
+                folio.pin()
+            cg.charge(5)  # unreclaimable kernel allocation
+            try:
+                machine.fs.read_page(f, 100)  # insert triggers reclaim
+            except ENOMEM as exc:
+                caught["exc"] = exc
+            return False
+
+        machine.spawn("pinner", step, cgroup=cg)
+        machine.run()
+        assert "exc" in caught
+        assert cg.name in str(caught["exc"])
+        # Reclaim made what little progress it could (the unpinned
+        # insertion itself) before giving up; pinned folios untouched.
+        assert cg.stats.evictions == 1
+        assert cg.charged_pages == 13
+        assert cg.over_limit
+        assert all(folio.pinned for folio in f.mapping.folios())
 
 
 class TestRemovalPaths:

@@ -130,6 +130,14 @@ def _hanging_cell(parent_pid: int, value: int) -> dict:
     return {"value": value}
 
 
+def _flaky_cell(parent_pid: int, sentinel: str, value: int) -> dict:
+    """Fails on the first worker attempt only (sentinel-file gated)."""
+    if os.getpid() != parent_pid and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        raise RuntimeError("transient worker failure")
+    return {"value": value}
+
+
 def _sum_merge(meta: dict, payloads: dict) -> dict:
     # Merges normally build ExperimentResult; any deterministic
     # function of the payload mapping works.
@@ -159,6 +167,41 @@ def test_worker_failure_falls_back_to_serial(bad_fn):
     assert modes["good-1"] == "worker"
     errors = {t.cell_id: t.error for t in report.timings}
     assert errors["bad"]  # the original failure is preserved
+
+
+@needs_fork
+def test_transient_worker_failure_retried_in_worker(tmp_path):
+    """A cell that fails once is re-run in a fresh worker and never
+    reaches the serial fallback."""
+    pid = os.getpid()
+    sentinel = str(tmp_path / "first-attempt-failed")
+    cells = [
+        CellSpec("t", "good-1", _well_behaved_cell, {"value": 1}),
+        CellSpec("t", "flaky", _flaky_cell,
+                 {"parent_pid": pid, "sentinel": sentinel, "value": 2}),
+    ]
+    report = execute(ExperimentSpec("t", cells, _sum_merge), jobs=2)
+    assert report.result == {"flaky": 2, "good-1": 1}
+    assert report.fallbacks == []
+    modes = {t.cell_id: t.mode for t in report.timings}
+    assert modes["flaky"] == "retry"
+    # The first attempt's failure is still on the record.
+    assert len(report.worker_errors["flaky"]) == 1
+    assert "transient worker failure" in report.worker_errors["flaky"][0]
+
+
+@needs_fork
+def test_worker_traceback_captured():
+    """A raising worker ships its full traceback to the parent, and
+    the report surfaces it."""
+    report = execute(_fallback_spec(_raising_cell), jobs=2)
+    errors = report.worker_errors["bad"]
+    assert len(errors) == 2  # first attempt + retry, both failed
+    for error in errors:
+        assert error.startswith("RuntimeError: worker-only failure")
+        assert "Traceback (most recent call last)" in error
+        assert "_raising_cell" in error
+    assert "worker error bad (attempt 1)" in report.format_timings()
 
 
 @needs_fork

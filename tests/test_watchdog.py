@@ -88,6 +88,60 @@ class TestWatchdog:
         assert cg.stats.ext_policy_faults >= 1
         assert cg.stats.fallback_evictions > 0
 
+    def test_budget_detach_mid_eviction_leaves_cache_consistent(self):
+        """A runtime-budget detach that fires *during* an
+        ``evict_folios`` pass must leave the page cache invariant-
+        clean: every ext list node torn down, charges matching
+        residency, the limit enforced by the kernel fallback, and the
+        workload never sees an exception."""
+        machine, cg, f = make_env(limit=16)
+        from repro.policies import make_fifo_policy
+        load_policy(machine, cg, make_fifo_policy())
+        # A dispatch costs 0.03us plus 0.02us per kfunc, so every
+        # single-folio hook (folio_added, demand-paged evictions) stays
+        # at 0.05us — under a 0.1us budget.  Shrinking the limit
+        # mid-run forces one *large* evict_folios pass whose
+        # list_iterate scans a dozen folios (~0.3us): the detach lands
+        # inside that shrink pass, with reclaim still owing pages.
+        machine.set_hook_budget(0.1)
+        detaches = []
+        machine.trace.tracepoint("cache_ext:watchdog_detach").subscribe(
+            lambda e: detaches.append(e.data))
+        overruns = []
+        machine.trace.tracepoint("cache_ext:hook_exit").subscribe(
+            lambda e: overruns.append(e.data["slot"])
+            if e.data["cpu_us"] > 0.1 else None)
+
+        def step(thread, it=iter(range(200))):
+            idx = next(it, None)
+            if idx is None:
+                return False
+            if idx == 100:
+                cg.limit_pages = 4  # next insert owes a 12-page pass
+            machine.fs.read_page(f, idx)
+            return True
+        machine.spawn("trace", step, cgroup=cg)
+        machine.run()
+
+        # Detached for the budget overrun, during eviction.
+        assert cg.ext_policy is None
+        assert cg.stats.budget_overruns == 1
+        assert [d["reason"] for d in detaches] == ["budget"]
+        # The one dispatch that blew the budget was the big shrink
+        # pass, not any bookkeeping hook.
+        assert overruns == ["evict_folios"]
+        # Page-cache invariants: no orphaned ext nodes, charges agree
+        # with residency, the (shrunk) limit held because the kernel
+        # fallback finished the interrupted pass.
+        resident = list(f.mapping.folios())
+        assert all(folio.ext_node is None for folio in resident)
+        assert cg.charged_pages == len(resident)
+        assert cg.charged_pages <= 4
+        # The default policy carried the remaining ~100 demand-paged
+        # evictions after the detach; the workload never noticed.
+        assert cg.stats.evictions >= 190
+        assert cg.stats.hits + cg.stats.misses >= 200
+
     def test_ext_nodes_cleared_on_watchdog_kill(self):
         machine, cg, f = make_env()
         from repro.cache_ext.kfuncs import list_add, list_create
