@@ -47,9 +47,12 @@ DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_core.json")
 #: (faults_off: the repro.faults gates on the block/VFS/hook hot paths
 #: must stay at one-load-one-branch cost when no plan is armed) —
 #: together they cover every hot path the perf work touches (eviction,
-#: hook dispatch, lists, engine loop).
-CORE_SUITE = ("fig6", "fig9", "admission", "table4", "spans_off",
-              "faults_off")
+#: hook dispatch, lists, engine loop).  ``replay`` re-runs the fig6
+#: sweep on the trace-replay fast path: its table hash must equal
+#: fig6's (bit-identical payloads — checked in :func:`run_suite`) and
+#: its timing entry is the committed record of the fast path's win.
+CORE_SUITE = ("fig6", "replay", "fig9", "admission", "table4",
+              "spans_off", "faults_off")
 
 SCHEMA = 1
 
@@ -168,9 +171,16 @@ def run_experiment(name: str, quick: bool, jobs: Optional[int],
         return run_spans_off(calibration_s)
     if name == "faults_off":
         return run_faults_off(calibration_s)
+    mode = "full"
+    if name == "replay":
+        # The fig6 sweep again, on the trace-replay fast path.  Every
+        # deterministic field must match the "fig6" entry exactly
+        # (enforced in run_suite); the timing delta is the committed
+        # record of what replay buys.
+        name, mode = "fig6", "replay"
     module = importlib.import_module(f"repro.experiments.{name}")
     spec = module.plan(quick=quick)
-    report = execute(spec, jobs=jobs, serial=jobs is None)
+    report = execute(spec, jobs=jobs, serial=jobs is None, mode=mode)
     result = report.result
     table = result.format_table()
     ops = _column_map(result, "ops_per_sec")
@@ -209,6 +219,19 @@ def run_suite(experiments, quick: bool, jobs: Optional[int]) -> dict:
               f"{timing['work_units']:.1f} work units, "
               f"jobs={timing['jobs']} "
               f"({time.perf_counter() - started:.1f}s incl. merge)",
+              flush=True)
+    full = doc["experiments"].get("fig6")
+    fast = doc["experiments"].get("replay")
+    if full is not None and fast is not None:
+        # The replay contract, enforced on every bench run: same plan,
+        # different engine, byte-identical table.
+        if full["table_sha256"] != fast["table_sha256"]:
+            raise SystemExit(
+                "replay mode diverged from the full engine on fig6 "
+                f"({fast['table_sha256'][:12]} != "
+                f"{full['table_sha256'][:12]}) — the fast path is "
+                "broken, not just slow")
+        print("[replay] table hash matches fig6 (bit-identical)",
               flush=True)
     return doc
 

@@ -11,44 +11,40 @@ that the *application* knows which of its threads do disposable I/O:
    background compaction threads; folios they fault in are never
    admitted to the cache at all (direct-I/O-style service).
 
+Both sweeps go through the one-call facade, :func:`repro.api.run`
+(these cells fill BPF TID maps from live threads mid-run, so they use
+the full engine rather than ``mode="replay"``).
+
 Run it::
 
     python examples/application_informed.py
 """
 
+from repro import api
 from repro.experiments import admission, fig10
-from repro.experiments.harness import ExperimentResult
+
+GET_SCAN_VARIANTS = (
+    ("default", "default", None),
+    ("fadv-dontneed", "default", "dontneed"),
+    ("cache_ext get-scan", "get-scan", None),
+)
+
+GET_SCAN_SCALE = dict(nkeys=10000, cgroup_pages=256, n_gets=10000,
+                      scan_len=2000, get_threads=2, scan_threads=1)
+
+ADMISSION_SCALE = dict(nkeys=10000, cgroup_pages=256, nops=8000,
+                       warmup_ops=2000, nthreads=4)
 
 
 def main():
     print("1) GET-SCAN priority policy (§6.1.4)\n")
-    result = ExperimentResult(
-        "mixed GET-SCAN workload",
-        headers=["variant", "GET ops/s", "GET p99 (us)", "scans/s"])
-    scale = dict(nkeys=10000, cgroup_pages=256, n_gets=10000,
-                 scan_len=2000, get_threads=2, scan_threads=1)
-    for label, policy, mode in (("default", "default", None),
-                                ("fadv-dontneed", "default", "dontneed"),
-                                ("cache_ext get-scan", "get-scan", None)):
-        run, _env = fig10.run_one(label, policy, mode, **scale)
-        result.add_row(label, round(run.get_throughput, 1),
-                       round(run.get_p99_us, 1),
-                       round(run.scan_throughput, 2))
-    print(result.format_table())
+    report = api.run(fig10.plan(variants=GET_SCAN_VARIANTS,
+                                scale=GET_SCAN_SCALE))
+    print(report.result.format_table())
 
     print("\n2) compaction admission filter (§6.1.5)\n")
-    result = ExperimentResult(
-        "uniform R/W with background compaction",
-        headers=["variant", "ops/s", "p99 read (us)", "rejected pages"])
-    scale = dict(nkeys=10000, cgroup_pages=256, nops=8000,
-                 warmup_ops=2000, nthreads=4)
-    for filtered in (False, True):
-        run, env = admission.run_one(filtered, **scale)
-        result.add_row("admission-filter" if filtered else "baseline",
-                       round(run.throughput, 1),
-                       round(run.p99_read_us, 1),
-                       env.cgroup.metrics().stats["admission_rejects"])
-    print(result.format_table())
+    report = api.run(admission.plan(scale=ADMISSION_SCALE))
+    print(report.result.format_table())
     print("\nThe filter keeps compaction's bulk reads out of the page "
           "cache,\nso the read path's working set survives compaction "
           "storms.")

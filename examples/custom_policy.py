@@ -18,7 +18,8 @@ Run it::
     python examples/custom_policy.py
 """
 
-from repro import CacheExtOps, Machine, load_policy
+from repro import CacheExtOps, load_policy
+from repro.api import MachineConfig
 from repro.cache_ext.kfuncs import (ITER_EVICT, ITER_ROTATE, MODE_SIMPLE,
                                     list_add, list_create, list_iterate)
 from repro.ebpf import HashMap, VerificationError, bpf_program
@@ -106,8 +107,8 @@ def run_workload(machine, cgroup, f):
 
 
 def build(policy_factory=None):
-    machine = Machine()
-    cgroup = machine.new_cgroup("app", limit_pages=48)
+    machine = MachineConfig(cgroups=(("app", 48),)).build()
+    cgroup = machine.cgroup("app")
     f = machine.fs.create("data")
     for i in range(512):
         f.store[i] = i
@@ -129,8 +130,8 @@ def main():
     print(f"SIEVE       : hit ratio {cgroup.metrics().hit_ratio:6.3f}")
 
     print("\nAnd the verifier protecting the kernel from a bad policy:")
-    machine = Machine()
-    cgroup = machine.new_cgroup("victim", limit_pages=48)
+    machine = MachineConfig(cgroups=(("victim", 48),)).build()
+    cgroup = machine.cgroup("victim")
     try:
         load_policy(machine, cgroup, make_broken_policy())
     except VerificationError as exc:

@@ -6,38 +6,38 @@ several eviction policies and prints a Figure-6-style comparison —
 this is the "empirically choose the best policy for your workload"
 workflow the paper advocates (§6.1.2).
 
+The sweep goes through the one-call facade, :func:`repro.api.run`, on
+the trace-replay fast path (``mode="replay"``): a policy sweep only
+needs the counters, and replay produces them bit-identically to the
+full engine at a fraction of the wall time.
+
 Run it::
 
     python examples/database_tuning.py
 """
 
-from repro.experiments.harness import ExperimentResult, make_db_env
-from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
+from repro import api
+from repro.experiments import fig6
 
 POLICIES = ("default", "mglru", "fifo", "lfu", "s3fifo")
 
-NKEYS = 12000
-CGROUP_PAGES = 300       # ~10% of the data, as in the paper
-OPS = 10000
-WARMUP = 6000
+SCALE = {
+    "nkeys": 12000,
+    "cgroup_pages": 300,     # ~10% of the data, as in the paper
+    "nops": 10000,
+    "warmup_ops": 6000,
+    "nthreads": 4,
+    "zipf_theta": 1.1,
+}
 
 
 def main():
-    result = ExperimentResult(
-        "YCSB C on the LSM store, policy comparison",
-        headers=["policy", "ops_per_sec", "p99_read_us", "hit_ratio"])
-    for policy in POLICIES:
-        env = make_db_env(policy, cgroup_pages=CGROUP_PAGES,
-                          nkeys=NKEYS, compaction_thread=True)
-        run = YcsbRunner(env.db, YCSB_WORKLOADS["C"], nkeys=NKEYS,
-                         nops=OPS, nthreads=4, warmup_ops=WARMUP,
-                         zipf_theta=1.1).run()
-        result.add_row(policy, round(run.throughput, 1),
-                       round(run.p99_read_us, 1),
-                       round(env.cgroup.metrics().hit_ratio, 3))
+    spec = fig6.plan(policies=POLICIES, workloads=["C"], scale=SCALE)
+    report = api.run(spec, mode="replay")
+    result = report.result
     print(result.format_table())
-    best = max(range(len(result.rows)), key=lambda i: result.rows[i][1])
-    print(f"\nbest policy for this workload: {result.rows[best][0]}")
+    best = max(result.rows, key=lambda row: row[2])
+    print(f"\nbest policy for this workload: {best[1]}")
     print("(as the paper found: frequency-aware policies win zipfian "
           "point reads;\n re-run with a scan-heavy workload and MRU "
           "would win instead)")

@@ -4,32 +4,36 @@
 Two applications share one machine and one disk:
 
 * a key-value store serving zipfian point lookups (wants LFU);
-* a file-search service repeatedly scanning a corpus (wants MRU).
+* a file-search service repeatedly scanning a corpus (wants MRU);
 
 We run them concurrently in two cgroups for a fixed window under four
 configurations and show that only the *tailored* per-cgroup setup —
 cache_ext's whole reason for per-cgroup struct_ops — improves both.
+The sweep goes through :func:`repro.api.run` (windowed multi-tenant
+cells need the full engine, so no ``mode="replay"`` here).
 
 Run it::
 
     python examples/multi_tenant.py
 """
 
+from repro import api
 from repro.experiments import fig11
-from repro.experiments.harness import ExperimentResult
+
+SCALE = {
+    "nkeys": 10000,
+    "ycsb_cgroup_pages": 256,
+    "search_files": 80,
+    "search_cgroup_frac": 0.7,
+    "window_s": 0.8,
+    "nthreads": 2,
+}
 
 
 def main():
-    result = ExperimentResult(
-        "Two tenants, one machine: policy configuration matters",
-        headers=["config", "kv ops/s", "corpus passes"])
-    for label, ycsb_policy, search_policy in fig11.CONFIGS:
-        tput, searches = fig11.run_one(
-            ycsb_policy, search_policy,
-            nkeys=10000, ycsb_cgroup_pages=256, search_files=80,
-            search_cgroup_frac=0.7, window_s=0.8, nthreads=2)
-        result.add_row(label, round(tput, 1), round(searches, 2))
-    print(result.format_table())
+    spec = fig11.plan(scale=SCALE)
+    report = api.run(spec)
+    print(report.result.format_table())
     print(
         "\nGlobal policies sacrifice one tenant for the other; the\n"
         "tailored per-cgroup setup (LFU for the KV store, MRU for the\n"

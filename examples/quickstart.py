@@ -3,7 +3,8 @@
 
 This walks the core cache_ext flow from the paper:
 
-1. boot a simulated machine (kernel + page cache + block device);
+1. boot a simulated machine (kernel + page cache + block device)
+   from a declarative :class:`repro.api.MachineConfig`;
 2. create a memory cgroup for an application;
 3. load an eviction policy — a set of verified BPF programs — onto
    that cgroup with ``machine.attach``;
@@ -25,7 +26,7 @@ Run it::
 
 import argparse
 
-from repro import Machine
+from repro.api import MachineConfig
 from repro.obs import TraceSession
 from repro.policies.mru import MruPolicy
 
@@ -49,8 +50,11 @@ def run_workload(machine, cgroup, f):
 
 
 def build_machine(policy=None):
-    machine = Machine()                       # Linux-like kernel substrate
-    cgroup = machine.new_cgroup("analytics", limit_pages=CGROUP_PAGES)
+    # One declarative config for the whole host: kernel substrate,
+    # cgroups, and (if we wanted them) disk/cost/engine knobs.
+    machine = MachineConfig(
+        cgroups=(("analytics", CGROUP_PAGES),)).build()
+    cgroup = machine.cgroup("analytics")
 
     f = machine.fs.create("dataset")
     for i in range(DATASET_PAGES):

@@ -4,14 +4,19 @@ A full-system Python reproduction of *cache_ext: Customizing the Page
 Cache with eBPF* (SOSP 2025), built on a simulated Linux kernel
 substrate.  Public API tour::
 
-    from repro import Machine, load_policy
+    from repro import api
     from repro.policies import make_lfu_policy
 
-    machine = Machine()
-    cgroup = machine.new_cgroup("app", limit_pages=1024)
-    load_policy(machine, cgroup, make_lfu_policy())
+    machine = api.MachineConfig(cgroups=(("app", 1024),)).build()
+    load_policy(machine, machine.cgroup("app"), make_lfu_policy())
+
+    report = api.run("fig6", quick=True, mode="replay")
+    print(report.result.format_table())
 
 Subpackages:
+
+* :mod:`repro.api` — the one-call facade (:class:`~repro.api.
+  MachineConfig`, :func:`~repro.api.run`);
 
 * :mod:`repro.sim` — virtual-time engine (threads, block device);
 * :mod:`repro.kernel` — page cache, cgroups, default LRU, MGLRU, VFS;

@@ -1,0 +1,176 @@
+"""One facade for building machines and running experiments.
+
+Before this module, driving the reproduction meant knowing several
+layers by name: ``Machine(...)`` plus post-construction pokes
+(``machine.fs.bulk_io_enabled``, ``machine.engine.burst_enabled``),
+``harness.make_db_env`` for DB cells, ``<experiment>.plan()`` +
+``parallel.execute(...)`` for sweeps, ``repro.replay.enable_replay``
+for the fast path, ``machine.arm_faults`` for fault plans.  This
+module collapses that to two entry points:
+
+* :class:`MachineConfig` — a declarative machine description whose
+  ``build()`` returns a ready :class:`~repro.kernel.machine.Machine`
+  (kwargs that used to be scattered attribute pokes live here);
+* :func:`run` — one call that takes an experiment (a name like
+  ``"fig6"`` or a prepared
+  :class:`~repro.experiments.harness.ExperimentSpec`), an execution
+  ``mode`` (``"full"`` | ``"replay"`` | ``"auto"``), an optional
+  policy filter and an optional fault plan, and returns the merged
+  :class:`~repro.experiments.parallel.ExecutionReport`.
+
+Example::
+
+    from repro import api
+
+    report = api.run("fig6", quick=True, mode="replay")
+    print(report.result.format_table())
+
+    machine = api.MachineConfig(
+        kernel_policy="mglru", disk={"read_us": 95.0, "channels": 2},
+        cgroups=(("app", 1000),)).build()
+
+Mode rules (enforced here and in :mod:`repro.replay`):
+
+* ``mode="replay"`` runs replay-capable cells on the trace-replay
+  fast path; payloads are bit-identical to the full engine.
+* ``faults`` requires the full engine — combining a fault plan with
+  ``mode="replay"`` raises, and ``mode="auto"`` quietly falls back.
+* ``breakdown`` (latency attribution) likewise needs the full engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.kernel.machine import Machine
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Declarative description of one simulated host.
+
+    Consolidates every knob that used to be a constructor kwarg or a
+    post-construction attribute poke:
+
+    * ``kernel_policy`` — ``"default"`` or ``"mglru"`` (Machine kwarg);
+    * ``disk`` — :class:`~repro.kernel.block.BlockDevice` kwargs, e.g.
+      ``{"read_us": 95.0, "write_us": 30.0, "channels": 2}``;
+    * ``costs`` — a :class:`~repro.sim.resources.CpuCosts` override;
+    * ``bulk_io_enabled`` — batched sequential reads in the VFS
+      (previously ``machine.fs.bulk_io_enabled = ...``);
+    * ``burst_enabled`` — the engine's burst-scheduling fast path
+      (previously ``machine.engine.burst_enabled = ...``);
+    * ``mode`` — ``"full"`` or ``"replay"``
+      (:func:`repro.replay.enable_replay` applied before anything
+      else touches the machine);
+    * ``cgroups`` — ``(name, limit_pages)`` pairs created at build.
+
+    Frozen, so one config can stamp out any number of machines (use
+    ``dataclasses.replace`` to vary a field).
+    """
+
+    kernel_policy: str = "default"
+    disk: Optional[dict] = None
+    costs: Optional[object] = None
+    bulk_io_enabled: bool = True
+    burst_enabled: bool = True
+    mode: str = "full"
+    cgroups: tuple = ()
+
+    def build(self) -> Machine:
+        from repro.kernel.block import BlockDevice
+        if self.mode not in ("full", "replay"):
+            raise ValueError(f"unknown machine mode {self.mode!r}")
+        machine = Machine(
+            kernel_policy=self.kernel_policy,
+            disk=BlockDevice(**self.disk) if self.disk else None,
+            costs=self.costs)
+        if self.mode == "replay":
+            from repro.replay import enable_replay
+            enable_replay(machine)
+        machine.fs.bulk_io_enabled = self.bulk_io_enabled
+        machine.engine.burst_enabled = self.burst_enabled
+        for name, limit_pages in self.cgroups:
+            machine.new_cgroup(name, limit_pages=limit_pages)
+        return machine
+
+
+def _resolve_spec(spec, quick: bool):
+    if isinstance(spec, str):
+        import importlib
+        module = importlib.import_module(f"repro.experiments.{spec}")
+        if not hasattr(module, "plan"):
+            raise ValueError(f"experiment {spec!r} has no plan()")
+        return module.plan(quick=quick)
+    return spec
+
+
+def run(spec: Union[str, object], *, mode: str = "full",
+        policy: Optional[str] = None, faults=None, quick: bool = False,
+        jobs: Optional[int] = None, serial: Optional[bool] = None,
+        trace: bool = False, breakdown: bool = False,
+        timeout_s: Optional[float] = None):
+    """Run one experiment end to end; returns the
+    :class:`~repro.experiments.parallel.ExecutionReport` (merged table
+    in ``.result``, per-cell timings, trace counts, breakdowns).
+
+    Parameters
+    ----------
+    spec:
+        An experiment name (``"fig6"``, ``"table3"``, ...) resolved
+        through ``repro.experiments.<name>.plan(quick=quick)``, or a
+        prepared :class:`~repro.experiments.harness.ExperimentSpec`.
+    mode:
+        ``"full"`` (reference engine), ``"replay"`` (trace-replay fast
+        path for cells that opt in — bit-identical payloads), or
+        ``"auto"`` (replay unless ``trace``/``breakdown``/``faults``
+        need the full instrumentation).
+    policy:
+        Only run cells whose id matches this policy (grid cell ids are
+        ``workload/policy``); any :func:`fnmatch` glob also works.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` armed on every machine
+        the cells build.  Requires the full engine: combined with
+        ``mode="replay"`` this raises, with ``"auto"`` it falls back.
+    serial:
+        Defaults to ``jobs is None`` — no explicit job count means
+        in-process serial execution (the reference behaviour).
+    """
+    from repro.experiments import harness
+    from repro.experiments.parallel import (DEFAULT_TIMEOUT_S, execute,
+                                            filter_cells)
+    resolved = _resolve_spec(spec, quick)
+    if policy is not None:
+        pattern = policy if any(ch in policy for ch in "*?[") \
+            else f"*/{policy}"
+        resolved = filter_cells(resolved, pattern)
+    if serial is None:
+        serial = jobs is None
+    if timeout_s is None:
+        timeout_s = DEFAULT_TIMEOUT_S
+    observer = None
+    if faults is not None:
+        if mode == "replay":
+            raise ValueError(
+                "fault injection needs the full engine; replay mode "
+                "strips the paths fault plans hook (use mode='full' "
+                "or mode='auto')")
+        if trace or breakdown:
+            raise ValueError(
+                "faults cannot be combined with trace/breakdown: both "
+                "claim the per-cell machine observer")
+        mode = "full"
+
+        def observer(machine):
+            machine.arm_faults(faults)
+
+    previous = harness.set_cell_observer(observer) \
+        if observer is not None else None
+    try:
+        return execute(resolved, jobs=jobs, serial=serial,
+                       timeout_s=timeout_s, trace=trace,
+                       breakdown=breakdown, mode=mode)
+    finally:
+        if observer is not None:
+            harness.set_cell_observer(previous)

@@ -95,12 +95,85 @@ class LsmDb:
         #: absorbs :class:`EIO`/:class:`ETIMEDOUT` instead of crashing:
         #: a get reports a miss, a put drops the write).
         self.n_io_errors = 0
+        #: Bumped whenever the set of live SSTables changes (flush,
+        #: compaction install, bulk load).  Guards every structure-
+        #: derived cache below.
+        self._struct_version = 0
+        #: Per-level ``[t.min_key for t in level]``, rebuilt lazily
+        #: after each version bump; point reads and scans binary-search
+        #: these instead of re-materializing the list per call.
+        self._minkeys: dict[int, list] = {}
+        #: Replay-mode read plans: key -> (struct_version, ((file,
+        #: page), ...), value).  ``None`` (the default) disables
+        #: recording entirely; see :meth:`enable_plan_cache`.
+        self._plans: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _next_sst_name(self) -> str:
         return f"{self.name}/sst-{next(self._sst_counter):06d}"
+
+    def _bump_version(self) -> None:
+        """Record a change to the live table set; invalidates every
+        structure-derived cache (min-key lists, read plans)."""
+        self._struct_version += 1
+        self._minkeys.clear()
+
+    def _level_minkeys(self, idx: int) -> list:
+        mk = self._minkeys.get(idx)
+        if mk is None:
+            mk = self._minkeys[idx] = [t.min_key
+                                       for t in self.levels[idx]]
+        return mk
+
+    def _level_table(self, idx: int, key: str) -> Optional[SSTable]:
+        """:meth:`_table_for_key` over the cached min-key list."""
+        level = self.levels[idx]
+        if not level:
+            return None
+        pos = bisect.bisect_right(self._level_minkeys(idx), key) - 1
+        if pos < 0:
+            return None
+        table = level[pos]
+        return table if key <= table.max_key else None
+
+    def enable_plan_cache(self) -> None:
+        """Turn on read-plan memoization (replay mode).
+
+        A point lookup's *virtual-time footprint* is exactly its
+        sequence of ``fs.read_page`` calls: bloom probes, index binary
+        searches and min-key scans are pure CPU that charges nothing.
+        Which pages a key's lookup touches depends only on the LSM
+        structure (guarded by ``_struct_version``) and the key — never
+        on cache state — so a recorded plan can re-issue the same
+        ``read_page`` calls and return the same value while skipping
+        all of the pure-CPU search work.  Disabled under fault
+        injection: error paths must re-run the real lookup.
+        """
+        if self._plans is None:
+            self._plans = {}
+
+    def _get_tables(self, key: str, reads: Optional[list] = None):
+        """The table-probing tail of :meth:`get` (memtable already
+        missed); returns the value and optionally records page reads."""
+        found = False
+        value = None
+        for table in self.levels[0]:  # newest first
+            found, value = table.get(key, reads)
+            if found:
+                break
+        if not found:
+            for idx in range(1, len(self.levels)):
+                table = self._level_table(idx, key)
+                if table is None:
+                    continue
+                found, value = table.get(key, reads)
+                if found:
+                    break
+        if not found:
+            value = None
+        return value
 
     def _all_tables(self) -> Iterable[SSTable]:
         for level in self.levels:
@@ -155,6 +228,7 @@ class LsmDb:
             writer.add(key, value)
         table = writer.finish()
         self.levels[0].insert(0, table)  # newest first
+        self._bump_version()
         self.mem.clear()
         self.wal.rotate()
         self.n_flushes += 1
@@ -180,17 +254,23 @@ class LsmDb:
                 found, value = self.mem.get(key)
                 if found:
                     return value
-                for table in self.levels[0]:  # newest first
-                    found, value = table.get(key)
-                    if found:
-                        return value
-                for level in self.levels[1:]:
-                    table = self._table_for_key(level, key)
-                    if table is not None:
-                        found, value = table.get(key)
-                        if found:
-                            return value
-                return None
+                plans = self._plans
+                if plans is None or self.machine.fs._fault_mode:
+                    return self._get_tables(key)
+                plan = plans.get(key)
+                if plan is not None \
+                        and plan[0] == self._struct_version:
+                    # Replay the recorded page faults — identical
+                    # virtual-time charges, cache transitions and trace
+                    # events — and skip the search CPU around them.
+                    read_page = self.machine.fs.read_page
+                    for file, page in plan[1]:
+                        read_page(file, page)
+                    return plan[2]
+                reads: list = []
+                value = self._get_tables(key, reads)
+                plans[key] = (self._struct_version, tuple(reads), value)
+                return value
             except (EIO, ETIMEDOUT):
                 # Exhausted-retry read failure: degrade to a miss
                 # rather than tearing down the workload.
@@ -234,9 +314,10 @@ class LsmDb:
         sources = [self.mem.iter_from(start_key)]
         sources += [t.iter_from(start_key, noreuse, touched)
                     for t in self.levels[0]]
-        for level in self.levels[1:]:
+        for idx in range(1, len(self.levels)):
+            level = self.levels[idx]
             start = bisect.bisect_right(
-                [t.min_key for t in level], start_key) - 1
+                self._level_minkeys(idx), start_key) - 1
             for table in level[max(start, 0):]:
                 if table.max_key >= start_key:
                     sources.append(
@@ -366,6 +447,7 @@ class LsmDb:
             for key, value in chunk:
                 writer.add(key, value)
             self.levels[bottom].append(writer.finish())
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # compaction
@@ -434,6 +516,7 @@ class LsmDb:
         merged = sorted(self.levels[target] + job.outputs,
                         key=lambda t: t.min_key)
         self.levels[target] = merged
+        self._bump_version()
         for table in job.inputs:
             self.machine.fs.delete(table.file.name)
         self.n_compactions += 1

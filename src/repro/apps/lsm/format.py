@@ -44,6 +44,39 @@ def fnv1a(key: str, salt: int = 0) -> int:
     return (hi << 32) | lo
 
 
+#: Memoized bloom probe hashes: key -> (h_0 .. h_{BLOOM_HASHES-1}).
+#: The four 64-bit values are independent of any particular filter's
+#: ``nbits`` (the modulo happens at probe time), so one entry serves
+#: every bloom filter the key ever touches — the same hot key is
+#: probed against each table of every level on each point read.
+_HASH_CACHE: dict[str, tuple] = {}
+#: Entries are ~100 bytes each; clear-on-full bounds the memo at a few
+#: tens of MiB in the worst case while keeping the common case (one
+#: experiment's keyspace) fully resident.
+_HASH_CACHE_MAX = 1 << 18
+
+
+def bloom_hashes(key: str) -> tuple:
+    """The :data:`BLOOM_HASHES` salted 64-bit hashes of ``key``.
+
+    Bit positions derive as ``h % nbits`` per filter; values are
+    identical to ``fnv1a(key, probe)`` for probe in 0..BLOOM_HASHES-1.
+    """
+    cached = _HASH_CACHE.get(key)
+    if cached is not None:
+        return cached
+    data = key.encode()
+    crc32 = zlib.crc32
+    hashes = tuple(
+        (crc32(data, (probe ^ 0x9E3779B9) & 0xFFFFFFFF) << 32)
+        | crc32(data, probe)
+        for probe in range(BLOOM_HASHES))
+    if len(_HASH_CACHE) >= _HASH_CACHE_MAX:
+        _HASH_CACHE.clear()
+    _HASH_CACHE[key] = hashes
+    return hashes
+
+
 @dataclass(frozen=True)
 class RecordFormat:
     """Sizing of one key-value record.
@@ -82,21 +115,18 @@ class BloomFilter:
         for probe in range(BLOOM_HASHES):
             yield fnv1a(key, probe) % self.nbits
 
-    # add/test_chunks inline the fnv1a probes so the key is encoded
-    # once per operation instead of once per probe (both sit on the
-    # SSTable write and point-read hot paths).  Salts 0..BLOOM_HASHES-1
-    # and the probe arithmetic produce bit positions identical to
+    # add/test_chunks draw their probe hashes from the process-wide
+    # :func:`bloom_hashes` memo so the key is CRC'd once per process
+    # instead of once per probe per filter (both sit on the SSTable
+    # write and point-read hot paths).  The memoized values equal
+    # ``fnv1a(key, probe)``, so bit positions are identical to
     # :meth:`_positions`, which is kept as the readable reference.
 
     def add(self, key: str) -> None:
-        data = key.encode()
         nbits = self.nbits
         chunks = self.chunks
-        crc32 = zlib.crc32
-        for probe in range(BLOOM_HASHES):
-            lo = crc32(data, probe)
-            hi = crc32(data, (probe ^ 0x9E3779B9) & 0xFFFFFFFF)
-            pos = ((hi << 32) | lo) % nbits
+        for h in bloom_hashes(key):
+            pos = h % nbits
             # divmod by the power-of-two page size, as shift/mask.
             bit = pos & _BLOOM_PAGE_MASK
             chunks[pos >> _BLOOM_PAGE_SHIFT][bit >> 3] |= 1 << (bit & 7)
@@ -104,12 +134,8 @@ class BloomFilter:
     @staticmethod
     def test_chunks(chunks: list, nbits: int, key: str) -> bool:
         """Membership probe against already-loaded chunks."""
-        data = key.encode()
-        crc32 = zlib.crc32
-        for probe in range(BLOOM_HASHES):
-            lo = crc32(data, probe)
-            hi = crc32(data, (probe ^ 0x9E3779B9) & 0xFFFFFFFF)
-            pos = ((hi << 32) | lo) % nbits
+        for h in bloom_hashes(key):
+            pos = h % nbits
             bit = pos & _BLOOM_PAGE_MASK
             if not chunks[pos >> _BLOOM_PAGE_SHIFT][bit >> 3] \
                     & (1 << (bit & 7)):

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.apps.lsm.format import RecordFormat
@@ -22,9 +23,14 @@ class MemTable:
     def __init__(self, fmt: RecordFormat) -> None:
         self.fmt = fmt
         self._data: dict[str, object] = {}
+        # Cached sorted view; scan-heavy workloads call sorted_items()
+        # once per scan but mutate only once per put, so re-sorting on
+        # every call dominated the scan CPU profile.
+        self._sorted: Optional[list] = None
 
     def put(self, key: str, value) -> None:
         self._data[key] = value
+        self._sorted = None
 
     def get(self, key: str) -> tuple[bool, Optional[object]]:
         if key in self._data:
@@ -39,15 +45,20 @@ class MemTable:
         return len(self._data) * self.fmt.record_bytes
 
     def sorted_items(self) -> list[tuple]:
-        return sorted(self._data.items())
+        items = self._sorted
+        if items is None:
+            items = self._sorted = sorted(self._data.items())
+        return items
 
     def iter_from(self, start_key: str) -> Iterator[tuple]:
-        for key, value in self.sorted_items():
-            if key >= start_key:
-                yield (key, value)
+        items = self.sorted_items()
+        start = bisect_left(items, (start_key,))
+        for pos in range(start, len(items)):
+            yield items[pos]
 
     def clear(self) -> None:
         self._data.clear()
+        self._sorted = None
 
 
 class WriteAheadLog:

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.cache_ext.lists import EvictionList
 from repro.cache_ext.ops import CacheExtOps, EvictionCtx
-from repro.cache_ext.registry import FolioRegistry
+from repro.cache_ext.registry import FolioRegistry, ReplayFolioRegistry
 from repro.kernel.address_space import AddressSpace
 from repro.kernel.cgroup import MemCgroup
 from repro.kernel.folio import Folio
@@ -50,7 +50,14 @@ class CacheExtPolicy(ExtPolicyBase):
         self.ops = ops
         self.name = ops.name
         nbuckets = memcg.limit_pages or DEFAULT_REGISTRY_BUCKETS
-        self.registry = FolioRegistry(nbuckets)
+        # Replay-mode machines get the folio-carried registry layout:
+        # same answers, no hash buckets on the eviction hot loop (see
+        # repro.replay; enable_replay() forbids the watchdog-detach
+        # path that the fast layout cannot represent).
+        if machine.replay_mode:
+            self.registry = ReplayFolioRegistry(nbuckets)
+        else:
+            self.registry = FolioRegistry(nbuckets)
         # Hot-path bindings: these objects are stable for the life of
         # the attachment, and _charge runs on every hook and kfunc.
         self._memcg_stats = memcg.stats

@@ -296,6 +296,27 @@ def _iter_hot_state(policy, callback):
             getattr(callback, "fn", None))
 
 
+def _iter_charge(thread, span, memcg_stats, cache_stats, prog,
+                 n: int, us: float) -> None:
+    """Settle the batched per-candidate accounting after a list scan.
+
+    ``n`` candidates were visited at ``us`` each; ``clock_us`` already
+    advanced inside the loop (callbacks observe it through ktime_us),
+    everything else is charged here in one pass.
+    """
+    if n == 0:
+        return
+    total = n * us
+    if thread is not None:
+        thread.cpu_us += total
+        if span is not None:
+            span.add("kfunc", total)
+    memcg_stats.hook_cpu_us += total
+    cache_stats.hook_cpu_us += total
+    if prog is not None:
+        prog.invocations += n
+
+
 def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
                     limit: int, dst: Optional[EvictionList]) -> int:
     hot = _iter_hot_state(policy, callback)
@@ -310,6 +331,12 @@ def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
         span = thread.span if thread is not None else None
         is_prog = cb_fn is not None
         call = cb_fn if is_prog else callback
+        # Per-candidate accounting that nothing inside the loop reads
+        # back (cpu_us, hook_cpu_us, invocations, span attribution) is
+        # charged in one batch of n*us afterwards; only clock_us — the
+        # value ktime_us() exposes to scoring callbacks — advances
+        # inside the loop.
+        n = 0
         for position in range(limit):
             if node is None or ctx.full:
                 break
@@ -317,16 +344,9 @@ def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
             if nxt is head:
                 nxt = None
             folio: Folio = node.item
+            n += 1
             if thread is not None:
-                # inlined thread.advance(us): kfunc cost, never negative
                 thread.clock_us += us
-                thread.cpu_us += us
-                if span is not None:
-                    span.add("kfunc", us)
-            memcg_stats.hook_cpu_us += us
-            cache_stats.hook_cpu_us += us
-            if is_prog:
-                callback.invocations += 1
             verdict = call(position, folio)
             if verdict == ITER_EVICT:
                 ctx.add_candidate(folio)
@@ -334,6 +354,8 @@ def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
                 move_to_tail(node)
             elif verdict == ITER_MOVE:
                 if dst is None:
+                    _iter_charge(thread, span, memcg_stats, cache_stats,
+                                 callback if is_prog else None, n, us)
                     return _fail(policy, EINVAL, "list_iterate")
                 dst.move_to_tail(node)
             elif verdict == ITER_ROTATE:
@@ -342,6 +364,8 @@ def _iterate_simple(policy, lst: EvictionList, callback, ctx: EvictionCtx,
                 break
             # ITER_SKIP (and unknown verdicts): leave in place.
             node = nxt
+        _iter_charge(thread, span, memcg_stats, cache_stats,
+                     callback if is_prog else None, n, us)
         return added
     for position in range(limit):
         if node is None or ctx.full:
@@ -380,32 +404,32 @@ def _iterate_scoring(policy, lst: EvictionList, callback, ctx: EvictionCtx,
     node = lst.head()
     if hot is not None:
         thread, us, memcg_stats, cache_stats, cb_fn = hot
-        # Hoisted: see _iterate_simple.
+        # Hoisted: see _iterate_simple (including the batched
+        # accounting — only clock_us advances per candidate, for the
+        # benefit of ktime_us-based scores).
         span = thread.span if thread is not None else None
         is_prog = cb_fn is not None
         call = cb_fn if is_prog else callback
+        n = 0
         for position in range(limit):
             if node is None:
                 break
             nxt = node.next
             if nxt is head:
                 nxt = None
+            n += 1
             if thread is not None:
-                # inlined thread.advance(us): kfunc cost, never negative
                 thread.clock_us += us
-                thread.cpu_us += us
-                if span is not None:
-                    span.add("kfunc", us)
-            memcg_stats.hook_cpu_us += us
-            cache_stats.hook_cpu_us += us
-            if is_prog:
-                callback.invocations += 1
             score = call(position, node.item)
             if type(score) is not int and not isinstance(score, int):
+                _iter_charge(thread, span, memcg_stats, cache_stats,
+                             callback if is_prog else None, n, us)
                 return _fail(policy, EINVAL, "list_iterate")
             scored_append((score, position))
             nodes_append(node)
             node = nxt
+        _iter_charge(thread, span, memcg_stats, cache_stats,
+                     callback if is_prog else None, n, us)
     else:
         for position in range(limit):
             if node is None:

@@ -25,14 +25,16 @@ QUICK_SCALE = {"nkeys": 6000, "cgroup_pages": 192, "nops": 4000,
 
 
 def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
-            warmup_ops: int, nthreads: int, seed: int = 42):
+            warmup_ops: int, nthreads: int, seed: int = 42,
+            mode: str = "full"):
     from repro.apps.lsm import DbOptions
     # A small memtable keeps flushes frequent so background compaction
     # actually runs inside the measured window (the paper's RocksDB
     # compacts continuously under its uniform R/W load).
     env = make_db_env("default", cgroup_pages=cgroup_pages,
                       nkeys=nkeys, compaction_thread=True,
-                      db_options=DbOptions(memtable_entries=256))
+                      db_options=DbOptions(memtable_entries=256),
+                      mode=mode)
     if filtered:
         ops = make_admission_filter_policy()
         env.machine.attach(env.cgroup, ops)
@@ -60,7 +62,8 @@ def plan(quick: bool = False, scale: dict = None) -> ExperimentSpec:
         params.update(scale)
     cells = [CellSpec("admission",
                       "admission-filter" if filtered else "baseline",
-                      cell, dict(filtered=filtered, **params))
+                      cell, dict(filtered=filtered, **params),
+                      supports_replay=True)
              for filtered in (False, True)]
     return ExperimentSpec("admission", cells, _merge,
                           meta={"labels": ["baseline",

@@ -46,18 +46,21 @@ VARIANTS = (
 def run_one(label: str, policy: str, fadvise_mode: Optional[str],
             nkeys: int, cgroup_pages: int, n_gets: int, scan_len: int,
             get_threads: int, scan_threads: int,
-            zipf_theta: float = 1.5, seed: int = 5):
+            zipf_theta: float = 1.5, seed: int = 5,
+            mode: str = "full"):
     if policy == "get-scan":
         # The TID map must be filled after threads exist, so load the
         # policy here rather than through attach_policy.
         env = make_db_env("default", cgroup_pages=cgroup_pages,
-                          nkeys=nkeys, compaction_thread=True)
+                          nkeys=nkeys, compaction_thread=True,
+                          mode=mode)
         ops = make_get_scan_policy(map_entries=max(4 * cgroup_pages,
                                                    1024))
         load_policy(env.machine, env.cgroup, ops)
     else:
         env = make_db_env(policy, cgroup_pages=cgroup_pages,
-                          nkeys=nkeys, compaction_thread=True)
+                          nkeys=nkeys, compaction_thread=True,
+                          mode=mode)
         ops = None
     workload = GetScanWorkload(env.db, nkeys=nkeys, n_gets=n_gets,
                                get_threads=get_threads,
@@ -90,8 +93,9 @@ def plan(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
     variants = [tuple(v) for v in variants]
     cells = [CellSpec("fig10", label, cell,
                       dict(label=label, policy=policy,
-                           fadvise_mode=mode, **params))
-             for label, policy, mode in variants]
+                           fadvise_mode=fadv, **params),
+                      supports_replay=True)
+             for label, policy, fadv in variants]
 
     def prepare() -> None:
         # All six variants replay the same GET/SCAN streams.

@@ -39,7 +39,8 @@ DEFAULT_WORKLOADS = ("A", "B", "C", "D", "E", "F", "uniform", "uniform-rw")
 
 def run_one(policy: str, workload: str, nkeys: int, cgroup_pages: int,
             nops: int, warmup_ops: int = 0, nthreads: int = 8,
-            zipf_theta: float = 1.1, seed: int = 42):
+            zipf_theta: float = 1.1, seed: int = 42,
+            mode: str = "full"):
     """One (policy, workload) cell; returns (YcsbResult, DbEnv).
 
     ``zipf_theta=1.1`` is the scaled-equivalent skew: it makes the
@@ -47,13 +48,17 @@ def run_one(policy: str, workload: str, nkeys: int, cgroup_pages: int,
     default theta=0.99 produces at the paper's 1000x larger keyspace
     (see EXPERIMENTS.md, "skew calibration").  Warmup ops run before
     the measured window, standing in for the paper's long runs.
+
+    ``mode="replay"`` runs the cell on the trace-replay fast path
+    (:mod:`repro.replay`); the payload is bit-identical to the full
+    engine's.
     """
     spec = YCSB_WORKLOADS[workload]
     if spec.scan > 0:
         nops = max(nops // SCAN_OPS_DIVISOR, 200)
         warmup_ops = warmup_ops // SCAN_OPS_DIVISOR
     env = make_db_env(policy, cgroup_pages=cgroup_pages, nkeys=nkeys,
-                      compaction_thread=True)
+                      compaction_thread=True, mode=mode)
     runner = YcsbRunner(env.db, spec, nkeys=nkeys, nops=nops, seed=seed,
                         nthreads=nthreads, warmup_ops=warmup_ops,
                         zipf_theta=zipf_theta)
@@ -65,7 +70,10 @@ def cell(policy: str, workload: str, **params) -> dict:
     """One (policy, workload) cell as a picklable payload.
 
     Shared with fig7 and table5, which sweep the same grid with
-    different parameters/merges.
+    different parameters/merges.  Accepts ``mode="replay"``
+    (``supports_replay`` in the plan): every payload field is a
+    counter or a virtual-time-derived number, all bit-identical under
+    replay.
     """
     result, env = run_one(policy, workload, **params)
     metrics = env.machine.metrics()
@@ -111,7 +119,8 @@ def plan(quick: bool = False,
         params.update(scale)
     policies, workloads = list(policies), list(workloads)
     cells = [CellSpec("fig6", f"{w}/{p}", cell,
-                      dict(policy=p, workload=w, **params))
+                      dict(policy=p, workload=w, **params),
+                      supports_replay=True)
              for w in workloads for p in policies]
     return ExperimentSpec("fig6", cells, _merge,
                           meta={"params": params, "policies": policies,

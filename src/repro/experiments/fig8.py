@@ -29,15 +29,19 @@ POLICIES = ("default", "mglru", "lfu", "s3fifo", "lhd")
 
 
 def run_one(policy: str, cluster: int, nkeys: int, cgroup_pages: int,
-            nops: int, warmup_ops: int = 0, seed: int = 11):
+            nops: int, warmup_ops: int = 0, seed: int = 11,
+            mode: str = "full"):
     env = make_db_env(policy, cgroup_pages=cgroup_pages, nkeys=nkeys,
-                      compaction_thread=True)
+                      compaction_thread=True, mode=mode)
     runner = TwitterRunner(env.db, CLUSTERS[cluster], nkeys=nkeys,
                            nops=nops, warmup_ops=warmup_ops, seed=seed)
     return runner.run(), env
 
 
 def cell(policy: str, cluster: int, **params) -> dict:
+    """Twitter-trace payload; replay-capable (``supports_replay``):
+    throughput and hit ratio are virtual-time counters, bit-identical
+    on the trace-replay fast path."""
     result, env = run_one(policy, cluster, **params)
     return {"throughput": result.throughput,
             "hit_ratio": env.cgroup.metrics().hit_ratio}
@@ -52,7 +56,8 @@ def plan(quick: bool = False,
         params.update(scale)
     clusters, policies = list(clusters), list(policies)
     cells = [CellSpec("fig8", f"{c}/{p}", cell,
-                      dict(policy=p, cluster=c, **params))
+                      dict(policy=p, cluster=c, **params),
+                      supports_replay=True)
              for c in clusters for p in policies]
 
     def prepare() -> None:

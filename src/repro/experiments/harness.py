@@ -25,7 +25,7 @@ from repro.policies import (make_fifo_policy, make_get_scan_policy,
                             make_mru_policy, make_noop_policy,
                             make_s3fifo_policy,
                             make_userspace_dispatch_policy)
-from repro.policies.lhd import attach_lhd
+from repro.policies.lhd import init_lhd, make_lhd_policy
 from repro.policies.userspace import spawn_drainer
 from repro.workloads.ycsb import load_items
 
@@ -60,12 +60,22 @@ def set_cell_observer(observer: Optional[Callable[[Machine], None]]):
     return previous
 
 
-def build_machine(policy: str) -> Machine:
-    """A machine booted with the right kernel policy for ``policy``."""
+def build_machine(policy: str, mode: str = "full") -> Machine:
+    """A machine booted with the right kernel policy for ``policy``.
+
+    ``mode="replay"`` switches the machine onto the trace-replay fast
+    path (:mod:`repro.replay`) before anything else touches it; the
+    resulting counters are bit-identical to ``mode="full"``.
+    """
     from repro.kernel.block import BlockDevice
     kernel = "mglru" if policy == "mglru" else "default"
     machine = Machine(kernel_policy=kernel,
                       disk=BlockDevice(**EXPERIMENT_DISK))
+    if mode == "replay":
+        from repro.replay import enable_replay
+        enable_replay(machine)
+    elif mode != "full":
+        raise ValueError(f"unknown execution mode {mode!r}")
     if _cell_observer is not None:
         _cell_observer(machine)
     return machine
@@ -93,7 +103,7 @@ def attach_policy(machine: Machine, cgroup: MemCgroup, policy: str,
         ops = make_s3fifo_policy(map_entries=map_entries,
                                  ghost_entries=ghost_entries)
     elif policy == "lhd":
-        return attach_lhd(machine, cgroup, map_entries=map_entries)
+        ops = make_lhd_policy(map_entries=map_entries)
     elif policy == "mglru-bpf":
         ops = make_mglru_policy(map_entries=map_entries,
                                 ghost_entries=ghost_entries)
@@ -106,7 +116,12 @@ def attach_policy(machine: Machine, cgroup: MemCgroup, policy: str,
     else:
         raise ValueError(f"unknown policy {policy!r}")
     machine.attach(cgroup, ops)
-    if policy == "userspace":
+    # Post-attach initialization is uniform: every policy goes through
+    # machine.attach above (LHD included — it used to shortcut through
+    # attach_lhd, skipping the one-call API it was meant to exercise).
+    if policy == "lhd":
+        init_lhd(machine, ops)
+    elif policy == "userspace":
         spawn_drainer(machine, ops)
     return ops
 
@@ -124,7 +139,8 @@ class DbEnv:
 def make_db_env(policy: str, cgroup_pages: int, nkeys: int,
                 db_options: Optional[DbOptions] = None,
                 compaction_thread: bool = False,
-                cgroup_name: str = "app") -> DbEnv:
+                cgroup_name: str = "app",
+                mode: str = "full") -> DbEnv:
     """Build the standard DB experiment environment.
 
     The database is bulk-loaded (no simulated I/O, cold cache), then
@@ -135,13 +151,19 @@ def make_db_env(policy: str, cgroup_pages: int, nkeys: int,
     fraction of the cgroup (as at paper scale, where a 4 MiB memtable
     meets a 10 GiB cgroup); otherwise write workloads are dominated by
     flush bursts no real deployment would see.
+
+    ``mode="replay"`` builds the whole stack on the trace-replay fast
+    path: replay machine (:mod:`repro.replay`) plus the LSM read-plan
+    cache.  Counters are bit-identical to the full mode.
     """
-    machine = build_machine(policy)
+    machine = build_machine(policy, mode=mode)
     cgroup = machine.new_cgroup(cgroup_name, limit_pages=cgroup_pages)
     if db_options is None:
         db_options = DbOptions(memtable_entries=512)
     db = LsmDb(machine, cgroup, options=db_options)
     db.bulk_load(load_items(nkeys))
+    if mode == "replay":
+        db.enable_plan_cache()
     ops = attach_policy(machine, cgroup, policy, cgroup_pages)
     if compaction_thread:
         db.spawn_compaction_thread()
@@ -163,6 +185,11 @@ class CellSpec:
     cell_id: str
     fn: Callable[..., dict]
     kwargs: dict = field(default_factory=dict)
+    #: Whether ``fn`` accepts ``mode="replay"`` and produces the same
+    #: payload under it (hit-ratio-style cells; anything reporting
+    #: wall-clock-independent counters).  The parallel runner's
+    #: ``--mode replay|auto`` only rewrites cells that opt in.
+    supports_replay: bool = False
 
     def execute(self) -> dict:
         return self.fn(**self.kwargs)

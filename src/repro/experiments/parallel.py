@@ -40,6 +40,7 @@ or from code::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import multiprocessing
 import multiprocessing.connection
@@ -88,6 +89,43 @@ class _LookupCounter:
 
     def counts(self) -> dict:
         return {"hits": self.hits, "misses": self.misses}
+
+
+def apply_mode(spec: ExperimentSpec, mode: str, trace: bool = False,
+               breakdown: bool = False) -> ExperimentSpec:
+    """Rewrite a plan for the requested execution mode.
+
+    * ``"full"`` — the spec unchanged (the reference engine).
+    * ``"replay"`` — every cell that declares ``supports_replay``
+      executes with ``mode="replay"`` (the trace-replay fast path,
+      :mod:`repro.replay`); cells that don't opt in run full.
+      Combining with ``breakdown`` is refused — latency attribution is
+      exactly the instrumentation replay strips.
+    * ``"auto"`` — like ``"replay"``, but silently falls back to the
+      full engine when ``trace`` or ``breakdown`` is requested.
+
+    Payloads are bit-identical across modes for opted-in cells
+    (enforced by ``tests/test_replay.py``), so the merge result never
+    depends on the mode chosen.
+    """
+    if mode == "full":
+        return spec
+    if mode not in ("replay", "auto"):
+        raise ValueError(f"unknown execution mode {mode!r}")
+    if trace or breakdown:
+        if mode == "auto":
+            return spec
+        if breakdown:
+            raise ValueError(
+                "mode='replay' cannot record latency breakdowns "
+                "(replay strips span instrumentation); use "
+                "mode='full' or mode='auto'")
+    cells = [dataclasses.replace(
+                 cell, kwargs={**cell.kwargs, "mode": "replay"})
+             if cell.supports_replay else cell
+             for cell in spec.cells]
+    return ExperimentSpec(spec.name, cells, spec.merge, meta=spec.meta,
+                          prepare=spec.prepare)
 
 
 def run_cell(cell: CellSpec, trace: bool = False,
@@ -299,15 +337,20 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
 
 def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
             serial: bool = False, timeout_s: float = DEFAULT_TIMEOUT_S,
-            trace: bool = False, breakdown: bool = False) -> ExecutionReport:
+            trace: bool = False, breakdown: bool = False,
+            mode: str = "full") -> ExecutionReport:
     """Run every cell of ``spec`` and merge; returns the full report.
 
     ``serial=True`` (or ``jobs=1``, or a platform without ``fork``)
     runs cells in-process in plan order — the escape hatch and the
     reference behaviour the parallel path must reproduce byte for
     byte.  ``breakdown=True`` records a per-cell latency-attribution
-    summary in :attr:`ExecutionReport.breakdown`.
+    summary in :attr:`ExecutionReport.breakdown`.  ``mode`` selects
+    the execution engine per :func:`apply_mode` (``"replay"`` /
+    ``"auto"`` route opted-in cells through the trace-replay fast
+    path, with bit-identical payloads).
     """
+    spec = apply_mode(spec, mode, trace=trace, breakdown=breakdown)
     if jobs is None:
         jobs = default_jobs()
     can_fork = "fork" in multiprocessing.get_all_start_methods()
@@ -407,6 +450,13 @@ def main(argv: Optional[list] = None) -> int:
                         help="reduced sizes (CI smoke)")
     parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
                         help="per-cell timeout in seconds")
+    parser.add_argument("--mode", choices=("full", "replay", "auto"),
+                        default="full",
+                        help="execution engine: 'replay' runs "
+                             "replay-capable cells on the trace-replay "
+                             "fast path (bit-identical payloads); "
+                             "'auto' does so unless --trace/--breakdown "
+                             "need the full instrumentation")
     parser.add_argument("--trace", action="store_true",
                         help="attach cache:lookup counters to every cell")
     parser.add_argument("--breakdown", default=None, metavar="PATH",
@@ -430,7 +480,8 @@ def main(argv: Optional[list] = None) -> int:
             parser.error(str(exc))
     report = execute(spec, jobs=args.jobs, serial=args.serial,
                      timeout_s=args.timeout, trace=args.trace,
-                     breakdown=args.breakdown is not None)
+                     breakdown=args.breakdown is not None,
+                     mode=args.mode)
     table = report.result.format_table()
     print(table)
     if args.breakdown:

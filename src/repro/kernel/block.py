@@ -85,14 +85,33 @@ class BlockDevice(Disk):
             else:
                 service_us = self._service_us(self.read_us, npages,
                                               contiguous)
-            completion = self._submit(thread, service_us)
+            if (thread.span is None and not self._tp_issue.enabled
+                    and not self._tp_complete.enabled):
+                # No consumer for the completion record: run the same
+                # channel/clock arithmetic without building one (the
+                # IoCompletion dataclass plus the queue-depth scan cost
+                # real time on every cache miss).
+                completion = None
+                free_at = self._free_at
+                best = min(free_at)
+                idx = free_at.index(best)
+                issue_us = thread.clock_us
+                start = issue_us if best <= issue_us else best
+                done = start + service_us
+                free_at[idx] = done
+                self.stats.busy_us += service_us
+                if done > thread.clock_us:
+                    thread.clock_us = done
+            else:
+                completion = self._submit(thread, service_us)
             stats = self.stats
             stats.reads += 1
             stats.read_pages += npages
             cgroup = thread.cgroup
             self.per_cgroup[cgroup.id if cgroup is not None else 0] \
                 .read_pages += npages
-            if self._tp_issue.enabled or self._tp_complete.enabled:
+            if completion is not None and (self._tp_issue.enabled
+                                           or self._tp_complete.enabled):
                 self._trace_io(thread, "read", npages, completion)
             return completion
         # Outside the engine (unit tests): account, no timing.
@@ -115,14 +134,30 @@ class BlockDevice(Disk):
             else:
                 service_us = self._service_us(self.write_us, npages,
                                               contiguous)
-            completion = self._submit(thread, service_us)
+            if (thread.span is None and not self._tp_issue.enabled
+                    and not self._tp_complete.enabled):
+                # Completion-free fast path; see read().
+                completion = None
+                free_at = self._free_at
+                best = min(free_at)
+                idx = free_at.index(best)
+                issue_us = thread.clock_us
+                start = issue_us if best <= issue_us else best
+                done = start + service_us
+                free_at[idx] = done
+                self.stats.busy_us += service_us
+                if done > thread.clock_us:
+                    thread.clock_us = done
+            else:
+                completion = self._submit(thread, service_us)
             stats = self.stats
             stats.writes += 1
             stats.write_pages += npages
             cgroup = thread.cgroup
             self.per_cgroup[cgroup.id if cgroup is not None else 0] \
                 .write_pages += npages
-            if self._tp_issue.enabled or self._tp_complete.enabled:
+            if completion is not None and (self._tp_issue.enabled
+                                           or self._tp_complete.enabled):
                 self._trace_io(thread, "write", npages, completion)
             return completion
         self.stats.writes += 1

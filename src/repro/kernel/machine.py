@@ -88,6 +88,11 @@ class Machine:
         #: Armed fault injector (:meth:`arm_faults`), or None — the
         #: default, costing each gated site one load and a branch.
         self.faults = None
+        #: True once :func:`repro.replay.enable_replay` has switched
+        #: this machine onto the trace-replay fast path (trimmed
+        #: scheduler loop, folio-carried registries, LSM read plans).
+        #: Components built afterwards consult it to pick fast layouts.
+        self.replay_mode = False
         #: Per-hook runtime budget for cache_ext policies, in CPU
         #: microseconds charged per dispatch (None = no budget).
         self.hook_budget_us: Optional[float] = None
@@ -143,6 +148,15 @@ class Machine:
         if isinstance(cgroup, str):
             cgroup = self.cgroup(cgroup)
         if isinstance(ops, type) and issubclass(ops, PolicyBuilder):
+            # Class form predates the builder API settling on
+            # instances; it hid "defaults only" attaches among
+            # configured ones, so it now warns.
+            import warnings
+            warnings.warn(
+                "passing a PolicyBuilder class to Machine.attach is "
+                "deprecated; pass an instance, e.g. "
+                "machine.attach(cgroup, FifoPolicy())",
+                DeprecationWarning, stacklevel=2)
             ops = ops()
         if isinstance(ops, PolicyBuilder):
             ops = ops.build()

@@ -29,7 +29,7 @@ from typing import Iterable, Optional, TextIO
 from repro.cache_ext import load_policy
 from repro.kernel import Machine
 from repro.policies import EXTENSION_POLICIES, GENERIC_POLICIES
-from repro.policies.lhd import attach_lhd
+from repro.policies.lhd import init_lhd, make_lhd_policy
 
 
 @dataclass
@@ -77,7 +77,9 @@ def _attach(machine: Machine, cgroup, policy: str,
         return
     map_entries = max(4 * cache_pages, 1024)
     if policy == "lhd":
-        attach_lhd(machine, cgroup, map_entries=map_entries)
+        ops = make_lhd_policy(map_entries=map_entries)
+        machine.attach(cgroup, ops)
+        init_lhd(machine, ops)
         return
     factories = dict(GENERIC_POLICIES)
     factories.update(EXTENSION_POLICIES)

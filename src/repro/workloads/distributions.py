@@ -63,6 +63,46 @@ class ZipfianGenerator:
                    ** self._alpha)
 
 
+#: Process-wide zipfian CDF memo keyed by (n, theta).  The CDF is a
+#: pure function of its key and costs O(n) float work to build; every
+#: worker of every cell at the same scale shares one copy.
+_CDF_CACHE: dict[tuple, list] = {}
+
+#: Process-wide FNV scramble tables keyed by n: table[rank] =
+#: fnv1a(str(rank)) % n.  Ranks drawn by either zipfian sampler lie in
+#: [0, n), so one table answers every scramble for that keyspace —
+#: replacing a str + encode + two CRC32 passes per draw with a list
+#: index (and giving the numpy stream builder a fancy-indexable map).
+_SCRAMBLE_CACHE: dict[int, list] = {}
+
+
+def scramble_table(n: int) -> list:
+    table = _SCRAMBLE_CACHE.get(n)
+    if table is None:
+        table = _SCRAMBLE_CACHE[n] = [fnv1a(str(rank)) % n
+                                      for rank in range(n)]
+    return table
+
+
+def zipf_cdf(n: int, theta: float) -> list:
+    """The normalized zipfian CDF over ranks 1..n (memoized).
+
+    Shared by :class:`CdfZipfianGenerator` and the vectorized stream
+    builders (:mod:`repro.workloads.streams`), which must binary-search
+    the *same* float values to stay bit-identical with the scalar
+    sampler.
+    """
+    cached = _CDF_CACHE.get((n, theta))
+    if cached is None:
+        cdf = []
+        acc = 0.0
+        for i in range(1, n + 1):
+            acc += i ** (-theta)
+            cdf.append(acc)
+        cached = _CDF_CACHE[(n, theta)] = [c / acc for c in cdf]
+    return cached
+
+
 class CdfZipfianGenerator:
     """Inverse-CDF zipfian sampler valid for any theta > 0.
 
@@ -83,12 +123,7 @@ class CdfZipfianGenerator:
         self.n = n
         self.theta = theta
         self._rng = random.Random(seed)
-        cdf = []
-        acc = 0.0
-        for i in range(1, n + 1):
-            acc += i ** (-theta)
-            cdf.append(acc)
-        self._cdf = [c / acc for c in cdf]
+        self._cdf = zipf_cdf(n, theta)
 
     def next(self) -> int:
         return min(self._bisect(self._cdf, self._rng.random()),
@@ -104,10 +139,10 @@ class ScrambledZipfianGenerator:
             self._zipf = ZipfianGenerator(n, theta, seed)
         else:
             self._zipf = CdfZipfianGenerator(n, theta, seed)
+        self._scramble = scramble_table(n)
 
     def next(self) -> int:
-        rank = self._zipf.next()
-        return fnv1a(str(rank)) % self.n
+        return self._scramble[self._zipf.next()]
 
 
 class LatestGenerator:

@@ -34,6 +34,11 @@ import random
 from array import array
 from typing import Optional
 
+try:  # numpy accelerates eligible stream builds; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the base image
+    _np = None
+
 #: Operation codes used in pre-generated streams (array-friendly).
 OP_READ, OP_UPDATE, OP_INSERT, OP_SCAN, OP_RMW = range(5)
 OP_NAMES = ("read", "update", "insert", "scan", "rmw")
@@ -43,30 +48,72 @@ OP_NAMES = ("read", "update", "insert", "scan", "rmw")
 #: per distinct stream.
 STREAM_PREGEN_MAX = 1_000_000
 
+#: Total bytes of materialized stream data kept resident.  The cache
+#: is FIFO-bounded by *bytes* (not entry count — one fig11-scale
+#: stream outweighs a thousand quick-scale ones): inserting past the
+#: cap evicts the oldest entries first.  A full-scale fig6 sweep's
+#: streams total a few MiB, so evictions only matter for long-lived
+#: processes sweeping many scales.
+STREAM_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+#: Vectorize eligible stream builds with numpy (zipfian request
+#: distribution, no inserts/scans, theta >= 1).  A module switch, not
+#: a parameter, so ``tests/test_workloads.py`` can force the scalar
+#: reference path and assert byte-identical streams.
+VECTORIZE = _np is not None
+
 #: Process-global stream cache: parameter tuple -> materialized data.
 #: Filled either lazily (first cell to need a stream builds it) or
 #: eagerly by an experiment's ``prepare`` hook (pre-fork, for COW
-#: sharing).  Never invalidated: streams are pure functions of their
-#: key.
+#: sharing).  Entries are pure functions of their key, so eviction
+#: is always safe — at worst the stream is rebuilt.
 _CACHE: dict = {}
+_cache_bytes = 0
+_cache_evictions = 0
+
+
+def _value_bytes(value) -> int:
+    if isinstance(value, OpStream):
+        return value.nbytes
+    if isinstance(value, array):
+        return value.buffer_info()[1] * value.itemsize
+    if isinstance(value, list):
+        return sum(len(s) for s in value)
+    return 0
+
+
+def _cache_put(key, value):
+    """Insert under the byte cap, evicting oldest-first.
+
+    A value larger than the whole cap is returned uncached (the caller
+    still gets its stream; it just isn't retained).
+    """
+    global _cache_bytes, _cache_evictions
+    nbytes = _value_bytes(value)
+    if nbytes > STREAM_CACHE_MAX_BYTES:
+        return value
+    while _CACHE and _cache_bytes + nbytes > STREAM_CACHE_MAX_BYTES:
+        oldest = next(iter(_CACHE))
+        _cache_bytes -= _value_bytes(_CACHE.pop(oldest))
+        _cache_evictions += 1
+    _CACHE[key] = value
+    _cache_bytes += nbytes
+    return value
 
 
 def clear_cache() -> None:
     """Drop every memoized stream (test isolation hook)."""
+    global _cache_bytes
     _CACHE.clear()
+    _cache_bytes = 0
 
 
 def cache_info() -> dict:
-    """Entry count and approximate buffered bytes (debug/test aid)."""
-    nbytes = 0
-    for value in _CACHE.values():
-        if isinstance(value, OpStream):
-            nbytes += value.nbytes
-        elif isinstance(value, array):
-            nbytes += value.buffer_info()[1] * value.itemsize
-        elif isinstance(value, list):
-            nbytes += sum(len(s) for s in value)
-    return {"entries": len(_CACHE), "bytes": nbytes}
+    """Cache occupancy: entries, resident bytes, byte cap, and how
+    many entries the cap has evicted so far (debug/test aid)."""
+    return {"entries": len(_CACHE), "bytes": _cache_bytes,
+            "max_bytes": STREAM_CACHE_MAX_BYTES,
+            "evictions": _cache_evictions}
 
 
 class OpStream:
@@ -148,6 +195,12 @@ def ycsb_stream(spec, nkeys: int, total: int, seed: int, worker: int,
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
+    if (VECTORIZE and _np is not None
+            and spec.distribution == "zipfian"
+            and spec.insert == 0 and spec.scan == 0
+            and zipf_theta >= 1.0):
+        return _cache_put(key, _ycsb_stream_vector(
+            spec, nkeys, total, seed, worker, zipf_theta))
     rng = random.Random(seed * 1000 + worker)
     chooser = make_ycsb_chooser(spec, nkeys, seed * 77 + worker,
                                 zipf_theta, latest_theta)
@@ -170,8 +223,59 @@ def ycsb_stream(spec, nkeys: int, total: int, seed: int, worker: int,
         if lengths is not None:
             lengths.append(1 + rng.randrange(max_scan_len)
                            if kind == OP_SCAN else 0)
-    stream = _CACHE[key] = OpStream(kinds, indices, lengths)
-    return stream
+    return _cache_put(key, OpStream(kinds, indices, lengths))
+
+
+#: Memoized numpy views of the zipfian CDF and FNV scramble table,
+#: keyed (nkeys, theta).  Values mirror the list memos in
+#: :mod:`repro.workloads.distributions` element-for-element.
+_NP_TABLES: dict = {}
+
+
+def _np_zipf_tables(nkeys: int, theta: float):
+    key = (nkeys, theta)
+    cached = _NP_TABLES.get(key)
+    if cached is None:
+        from repro.workloads.distributions import scramble_table, zipf_cdf
+        cached = _NP_TABLES[key] = (
+            _np.asarray(zipf_cdf(nkeys, theta), dtype=_np.float64),
+            _np.asarray(scramble_table(nkeys), dtype=_np.int64))
+    return cached
+
+
+def _ycsb_stream_vector(spec, nkeys: int, total: int, seed: int,
+                        worker: int, zipf_theta: float) -> OpStream:
+    """Vectorized :func:`ycsb_stream` for the no-insert, no-scan,
+    CDF-zipfian case (YCSB A/B/C/F at the calibrated theta >= 1).
+
+    Byte-identical to the scalar path by construction:
+
+    * the op-kind walk keeps the *scalar* float subtraction chain of
+      :func:`draw_op_kind` on the same ``random.Random`` — re-deriving
+      kinds from cumulative thresholds would differ in ULP cases;
+    * chooser floats are drawn scalar from the chooser's own
+      ``random.Random`` (numpy's generator produces different
+      doubles), and only the deterministic transform is vectorized:
+      ``np.searchsorted(side="right")`` is bit-equivalent to
+      ``bisect_right`` on the same float64 CDF, and the scramble is a
+      pure table lookup.
+
+    ``tests/test_workloads.py`` asserts equality against the scalar
+    path for every eligible workload.
+    """
+    rng = random.Random(seed * 1000 + worker)
+    kinds = array("b", (draw_op_kind(rng, spec) for _ in range(total)))
+    # ScrambledZipfianGenerator(nkeys, theta, seed) seeds its CDF
+    # sampler's rng with exactly this value.
+    chooser_rng = random.Random(seed * 77 + worker)
+    u = _np.fromiter((chooser_rng.random() for _ in range(total)),
+                     dtype=_np.float64, count=total)
+    cdf, scramble = _np_zipf_tables(nkeys, zipf_theta)
+    ranks = _np.searchsorted(cdf, u, side="right")
+    _np.minimum(ranks, nkeys - 1, out=ranks)
+    indices = array("q")
+    indices.frombytes(scramble[ranks].tobytes())
+    return OpStream(kinds, indices, None)
 
 
 def twitter_stream(profile, nkeys: int, total: int, seed: int) -> OpStream:
@@ -194,8 +298,7 @@ def twitter_stream(profile, nkeys: int, total: int, seed: int) -> OpStream:
         kind, index = source.next_op()
         kinds.append(OP_UPDATE if kind == "update" else OP_READ)
         indices.append(index)
-    stream = _CACHE[key] = OpStream(kinds, indices)
-    return stream
+    return _cache_put(key, OpStream(kinds, indices))
 
 
 def zipfian_indices(nkeys: int, theta: float, seed: int,
@@ -205,11 +308,19 @@ def zipfian_indices(nkeys: int, theta: float, seed: int,
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
+    if (VECTORIZE and _np is not None and theta >= 1.0):
+        rng = random.Random(seed)
+        u = _np.fromiter((rng.random() for _ in range(count)),
+                         dtype=_np.float64, count=count)
+        cdf, scramble = _np_zipf_tables(nkeys, theta)
+        ranks = _np.searchsorted(cdf, u, side="right")
+        _np.minimum(ranks, nkeys - 1, out=ranks)
+        indices = array("q")
+        indices.frombytes(scramble[ranks].tobytes())
+        return _cache_put(key, indices)
     from repro.workloads.distributions import ScrambledZipfianGenerator
     gen = ScrambledZipfianGenerator(nkeys, theta=theta, seed=seed)
-    indices = _CACHE[key] = array(
-        "q", (gen.next() for _ in range(count)))
-    return indices
+    return _cache_put(key, array("q", (gen.next() for _ in range(count))))
 
 
 def uniform_indices(nkeys: int, seed: int, count: int) -> array:
@@ -218,10 +329,11 @@ def uniform_indices(nkeys: int, seed: int, count: int) -> array:
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
+    # Not vectorizable: randrange consumes getrandbits, whose draw
+    # sequence numpy cannot reproduce — stays scalar by design.
     rng = random.Random(seed)
-    indices = _CACHE[key] = array(
-        "q", (rng.randrange(nkeys) for _ in range(count)))
-    return indices
+    return _cache_put(key, array(
+        "q", (rng.randrange(nkeys) for _ in range(count))))
 
 
 def key_strings(nkeys: int) -> list:
@@ -235,5 +347,4 @@ def key_strings(nkeys: int) -> list:
     if cached is not None:
         return cached
     from repro.workloads.ycsb import key_of
-    keys = _CACHE[key] = [key_of(i) for i in range(nkeys)]
-    return keys
+    return _cache_put(key, [key_of(i) for i in range(nkeys)])

@@ -315,7 +315,10 @@ class TestPolicyBuilder:
 
     def test_attach_accepts_builder_class(self):
         machine, cg, f = make_env()
-        policy = machine.attach(cg, FifoPolicy)
+        # Class form is the deprecated spelling; it still attaches but
+        # warns toward machine.attach(cg, FifoPolicy()).
+        with pytest.warns(DeprecationWarning, match="PolicyBuilder"):
+            policy = machine.attach(cg, FifoPolicy)
         assert cg.ext_policy is policy
         assert policy.name == "fifo"
 

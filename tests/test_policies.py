@@ -160,7 +160,10 @@ class TestS3Fifo:
 class TestLhd:
     def test_reconfiguration_runs_via_agent(self):
         machine, cg, f = make_env(limit=32)
-        ops = attach_lhd(machine, cg, map_entries=1024)
+        # attach_lhd is the deprecated one-call shim; it must still
+        # work (and must say so).
+        with pytest.warns(DeprecationWarning, match="attach_lhd"):
+            ops = attach_lhd(machine, cg, map_entries=1024)
         bss = ops.user_maps["bss"]
         initial = bss.lookup(2)
         # Push enough events to cross RECONFIG_EVERY at least once.
@@ -173,7 +176,8 @@ class TestLhd:
 
     def test_densities_are_fixed_point_ints(self):
         machine, cg, f = make_env(limit=32)
-        ops = attach_lhd(machine, cg, map_entries=1024)
+        with pytest.warns(DeprecationWarning, match="attach_lhd"):
+            ops = attach_lhd(machine, cg, map_entries=1024)
         run_trace(machine, f, cg, [i % 48 for i in range(500)])
         density = None
         reconf = ops.user_maps["reconfigure"]
