@@ -51,8 +51,13 @@ DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_core.json")
 #: sweep on the trace-replay fast path: its table hash must equal
 #: fig6's (bit-identical payloads — checked in :func:`run_suite`) and
 #: its timing entry is the committed record of the fast path's win.
-CORE_SUITE = ("fig6", "replay", "fig9", "admission", "table4",
-              "spans_off", "faults_off")
+#: ``snapshot`` re-runs it once more with sweep-level machine
+#: snapshots (repro.snapshot): cells restore one shared post-load
+#: image instead of rebuilding it; its table hash must also equal
+#: fig6's, and its timing entry is the committed record of what the
+#: snapshot path buys.
+CORE_SUITE = ("fig6", "replay", "snapshot", "fig9", "admission",
+              "table4", "spans_off", "faults_off")
 
 SCHEMA = 1
 
@@ -172,15 +177,23 @@ def run_experiment(name: str, quick: bool, jobs: Optional[int],
     if name == "faults_off":
         return run_faults_off(calibration_s)
     mode = "full"
+    snapshot = "off"
     if name == "replay":
         # The fig6 sweep again, on the trace-replay fast path.  Every
         # deterministic field must match the "fig6" entry exactly
         # (enforced in run_suite); the timing delta is the committed
         # record of what replay buys.
         name, mode = "fig6", "replay"
+    elif name == "snapshot":
+        # The fig6 sweep a third time, restoring each cell's machine
+        # from the shared post-load image (repro.snapshot) instead of
+        # rebuilding it.  Deterministic fields must again match the
+        # "fig6" entry exactly (enforced in run_suite).
+        name, snapshot = "fig6", "on"
     module = importlib.import_module(f"repro.experiments.{name}")
     spec = module.plan(quick=quick)
-    report = execute(spec, jobs=jobs, serial=jobs is None, mode=mode)
+    report = execute(spec, jobs=jobs, serial=jobs is None, mode=mode,
+                     snapshot=snapshot)
     result = report.result
     table = result.format_table()
     ops = _column_map(result, "ops_per_sec")
@@ -232,6 +245,18 @@ def run_suite(experiments, quick: bool, jobs: Optional[int]) -> dict:
                 f"{full['table_sha256'][:12]}) — the fast path is "
                 "broken, not just slow")
         print("[replay] table hash matches fig6 (bit-identical)",
+              flush=True)
+    snap = doc["experiments"].get("snapshot")
+    if full is not None and snap is not None:
+        # The snapshot contract: restored machines produce the very
+        # table cold builds do, or the subsystem is broken.
+        if full["table_sha256"] != snap["table_sha256"]:
+            raise SystemExit(
+                "snapshot mode diverged from cold builds on fig6 "
+                f"({snap['table_sha256'][:12]} != "
+                f"{full['table_sha256'][:12]}) — restored machine "
+                "state is wrong, not just slow")
+        print("[snapshot] table hash matches fig6 (bit-identical)",
               flush=True)
     return doc
 

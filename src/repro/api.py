@@ -36,6 +36,10 @@ Mode rules (enforced here and in :mod:`repro.replay`):
 * ``faults`` requires the full engine — combining a fault plan with
   ``mode="replay"`` raises, and ``mode="auto"`` quietly falls back.
 * ``breakdown`` (latency attribution) likewise needs the full engine.
+* ``snapshot=True`` restores each snapshot-capable cell from one
+  shared post-load machine image (:mod:`repro.snapshot`) instead of
+  re-running the load — byte-identical tables; combining with
+  ``faults`` raises (``snapshot="auto"`` falls back to cold builds).
 """
 
 from __future__ import annotations
@@ -110,7 +114,7 @@ def run(spec: Union[str, object], *, mode: str = "full",
         policy: Optional[str] = None, faults=None, quick: bool = False,
         jobs: Optional[int] = None, serial: Optional[bool] = None,
         trace: bool = False, breakdown: bool = False,
-        timeout_s: Optional[float] = None):
+        timeout_s: Optional[float] = None, snapshot=False):
     """Run one experiment end to end; returns the
     :class:`~repro.experiments.parallel.ExecutionReport` (merged table
     in ``.result``, per-cell timings, trace counts, breakdowns).
@@ -136,6 +140,14 @@ def run(spec: Union[str, object], *, mode: str = "full",
     serial:
         Defaults to ``jobs is None`` — no explicit job count means
         in-process serial execution (the reference behaviour).
+    snapshot:
+        ``False`` (cold builds, the reference behaviour), ``True``
+        (snapshot-capable cells restore one shared post-load machine
+        image per sweep instead of re-running the load — byte-identical
+        tables, see :mod:`repro.snapshot`), or ``"auto"`` (snapshots
+        unless a fault plan needs pristine cold builds).  Combining
+        ``snapshot=True`` with ``faults`` raises: a captured image
+        cannot carry armed fault state.
     """
     from repro.experiments import harness
     from repro.experiments.parallel import (DEFAULT_TIMEOUT_S, execute,
@@ -160,7 +172,14 @@ def run(spec: Union[str, object], *, mode: str = "full",
             raise ValueError(
                 "faults cannot be combined with trace/breakdown: both "
                 "claim the per-cell machine observer")
+        if snapshot in (True, "on"):
+            raise ValueError(
+                "fault injection cannot ride on snapshot restores: a "
+                "captured image must be quiescent, and cold builds arm "
+                "the plan before the load phase (use snapshot=False "
+                "or snapshot='auto')")
         mode = "full"
+        snapshot = False  # "auto" falls back to cold builds
 
         def observer(machine):
             machine.arm_faults(faults)
@@ -170,7 +189,8 @@ def run(spec: Union[str, object], *, mode: str = "full",
     try:
         return execute(resolved, jobs=jobs, serial=serial,
                        timeout_s=timeout_s, trace=trace,
-                       breakdown=breakdown, mode=mode)
+                       breakdown=breakdown, mode=mode,
+                       snapshot=snapshot)
     finally:
         if observer is not None:
             harness.set_cell_observer(previous)

@@ -9,6 +9,7 @@ latency — the causal chain behind every DB experiment in the paper.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 import bisect
 import heapq
 import itertools
@@ -33,7 +34,7 @@ COMPACTION_IDLE_US = 500.0
 
 
 @dataclass
-class DbOptions:
+class DbOptions(SnapshotFriendly):
     """Tuning knobs, scaled down ~64x from LevelDB defaults.
 
     ``memtable_entries`` controls table size (one flush = one L0
@@ -59,7 +60,7 @@ class DbOptions:
         return base * (self.level_multiplier ** (level - 1))
 
 
-class LsmDb:
+class LsmDb(SnapshotFriendly):
     """An LSM-tree key-value store on one machine/cgroup."""
 
     def __init__(self, machine: "Machine", cgroup: "MemCgroup",

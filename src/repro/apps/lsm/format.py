@@ -8,6 +8,7 @@ LevelDB with the same record sizes would issue.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from dataclasses import dataclass
 
 from repro.kernel.folio import PAGE_SIZE
@@ -78,7 +79,7 @@ def bloom_hashes(key: str) -> tuple:
 
 
 @dataclass(frozen=True)
-class RecordFormat:
+class RecordFormat(SnapshotFriendly):
     """Sizing of one key-value record.
 
     ``entries_per_page`` is how many records fit one 4 KiB data page;

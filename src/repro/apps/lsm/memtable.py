@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from bisect import bisect_left
 from typing import TYPE_CHECKING, Iterator, Optional
 
@@ -11,7 +12,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.vfs import Filesystem, SimFile
 
 
-class MemTable:
+class MemTable(SnapshotFriendly):
     """In-memory write buffer.
 
     A plain dict (point lookups dominate); sorted views are
@@ -61,7 +62,7 @@ class MemTable:
         self._sorted = None
 
 
-class WriteAheadLog:
+class WriteAheadLog(SnapshotFriendly):
     """Append-only log making memtable contents durable.
 
     Each record lands in the current log page; a full page is written

@@ -16,6 +16,7 @@ merges them away at the bottom level.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 import bisect
 import itertools
 from typing import TYPE_CHECKING, Iterator, Optional
@@ -29,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _table_seq = itertools.count(1)
 
 
-class SSTable:
+class SSTable(SnapshotFriendly):
     """One immutable sorted table."""
 
     def __init__(self, fs: "Filesystem", file: "SimFile", seq: int,

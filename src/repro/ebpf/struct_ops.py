@@ -10,6 +10,7 @@ policy (§4.3).  This module reproduces both flavours.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -57,7 +58,7 @@ class StructOpsHandle:
     attached: bool = True
 
 
-class StructOpsRegistry:
+class StructOpsRegistry(SnapshotFriendly):
     """Tracks attachments and enforces exclusivity.
 
     One system-wide attachment per spec, or one per-cgroup attachment

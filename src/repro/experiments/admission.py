@@ -14,7 +14,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.harness import (CellSpec, ExperimentResult,
-                                       ExperimentSpec, make_db_env)
+                                       ExperimentSpec, make_db_env,
+                                       warm_db_env_snapshot)
 from repro.policies.admission import make_admission_filter_policy
 from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
 
@@ -26,7 +27,7 @@ QUICK_SCALE = {"nkeys": 6000, "cgroup_pages": 192, "nops": 4000,
 
 def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
             warmup_ops: int, nthreads: int, seed: int = 42,
-            mode: str = "full"):
+            mode: str = "full", snapshot: bool = False):
     from repro.apps.lsm import DbOptions
     # A small memtable keeps flushes frequent so background compaction
     # actually runs inside the measured window (the paper's RocksDB
@@ -34,7 +35,7 @@ def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
     env = make_db_env("default", cgroup_pages=cgroup_pages,
                       nkeys=nkeys, compaction_thread=True,
                       db_options=DbOptions(memtable_entries=256),
-                      mode=mode)
+                      mode=mode, snapshot=snapshot)
     if filtered:
         ops = make_admission_filter_policy()
         env.machine.attach(env.cgroup, ops)
@@ -45,6 +46,17 @@ def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
                         nkeys=nkeys, nops=nops, nthreads=nthreads,
                         warmup_ops=warmup_ops, seed=seed)
     return runner.run(), env
+
+
+def prepare_snapshot(nkeys: int = 0, cgroup_pages: int = 0,
+                     mode: str = "full", **_ignored) -> None:
+    """``snapshot_prepare`` companion mirroring :func:`run_one`'s
+    environment shape (fixed default kernel, small memtable)."""
+    from repro.apps.lsm import DbOptions
+    warm_db_env_snapshot("default", cgroup_pages=cgroup_pages,
+                         nkeys=nkeys,
+                         db_options=DbOptions(memtable_entries=256),
+                         mode=mode)
 
 
 def cell(filtered: bool, **params) -> dict:
@@ -63,7 +75,8 @@ def plan(quick: bool = False, scale: dict = None) -> ExperimentSpec:
     cells = [CellSpec("admission",
                       "admission-filter" if filtered else "baseline",
                       cell, dict(filtered=filtered, **params),
-                      supports_replay=True)
+                      supports_replay=True, supports_snapshot=True,
+                      snapshot_prepare=prepare_snapshot)
              for filtered in (False, True)]
     return ExperimentSpec("admission", cells, _merge,
                           meta={"labels": ["baseline",

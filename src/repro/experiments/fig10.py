@@ -18,7 +18,8 @@ from typing import Iterable, Optional
 from repro.cache_ext import load_policy
 from repro.experiments.harness import (CellSpec, ExperimentResult,
                                        ExperimentSpec, attach_policy,
-                                       build_machine, make_db_env)
+                                       build_machine, make_db_env,
+                                       prepare_db_env_snapshot)
 from repro.policies.get_scan import make_get_scan_policy
 from repro.workloads.getscan import GetScanWorkload
 
@@ -47,20 +48,20 @@ def run_one(label: str, policy: str, fadvise_mode: Optional[str],
             nkeys: int, cgroup_pages: int, n_gets: int, scan_len: int,
             get_threads: int, scan_threads: int,
             zipf_theta: float = 1.5, seed: int = 5,
-            mode: str = "full"):
+            mode: str = "full", snapshot: bool = False):
     if policy == "get-scan":
         # The TID map must be filled after threads exist, so load the
         # policy here rather than through attach_policy.
         env = make_db_env("default", cgroup_pages=cgroup_pages,
                           nkeys=nkeys, compaction_thread=True,
-                          mode=mode)
+                          mode=mode, snapshot=snapshot)
         ops = make_get_scan_policy(map_entries=max(4 * cgroup_pages,
                                                    1024))
         load_policy(env.machine, env.cgroup, ops)
     else:
         env = make_db_env(policy, cgroup_pages=cgroup_pages,
                           nkeys=nkeys, compaction_thread=True,
-                          mode=mode)
+                          mode=mode, snapshot=snapshot)
         ops = None
     workload = GetScanWorkload(env.db, nkeys=nkeys, n_gets=n_gets,
                                get_threads=get_threads,
@@ -94,7 +95,8 @@ def plan(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
     cells = [CellSpec("fig10", label, cell,
                       dict(label=label, policy=policy,
                            fadvise_mode=fadv, **params),
-                      supports_replay=True)
+                      supports_replay=True, supports_snapshot=True,
+                      snapshot_prepare=prepare_db_env_snapshot)
              for label, policy, fadv in variants]
 
     def prepare() -> None:

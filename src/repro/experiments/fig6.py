@@ -22,7 +22,8 @@ from typing import Iterable, Optional
 
 from repro.experiments.harness import (GENERIC_POLICY_NAMES, CellSpec,
                                        ExperimentResult, ExperimentSpec,
-                                       make_db_env)
+                                       make_db_env,
+                                       prepare_db_env_snapshot)
 from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
 
 FULL_SCALE = {"nkeys": 40000, "cgroup_pages": 1000, "nops": 40000,
@@ -40,7 +41,7 @@ DEFAULT_WORKLOADS = ("A", "B", "C", "D", "E", "F", "uniform", "uniform-rw")
 def run_one(policy: str, workload: str, nkeys: int, cgroup_pages: int,
             nops: int, warmup_ops: int = 0, nthreads: int = 8,
             zipf_theta: float = 1.1, seed: int = 42,
-            mode: str = "full"):
+            mode: str = "full", snapshot: bool = False):
     """One (policy, workload) cell; returns (YcsbResult, DbEnv).
 
     ``zipf_theta=1.1`` is the scaled-equivalent skew: it makes the
@@ -51,14 +52,17 @@ def run_one(policy: str, workload: str, nkeys: int, cgroup_pages: int,
 
     ``mode="replay"`` runs the cell on the trace-replay fast path
     (:mod:`repro.replay`); the payload is bit-identical to the full
-    engine's.
+    engine's.  ``snapshot=True`` restores the post-load machine from
+    the sweep-level image cache (:mod:`repro.snapshot`) instead of
+    re-running the bulk load — again bit-identical.
     """
     spec = YCSB_WORKLOADS[workload]
     if spec.scan > 0:
         nops = max(nops // SCAN_OPS_DIVISOR, 200)
         warmup_ops = warmup_ops // SCAN_OPS_DIVISOR
     env = make_db_env(policy, cgroup_pages=cgroup_pages, nkeys=nkeys,
-                      compaction_thread=True, mode=mode)
+                      compaction_thread=True, mode=mode,
+                      snapshot=snapshot)
     runner = YcsbRunner(env.db, spec, nkeys=nkeys, nops=nops, seed=seed,
                         nthreads=nthreads, warmup_ops=warmup_ops,
                         zipf_theta=zipf_theta)
@@ -120,7 +124,8 @@ def plan(quick: bool = False,
     policies, workloads = list(policies), list(workloads)
     cells = [CellSpec("fig6", f"{w}/{p}", cell,
                       dict(policy=p, workload=w, **params),
-                      supports_replay=True)
+                      supports_replay=True, supports_snapshot=True,
+                      snapshot_prepare=prepare_db_env_snapshot)
              for w in workloads for p in policies]
     return ExperimentSpec("fig6", cells, _merge,
                           meta={"params": params, "policies": policies,

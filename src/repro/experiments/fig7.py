@@ -17,7 +17,8 @@ from typing import Iterable, Optional
 
 from repro.experiments import fig6
 from repro.experiments.harness import (GENERIC_POLICY_NAMES, CellSpec,
-                                       ExperimentResult, ExperimentSpec)
+                                       ExperimentResult, ExperimentSpec,
+                                       prepare_db_env_snapshot)
 
 
 def spearman_rank_correlation(xs: list, ys: list) -> float:
@@ -43,7 +44,9 @@ def plan(quick: bool = False,
     params = dict(fig6.QUICK_SCALE if quick else fig6.FULL_SCALE)
     policies, workloads = list(policies), list(workloads)
     cells = [CellSpec("fig7", f"{w}/{p}", fig6.cell,
-                      dict(policy=p, workload=w, **params))
+                      dict(policy=p, workload=w, **params),
+                      supports_snapshot=True,
+                      snapshot_prepare=prepare_db_env_snapshot)
              for w in workloads for p in policies]
     return ExperimentSpec("fig7", cells, _merge,
                           meta={"policies": policies,

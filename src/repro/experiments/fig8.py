@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.experiments.harness import (CellSpec, ExperimentResult,
-                                       ExperimentSpec, make_db_env)
+                                       ExperimentSpec, make_db_env,
+                                       prepare_db_env_snapshot)
 from repro.workloads.twitter import CLUSTERS, TwitterRunner
 
 FULL_SCALE = {"nkeys": 40000, "cgroup_pages": 1000, "nops": 40000,
@@ -30,9 +31,10 @@ POLICIES = ("default", "mglru", "lfu", "s3fifo", "lhd")
 
 def run_one(policy: str, cluster: int, nkeys: int, cgroup_pages: int,
             nops: int, warmup_ops: int = 0, seed: int = 11,
-            mode: str = "full"):
+            mode: str = "full", snapshot: bool = False):
     env = make_db_env(policy, cgroup_pages=cgroup_pages, nkeys=nkeys,
-                      compaction_thread=True, mode=mode)
+                      compaction_thread=True, mode=mode,
+                      snapshot=snapshot)
     runner = TwitterRunner(env.db, CLUSTERS[cluster], nkeys=nkeys,
                            nops=nops, warmup_ops=warmup_ops, seed=seed)
     return runner.run(), env
@@ -57,7 +59,8 @@ def plan(quick: bool = False,
     clusters, policies = list(clusters), list(policies)
     cells = [CellSpec("fig8", f"{c}/{p}", cell,
                       dict(policy=p, cluster=c, **params),
-                      supports_replay=True)
+                      supports_replay=True, supports_snapshot=True,
+                      snapshot_prepare=prepare_db_env_snapshot)
              for c in clusters for p in policies]
 
     def prepare() -> None:

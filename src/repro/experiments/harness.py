@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import snapshot as _snapshot
 from repro.apps.lsm import DbOptions, LsmDb
 from repro.cache_ext.ops import CacheExtOps
 from repro.kernel import Machine
@@ -136,11 +137,86 @@ class DbEnv:
     ops: Optional[CacheExtOps]
 
 
+def _preattach_env(kernel: str, cgroup_pages: int, nkeys: int,
+                   db_options: DbOptions, cgroup_name: str,
+                   mode: str) -> tuple:
+    """Cold build of the policy-agnostic pre-attach environment.
+
+    Machine + cgroup + bulk-loaded LSM store, *before* any policy
+    attaches and before the compaction thread spawns — the exact state
+    :func:`make_db_env` snapshots.  ``kernel`` is a kernel flavor
+    (``"default"`` | ``"mglru"``), not a policy name.
+    """
+    machine = build_machine(kernel, mode=mode)
+    cgroup = machine.new_cgroup(cgroup_name, limit_pages=cgroup_pages)
+    db = LsmDb(machine, cgroup, options=db_options)
+    db.bulk_load(load_items(nkeys))
+    if mode == "replay":
+        db.enable_plan_cache()
+    return machine, cgroup, db
+
+
+def _env_image(kernel: str, cgroup_pages: int, nkeys: int,
+               db_options: DbOptions, cgroup_name: str,
+               mode: str) -> "_snapshot.MachineImage":
+    """The cached pre-attach image for one environment shape.
+
+    Keyed on everything that shapes the image; the bulk load runs
+    outside the engine with no simulated I/O, so the image is
+    workload-independent — one capture per kernel flavor serves a whole
+    sweep.  The builder runs with the cell observer suppressed: the
+    captured machine must stay pristine, and the observer is re-applied
+    to every *restored* machine instead (no events fire during the
+    build — the load phase never enters the engine — so observers see
+    identical streams either way).
+    """
+    key = ("db_env", kernel, mode, cgroup_name, int(cgroup_pages),
+           int(nkeys), repr(db_options))
+
+    def builder():
+        previous = set_cell_observer(None)
+        try:
+            machine, cgroup, db = _preattach_env(
+                kernel, cgroup_pages, nkeys, db_options, cgroup_name,
+                mode)
+        finally:
+            set_cell_observer(previous)
+        return machine, (cgroup, db)
+
+    return _snapshot.get_or_capture(key, builder)
+
+
+def warm_db_env_snapshot(policy: str, cgroup_pages: int, nkeys: int,
+                         db_options: Optional[DbOptions] = None,
+                         cgroup_name: str = "app",
+                         mode: str = "full") -> None:
+    """Materialize the snapshot image ``make_db_env(..., snapshot=True)``
+    will restore, without building a cell.  The parallel runner calls
+    this in the parent (via the plan's prepare hook) so forked workers
+    inherit the image bytes copy-on-write."""
+    if db_options is None:
+        db_options = DbOptions(memtable_entries=512)
+    kernel = "mglru" if policy == "mglru" else "default"
+    _env_image(kernel, cgroup_pages, nkeys, db_options, cgroup_name,
+               mode)
+
+
+def prepare_db_env_snapshot(policy: str = "default", nkeys: int = 0,
+                            cgroup_pages: int = 0, mode: str = "full",
+                            **_ignored) -> None:
+    """Generic ``snapshot_prepare`` companion for cells built on
+    :func:`make_db_env` with default options: accepts a cell's full
+    kwargs, uses only the fields that shape the image."""
+    warm_db_env_snapshot(policy, cgroup_pages=cgroup_pages,
+                         nkeys=nkeys, mode=mode)
+
+
 def make_db_env(policy: str, cgroup_pages: int, nkeys: int,
                 db_options: Optional[DbOptions] = None,
                 compaction_thread: bool = False,
                 cgroup_name: str = "app",
-                mode: str = "full") -> DbEnv:
+                mode: str = "full",
+                snapshot: bool = False) -> DbEnv:
     """Build the standard DB experiment environment.
 
     The database is bulk-loaded (no simulated I/O, cold cache), then
@@ -155,15 +231,27 @@ def make_db_env(policy: str, cgroup_pages: int, nkeys: int,
     ``mode="replay"`` builds the whole stack on the trace-replay fast
     path: replay machine (:mod:`repro.replay`) plus the LSM read-plan
     cache.  Counters are bit-identical to the full mode.
+
+    ``snapshot=True`` restores the post-load/pre-attach image from the
+    process-wide snapshot cache (:mod:`repro.snapshot`) — capturing it
+    first if this is the sweep's first cell — instead of re-running the
+    bulk load.  The restored graph is fresh and independent per call;
+    payloads are byte-identical to a cold build
+    (``tests/test_snapshot.py``).
     """
-    machine = build_machine(policy, mode=mode)
-    cgroup = machine.new_cgroup(cgroup_name, limit_pages=cgroup_pages)
     if db_options is None:
         db_options = DbOptions(memtable_entries=512)
-    db = LsmDb(machine, cgroup, options=db_options)
-    db.bulk_load(load_items(nkeys))
-    if mode == "replay":
-        db.enable_plan_cache()
+    if snapshot:
+        kernel = "mglru" if policy == "mglru" else "default"
+        image = _env_image(kernel, cgroup_pages, nkeys, db_options,
+                           cgroup_name, mode)
+        machine, cgroup, db = _snapshot.restore(image)
+        if _cell_observer is not None:
+            _cell_observer(machine)
+    else:
+        machine, cgroup, db = _preattach_env(
+            "mglru" if policy == "mglru" else "default", cgroup_pages,
+            nkeys, db_options, cgroup_name, mode)
     ops = attach_policy(machine, cgroup, policy, cgroup_pages)
     if compaction_thread:
         db.spawn_compaction_thread()
@@ -190,6 +278,16 @@ class CellSpec:
     #: wall-clock-independent counters).  The parallel runner's
     #: ``--mode replay|auto`` only rewrites cells that opt in.
     supports_replay: bool = False
+    #: Whether ``fn`` accepts ``snapshot=True`` and produces the same
+    #: payload when its environment is restored from a pre-load image
+    #: (:mod:`repro.snapshot`) instead of rebuilt.  The runner's
+    #: ``--snapshot on|auto`` only rewrites cells that opt in.
+    supports_snapshot: bool = False
+    #: Module-level companion to ``fn`` that *warms* the snapshot image
+    #: ``fn`` would restore, given the same kwargs, without running the
+    #: cell.  The runner calls it in the parent before forking so
+    #: workers inherit the image copy-on-write.
+    snapshot_prepare: Optional[Callable[..., None]] = None
 
     def execute(self) -> dict:
         return self.fn(**self.kwargs)

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import gc
 import json
 import multiprocessing
 import multiprocessing.connection
@@ -128,6 +129,76 @@ def apply_mode(spec: ExperimentSpec, mode: str, trace: bool = False,
                           prepare=spec.prepare)
 
 
+def apply_snapshot(spec: ExperimentSpec, snapshot) -> ExperimentSpec:
+    """Rewrite a plan to restore cells from sweep-level snapshots.
+
+    * ``"off"`` / ``False`` — the spec unchanged (cold builds).
+    * ``"on"`` / ``True`` / ``"auto"`` — every cell that declares
+      ``supports_snapshot`` executes with ``snapshot=True``: its
+      environment is restored from the shared post-load image
+      (:mod:`repro.snapshot`) instead of rebuilt.  Payloads are
+      byte-identical either way (``tests/test_snapshot.py``), so the
+      merge result never depends on this setting.
+
+    The rewritten spec's prepare hook additionally *warms* each
+    distinct image in the parent (via the cells'
+    ``snapshot_prepare`` companions), mirroring the stream pre-
+    generation: serial cells share the one capture, forked workers
+    inherit the bytes copy-on-write.
+
+    ``"auto"`` is resolved by callers that know about incompatible
+    configuration (:func:`repro.api.run` falls back to cold builds
+    when a fault plan is armed); here it behaves like ``"on"``.
+    """
+    if snapshot in (False, None, "off"):
+        return spec
+    if snapshot not in (True, "on", "auto"):
+        raise ValueError(f"unknown snapshot setting {snapshot!r}")
+    cells = [dataclasses.replace(
+                 cell, kwargs={**cell.kwargs, "snapshot": True})
+             if cell.supports_snapshot else cell
+             for cell in spec.cells]
+    warmers = [cell for cell in cells
+               if cell.supports_snapshot
+               and cell.snapshot_prepare is not None]
+    inner_prepare = spec.prepare
+
+    def prepare() -> None:
+        if inner_prepare is not None:
+            inner_prepare()
+        # Warm each image once; duplicate (kernel, scale) shapes are
+        # deduplicated by the snapshot cache itself.
+        for cell in warmers:
+            cell.snapshot_prepare(**cell.kwargs)
+
+    return ExperimentSpec(spec.name, cells, spec.merge, meta=spec.meta,
+                          prepare=prepare)
+
+
+def _run_gc_paused(fn):
+    """Run ``fn()`` with the cyclic collector paused.
+
+    A cell allocates millions of short-lived objects; the generational
+    collector's periodic sweeps are pure wall-clock with zero effect on
+    the simulation (virtual time never observes the host clock), worth
+    ~5-10% of a serial sweep.  The machine graph is cyclic (folio ↔
+    list node, engine ↔ threads), so the dead graph is reclaimed by an
+    explicit collect at the cell boundary — cheap, because
+    :func:`execute` freezes the long-lived prepared caches out of the
+    collector first, leaving only this cell's leftovers to scan.
+    Collector state is restored even when the cell raises, and a
+    caller who already disabled GC is left alone.
+    """
+    if not gc.isenabled():
+        return fn()
+    gc.disable()
+    try:
+        return fn()
+    finally:
+        gc.enable()
+        gc.collect()
+
+
 def run_cell(cell: CellSpec, trace: bool = False,
              breakdown: bool = False) -> tuple:
     """Execute one cell in this process; returns
@@ -144,7 +215,7 @@ def run_cell(cell: CellSpec, trace: bool = False,
     same cell produce byte-identical breakdowns.
     """
     if not trace and not breakdown:
-        return cell.execute(), None, None
+        return _run_gc_paused(cell.execute), None, None
     counter = _LookupCounter() if trace else None
     aggregator = None
     if breakdown:
@@ -159,7 +230,7 @@ def run_cell(cell: CellSpec, trace: bool = False,
 
     previous = harness.set_cell_observer(observe)
     try:
-        payload = cell.execute()
+        payload = _run_gc_paused(cell.execute)
     finally:
         harness.set_cell_observer(previous)
     bdown = None
@@ -338,7 +409,7 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
 def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
             serial: bool = False, timeout_s: float = DEFAULT_TIMEOUT_S,
             trace: bool = False, breakdown: bool = False,
-            mode: str = "full") -> ExecutionReport:
+            mode: str = "full", snapshot="off") -> ExecutionReport:
     """Run every cell of ``spec`` and merge; returns the full report.
 
     ``serial=True`` (or ``jobs=1``, or a platform without ``fork``)
@@ -348,19 +419,32 @@ def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
     summary in :attr:`ExecutionReport.breakdown`.  ``mode`` selects
     the execution engine per :func:`apply_mode` (``"replay"`` /
     ``"auto"`` route opted-in cells through the trace-replay fast
-    path, with bit-identical payloads).
+    path, with bit-identical payloads).  ``snapshot`` selects
+    sweep-level machine snapshots per :func:`apply_snapshot`
+    (opted-in cells restore the shared post-load image instead of
+    rebuilding it — byte-identical payloads again).
     """
     spec = apply_mode(spec, mode, trace=trace, breakdown=breakdown)
+    spec = apply_snapshot(spec, snapshot)
     if jobs is None:
         jobs = default_jobs()
     can_fork = "fork" in multiprocessing.get_all_start_methods()
     report = ExecutionReport(result=None, jobs=1 if serial else jobs)
     t0 = time.perf_counter()
     if spec.prepare is not None:
-        # Warm shared caches (pre-generated workload streams) in the
-        # parent: serial cells reuse them directly; forked workers
-        # inherit them copy-on-write instead of regenerating per cell.
+        # Warm shared caches (pre-generated workload streams, machine
+        # images) in the parent: serial cells reuse them directly;
+        # forked workers inherit them copy-on-write instead of
+        # regenerating per cell.
         spec.prepare()
+        # The prepared caches are immortal for the process lifetime;
+        # freezing them out of the cyclic collector keeps the per-cell
+        # boundary collects (see _run_gc_paused) from rescanning
+        # megabytes of static streams and image payloads every cell —
+        # and, for forked workers, stops collector scans from dirtying
+        # the inherited copy-on-write pages.
+        gc.collect()
+        gc.freeze()
     if serial or jobs <= 1 or len(spec.cells) <= 1 or not can_fork:
         report.jobs = 1
         payloads = _execute_serial(spec, trace, breakdown, report)
@@ -457,6 +541,15 @@ def main(argv: Optional[list] = None) -> int:
                              "fast path (bit-identical payloads); "
                              "'auto' does so unless --trace/--breakdown "
                              "need the full instrumentation")
+    parser.add_argument("--snapshot", choices=("off", "on", "auto"),
+                        default="off",
+                        help="sweep-level machine snapshots: 'on' "
+                             "restores snapshot-capable cells from one "
+                             "shared post-load image instead of "
+                             "re-running the load per policy "
+                             "(byte-identical tables); 'auto' is "
+                             "equivalent here and exists for API "
+                             "symmetry")
     parser.add_argument("--trace", action="store_true",
                         help="attach cache:lookup counters to every cell")
     parser.add_argument("--breakdown", default=None, metavar="PATH",
@@ -481,7 +574,7 @@ def main(argv: Optional[list] = None) -> int:
     report = execute(spec, jobs=args.jobs, serial=args.serial,
                      timeout_s=args.timeout, trace=args.trace,
                      breakdown=args.breakdown is not None,
-                     mode=args.mode)
+                     mode=args.mode, snapshot=args.snapshot)
     table = report.result.format_table()
     print(table)
     if args.breakdown:

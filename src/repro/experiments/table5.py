@@ -17,7 +17,8 @@ from typing import Iterable, Optional
 
 from repro.experiments import fig6
 from repro.experiments.harness import (CellSpec, ExperimentResult,
-                                       ExperimentSpec)
+                                       ExperimentSpec,
+                                       prepare_db_env_snapshot)
 
 WORKLOADS = ("A", "B", "C", "D", "E", "F", "uniform", "uniform-rw")
 
@@ -34,7 +35,9 @@ def plan(quick: bool = False,
     params = dict(fig6.QUICK_SCALE if quick else fig6.FULL_SCALE)
     workloads = list(workloads)
     cells = [CellSpec("table5", f"{w}/{p}", fig6.cell,
-                      dict(policy=p, workload=w, **params))
+                      dict(policy=p, workload=w, **params),
+                      supports_snapshot=True,
+                      snapshot_prepare=prepare_db_env_snapshot)
              for w in workloads for p in ("mglru", "mglru-bpf")]
     return ExperimentSpec("table5", cells, _merge,
                           meta={"workloads": workloads},

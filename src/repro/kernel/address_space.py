@@ -8,6 +8,7 @@ resident folios, one for shadow entries.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.kernel.folio import Folio
@@ -16,7 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.shadow import ShadowEntry
 
 
-class AddressSpace:
+class AddressSpace(SnapshotFriendly):
     """Maps page indices of one file to resident folios/shadow entries."""
 
     def __init__(self, file_id: int) -> None:

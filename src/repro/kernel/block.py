@@ -8,6 +8,7 @@ report per-workload disk traffic (Figure 7's x-axis).
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
@@ -27,7 +28,7 @@ class CgroupIoStats:
         return self.read_pages + self.write_pages
 
 
-class BlockDevice(Disk):
+class BlockDevice(Disk, SnapshotFriendly):
     """A :class:`Disk` that also keeps per-cgroup page counters and
     emits ``block:io_issue`` / ``block:io_complete`` tracepoints (the
     ``block_rq_issue`` / ``block_rq_complete`` analogues, with queue

@@ -12,6 +12,7 @@ not move the charge.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 import itertools
 from typing import TYPE_CHECKING, Optional
 
@@ -24,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _cgroup_ids = itertools.count(1)
 
 
-class MemCgroup:
+class MemCgroup(SnapshotFriendly):
     """A memory control group.
 
     Parameters

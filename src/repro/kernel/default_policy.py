@@ -21,6 +21,7 @@ cache_ext policy is attached; they are the fallback eviction path
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from typing import Optional
 
 from repro.kernel.cgroup import MemCgroup
@@ -28,7 +29,7 @@ from repro.kernel.folio import Folio
 from repro.kernel.list import IntrusiveList, ListNode
 
 
-class KernelPolicy:
+class KernelPolicy(SnapshotFriendly):
     """Interface the reclaim driver uses to talk to a kernel policy.
 
     Concrete implementations: :class:`DefaultLruPolicy` (two-list LRU)

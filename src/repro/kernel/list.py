@@ -9,6 +9,7 @@ with a sentinel head.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from typing import Any, Iterator, Optional
 
 
@@ -31,7 +32,7 @@ class ListNode:
         return self.owner is not None
 
 
-class IntrusiveList:
+class IntrusiveList(SnapshotFriendly):
     """Circular doubly-linked list with a sentinel, tracking its length."""
 
     def __init__(self, name: str = "") -> None:

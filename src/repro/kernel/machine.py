@@ -8,6 +8,7 @@ the paper's testbed.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from typing import Callable, Optional
 
 from repro.ebpf.struct_ops import StructOpsRegistry
@@ -49,7 +50,7 @@ KERNEL_TRACEPOINTS = (
 )
 
 
-class Machine:
+class Machine(SnapshotFriendly):
     """One simulated host.
 
     Parameters

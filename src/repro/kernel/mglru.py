@@ -23,6 +23,7 @@ The cache_ext port of this policy lives in
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from dataclasses import dataclass, field
 
 from repro.kernel.cgroup import MemCgroup
@@ -45,7 +46,7 @@ def tier_of(freq: int) -> int:
 
 
 @dataclass
-class TierStats:
+class TierStats(SnapshotFriendly):
     """Per-tier eviction/refault counters feeding the PID controller."""
 
     evicted: int = 0
@@ -65,7 +66,7 @@ class TierStats:
 
 
 @dataclass
-class PidController:
+class PidController(SnapshotFriendly):
     """Positive/negative feedback on per-tier refault ratios.
 
     The kernel's controller compares each upper tier's refault ratio

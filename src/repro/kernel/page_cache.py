@@ -18,6 +18,7 @@ This module is the seam where everything meets.  It owns:
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from typing import TYPE_CHECKING, Optional
 
 from repro.kernel.address_space import AddressSpace
@@ -84,7 +85,7 @@ class ExtPolicyBase:
         raise NotImplementedError
 
 
-class PageCache:
+class PageCache(SnapshotFriendly):
     """The machine-wide page cache."""
 
     def __init__(self, machine: "Machine") -> None:
@@ -218,8 +219,16 @@ class PageCache:
         kernel policy and any attached cache_ext policy, and triggers
         direct reclaim if the charge pushed the cgroup over its limit.
         """
+        # The calling thread is resolved once for the whole insert:
+        # cgroup attribution, every trace point and the CPU charge all
+        # need it, and each current_thread() lookup costs a module-
+        # global load plus None checks.
+        thread = current_thread()
         if memcg is None:
-            memcg = self._current_cgroup()
+            if thread is not None and thread.cgroup is not None:
+                memcg = thread.cgroup  # inlined _current_cgroup()
+            else:
+                memcg = self.machine.root_cgroup
 
         ext = memcg.ext_policy
         if ext is not None and not ext.admit(mapping, index):
@@ -282,11 +291,11 @@ class PageCache:
             ts, tid = self._trace_point()
             tp.emit(ts, memcg.name, tid, file=mapping.file_id, index=index,
                     charged=memcg.charged_pages)
-        # Inlined _charge_cpu: the insert path runs once per miss and
-        # the helper frame is measurable under eviction churn.
-        thread = current_thread()
         if thread is not None:
-            thread.advance(self.machine.costs.cache_miss_us)
+            # Inlined thread.advance; the miss cost is configured, >= 0.
+            us = self.machine.costs.cache_miss_us
+            thread.clock_us += us
+            thread.cpu_us += us
 
         limit = memcg.limit_pages
         if limit is not None and memcg.charged_pages > limit:
@@ -371,12 +380,35 @@ class PageCache:
                 ext = quarantine.maybe_reattach(memcg)
         if ext is not None:
             proposals = ext.propose_candidates(nr)
-            memcg.stats.ext_candidates += len(proposals)
-            self.stats.ext_candidates += len(proposals)
+            mstats = memcg.stats
+            stats = self.stats
+            mstats.ext_candidates += len(proposals)
+            stats.ext_candidates += len(proposals)
+            # The kernel-side safety checks of §4.4, with the thread,
+            # registry switch and per-check CPU cost bound once per
+            # batch instead of once per proposed folio.  A candidate
+            # is acceptable only if the registry still holds the
+            # reference (i.e., the pointer is a live folio of this
+            # policy's cgroup), the folio is resident, charged to this
+            # cgroup, and not pinned by the kernel; the registry CPU
+            # charge lands before the lookup, as before.
+            thread = current_thread()
+            validate = self.validate_registry
+            check_us = self.registry_check_us
+            holds_reference = ext.holds_reference
             for folio in proposals:
-                if not self._validate_candidate(folio, memcg, ext):
-                    memcg.stats.ext_invalid_candidates += 1
-                    self.stats.ext_invalid_candidates += 1
+                ok = isinstance(folio, Folio)
+                if ok and validate:
+                    if thread is not None:
+                        # Inlined thread.advance; check_us >= 0.
+                        thread.clock_us += check_us
+                        thread.cpu_us += check_us
+                    ok = holds_reference(folio)
+                if not (ok and folio.mapping is not None
+                        and folio.memcg is memcg
+                        and folio.pin_count == 0):
+                    mstats.ext_invalid_candidates += 1
+                    stats.ext_invalid_candidates += 1
                     continue
                 if folio.id in seen:
                     continue
@@ -452,7 +484,12 @@ class PageCache:
             file_id = mapping.file_id
             index = folio.index
             active = folio.active
-            mapping.remove(folio)
+            # Inlined mapping.remove(): its non-resident guard is
+            # provably redundant here — ``folio.mapping is mapping``
+            # was checked above, and only insert/remove ever set it,
+            # so ``mapping._folios[index] is folio`` holds.
+            del mapping._folios[index]
+            folio.mapping = None
             kp_removed(folio)
             # Re-read ext_policy per folio: a policy program fault may
             # watchdog-detach it mid-batch.
@@ -486,33 +523,6 @@ class PageCache:
                     tp_fallback.emit(ts, memcg.name, tid, policy=ext.name,
                                      file=file_id, index=index)
         return evicted
-
-    def _validate_candidate(self, folio: Folio, memcg: MemCgroup,
-                            ext: ExtPolicyBase) -> bool:
-        """The kernel-side safety checks of §4.4.
-
-        A candidate is acceptable only if the registry still holds the
-        reference (i.e., the pointer is a live folio of this policy's
-        cgroup), the folio is resident, charged to this cgroup, and not
-        pinned by the kernel.
-        """
-        if not isinstance(folio, Folio):
-            return False
-        if self.validate_registry:
-            # Inlined _charge_cpu: validation runs once per proposed
-            # candidate, i.e. once per evicted page under churn.
-            thread = current_thread()
-            if thread is not None:
-                thread.advance(self.registry_check_us)
-            if not ext.holds_reference(folio):
-                return False
-        if folio.mapping is None:
-            return False
-        if folio.memcg is not memcg:
-            return False
-        if folio.pin_count > 0:
-            return False
-        return True
 
     # ------------------------------------------------------------------
     # removal path

@@ -8,11 +8,12 @@ hit/miss counters because the simulator can.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from dataclasses import dataclass, field
 
 
 @dataclass
-class CacheStats:
+class CacheStats(SnapshotFriendly):
     """Counters kept per cgroup and aggregated machine-wide."""
 
     lookups: int = 0

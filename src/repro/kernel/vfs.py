@@ -17,6 +17,7 @@ paper's evaluation relies on.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 import enum
 import itertools
 from typing import TYPE_CHECKING, Any, Optional
@@ -58,7 +59,7 @@ class FAdvice(enum.Enum):
     NOREUSE = "noreuse"
 
 
-class SimFile:
+class SimFile(SnapshotFriendly):
     """A simulated file: backing store + page-cache mapping + RA state."""
 
     def __init__(self, name: str, file_id: Optional[int] = None) -> None:
@@ -83,7 +84,7 @@ class SimFile:
         return f"SimFile(id={self.file_id}, name={self.name!r}, npages={self.npages})"
 
 
-class Filesystem:
+class Filesystem(SnapshotFriendly):
     """Machine-wide VFS: file namespace + page-cache-mediated I/O."""
 
     #: When True (default), :meth:`read_range` takes the batched fast

@@ -33,6 +33,7 @@ bit-identical traces, which the determinism test in
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 import json
 from fnmatch import fnmatchcase
 from typing import Callable, Iterable, Optional, TextIO
@@ -172,7 +173,7 @@ class _NullTracepoint(Tracepoint):
 NULL_TRACEPOINT = _NullTracepoint("null")
 
 
-class TraceRegistry:
+class TraceRegistry(SnapshotFriendly):
     """Per-machine namespace of tracepoints.
 
     Tracepoints are created on demand by name; the kernel layers

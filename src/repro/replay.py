@@ -154,12 +154,20 @@ def enable_replay(machine: Machine) -> Machine:
     return machine
 
 
+def _arm_faults_refused(plan):
+    """Replacement ``arm_faults`` installed on replay machines.
+
+    Module-level (not a closure) so a replay machine stays picklable —
+    the snapshot subsystem (:mod:`repro.snapshot`) pickles whole
+    machines, and a bound local function would break that.
+    """
+    raise ValueError(
+        "cannot arm a fault plan on a replay-mode machine; "
+        "build the machine with mode='full'")
+
+
 def _wrap_arm_faults(machine: Machine) -> None:
-    def arm_faults_refused(plan):
-        raise ValueError(
-            "cannot arm a fault plan on a replay-mode machine; "
-            "build the machine with mode='full'")
-    machine.arm_faults = arm_faults_refused
+    machine.arm_faults = _arm_faults_refused
 
 
 def replay_counters(machine: Machine, cgroup: str = "app") -> dict:

@@ -20,6 +20,7 @@ charge a folio to, the TID consulted by application-informed policies).
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 import heapq
 import itertools
 from typing import Callable, Optional
@@ -111,7 +112,7 @@ class SimThread:
         return f"SimThread(tid={self.tid}, name={self.name!r}, clock={self.clock_us:.1f}us)"
 
 
-class Engine:
+class Engine(SnapshotFriendly):
     """Smallest-clock-first scheduler over a set of :class:`SimThread`.
 
     Threads may be added while the engine is running (e.g., an LSM store

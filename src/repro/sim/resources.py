@@ -16,13 +16,14 @@ ratios.
 
 from __future__ import annotations
 
+from repro.snapshot import SnapshotFriendly
 from dataclasses import dataclass, field
 
 from repro.sim.engine import SimThread
 
 
 @dataclass
-class CpuCosts:
+class CpuCosts(SnapshotFriendly):
     """CPU cost model, in microseconds, charged to the running thread.
 
     These mirror the cost structure that produces the paper's overhead
@@ -54,7 +55,7 @@ class CpuCosts:
 
 
 @dataclass
-class DiskStats:
+class DiskStats(SnapshotFriendly):
     """Cumulative I/O accounting, used for Figure 7's total-disk-I/O axis."""
 
     reads: int = 0

@@ -1,0 +1,227 @@
+"""Sweep-level machine snapshots: restore must equal cold start.
+
+The snapshot contract (ISSUE: "byte-identical tables, cold-start vs
+snapshot-restore") is enforced here by running the same cell twice —
+once with a cold-built environment, once restored from the post-load
+image (``snapshot=True``) — and requiring the *entire payload dict* to
+compare equal, floats included.  Coverage spans the stream families
+(YCSB, Twitter clusters, GET-SCAN, admission) and every attachable
+policy, both execution modes, plus the refusal and mutation-isolation
+guarantees of :mod:`repro.snapshot` driven directly.
+
+Scales are kept small: equality at any scale exercises the same code
+paths, and the full-scale cross-check lives in the benchmark suite
+(``benchmarks/runner.py`` fails hard if the snapshot-mode fig6 table
+hash diverges from the cold one).
+"""
+
+import pytest
+
+from repro import api, snapshot
+from repro.experiments import admission, fig6, fig8, fig10
+from repro.experiments.harness import (GENERIC_POLICY_NAMES,
+                                       make_db_env,
+                                       warm_db_env_snapshot)
+from repro.faults.plan import FaultPlan
+from repro.kernel.machine import Machine
+from repro.obs.spans import Span
+
+# One small YCSB scale reused by the policy sweep below.
+YCSB_SCALE = dict(nkeys=2000, cgroup_pages=96, nops=800,
+                  warmup_ops=400, nthreads=2, zipf_theta=1.1)
+
+
+def cold_and_restored(cell_fn, **kwargs):
+    cold = cell_fn(snapshot=False, **kwargs)
+    restored = cell_fn(snapshot=True, **kwargs)
+    return cold, restored
+
+
+class TestYcsbEquality:
+    @pytest.mark.parametrize("policy", GENERIC_POLICY_NAMES)
+    def test_policy_payloads_bit_identical(self, policy):
+        cold, restored = cold_and_restored(
+            fig6.cell, policy=policy, workload="B", **YCSB_SCALE)
+        assert cold == restored
+
+    @pytest.mark.parametrize("workload", ("A", "E", "uniform-rw"))
+    def test_workload_payloads_bit_identical(self, workload):
+        # E is scan-heavy, uniform-rw exercises writeback; together
+        # with B above they cover every YCSB op mix the sweep uses.
+        # All three restore the SAME cached image (the capture point
+        # is pre-attach and the bulk load never enters the engine, so
+        # the image is workload-agnostic).
+        cold, restored = cold_and_restored(
+            fig6.cell, policy="lfu", workload=workload, **YCSB_SCALE)
+        assert cold == restored
+
+    @pytest.mark.parametrize("mode", ("full", "replay"))
+    def test_both_modes_bit_identical(self, mode):
+        cold, restored = cold_and_restored(
+            fig6.cell, policy="s3fifo", workload="B", mode=mode,
+            **YCSB_SCALE)
+        assert cold == restored
+
+
+class TestTwitterEquality:
+    @pytest.mark.parametrize("policy", ("default", "lfu", "lhd"))
+    def test_cluster_payloads_bit_identical(self, policy):
+        cold, restored = cold_and_restored(
+            fig8.cell, policy=policy, cluster=34, nkeys=1500,
+            cgroup_pages=80, nops=1200, warmup_ops=400)
+        assert cold == restored
+
+
+class TestGetScanEquality:
+    @pytest.mark.parametrize("label,policy,fadvise_mode", (
+        ("default", "default", None),
+        ("cache_ext-get-scan", "get-scan", None),
+    ))
+    def test_getscan_payloads_bit_identical(self, label, policy,
+                                            fadvise_mode):
+        cold, restored = cold_and_restored(
+            fig10.cell, label=label, policy=policy,
+            fadvise_mode=fadvise_mode, nkeys=1500, cgroup_pages=96,
+            n_gets=600, scan_len=300, get_threads=2, scan_threads=1)
+        assert cold == restored
+
+
+class TestAdmissionEquality:
+    @pytest.mark.parametrize("filtered", (False, True))
+    def test_admission_payloads_bit_identical(self, filtered):
+        cold, restored = cold_and_restored(
+            admission.cell, filtered=filtered, nkeys=1500,
+            cgroup_pages=96, nops=800, warmup_ops=200, nthreads=2)
+        assert cold == restored
+
+
+class TestImageCache:
+    def test_one_capture_serves_a_sweep(self):
+        """Different policies on the same kernel flavor share one
+        image; only the mglru kernel needs a second capture."""
+        snapshot.clear_cache()
+        before = snapshot.cache_info()
+        for policy in ("fifo", "lfu", "default"):
+            fig6.cell(policy=policy, workload="B", snapshot=True,
+                      **YCSB_SCALE)
+        info = snapshot.cache_info()
+        assert info["entries"] == 1
+        assert info["captures"] == before["captures"] + 1
+        assert info["restores"] >= before["restores"] + 3
+        fig6.cell(policy="mglru", workload="B", snapshot=True,
+                  **YCSB_SCALE)
+        assert snapshot.cache_info()["entries"] == 2
+
+    def test_warm_then_restore_hits_cache(self):
+        snapshot.clear_cache()
+        warm_db_env_snapshot("fifo", cgroup_pages=64, nkeys=1000)
+        info = snapshot.cache_info()
+        assert info["entries"] == 1 and info["bytes"] > 0
+        env = make_db_env("fifo", cgroup_pages=64, nkeys=1000,
+                          snapshot=True)
+        assert snapshot.cache_info()["cache_hits"] > info["cache_hits"]
+        assert env.db.total_data_pages > 0
+
+
+class TestMutationIsolation:
+    def test_restored_cells_share_no_mutable_state(self):
+        """Two restores of one image are fully independent graphs:
+        running a destructive workload on one leaves the other's
+        payload identical to a fresh restore's."""
+        snapshot.clear_cache()
+        warm_db_env_snapshot("lfu", cgroup_pages=96, nkeys=2000)
+        a = fig6.cell(policy="lfu", workload="A", snapshot=True,
+                      **YCSB_SCALE)  # writes: mutates its machine
+        b = fig6.cell(policy="lfu", workload="B", snapshot=True,
+                      **YCSB_SCALE)
+        # Re-running each cell from the same cached image must
+        # reproduce it exactly — the first run's mutations (inserted
+        # keys, evicted folios, advanced clocks) must not leak back
+        # into the image or into sibling restores.
+        assert fig6.cell(policy="lfu", workload="A", snapshot=True,
+                         **YCSB_SCALE) == a
+        assert fig6.cell(policy="lfu", workload="B", snapshot=True,
+                         **YCSB_SCALE) == b
+
+    def test_restores_are_distinct_objects(self):
+        snapshot.clear_cache()
+        warm_db_env_snapshot("fifo", cgroup_pages=64, nkeys=1000)
+        e1 = make_db_env("fifo", cgroup_pages=64, nkeys=1000,
+                         snapshot=True)
+        e2 = make_db_env("fifo", cgroup_pages=64, nkeys=1000,
+                         snapshot=True)
+        assert e1.machine is not e2.machine
+        assert e1.cgroup is not e2.cgroup
+        assert e1.db is not e2.db
+        assert e1.db.machine is e1.machine  # graph is internally wired
+        assert e2.machine.cgroup("app") is e2.cgroup
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel_on_restored_machines(self):
+        import multiprocessing
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        plan = lambda: fig6.plan(policies=("fifo", "lfu"),
+                                 workloads=("B",), scale=YCSB_SCALE)
+        serial = api.run(plan(), snapshot=True)
+        parallel = api.run(plan(), snapshot=True, jobs=2)
+        assert serial.result.rows == parallel.result.rows
+
+    def test_facade_auto_matches_cold(self):
+        plan = lambda: fig6.plan(policies=("s3fifo",),
+                                 workloads=("B",), scale=YCSB_SCALE)
+        cold = api.run(plan(), snapshot=False)
+        auto = api.run(plan(), snapshot="auto")
+        assert cold.result.rows == auto.result.rows
+
+
+def _one_step(thread) -> bool:
+    return False
+
+
+class TestRefusals:
+    def test_refuses_armed_faults(self):
+        machine = Machine()
+        machine.arm_faults(FaultPlan(seed=3))
+        with pytest.raises(snapshot.SnapshotError,
+                           match="armed fault plan"):
+            snapshot.capture(machine)
+
+    def test_refuses_live_threads(self):
+        machine = Machine()
+        machine.spawn("worker", lambda thread: False)
+        with pytest.raises(snapshot.SnapshotError, match="live thread"):
+            snapshot.capture(machine)
+
+    def test_refuses_open_span(self):
+        machine = Machine()
+        thread = machine.spawn("req", lambda t: False)
+        machine.run()
+        thread.span = Span("get", open_us=0.0)  # request mid-flight
+        with pytest.raises(snapshot.SnapshotError, match="open span"):
+            snapshot.capture(machine)
+
+    def test_quiescent_machine_captures(self):
+        # Step fn must be module-level: lambdas don't pickle, and the
+        # harness capture point never has threads anyway.
+        machine = Machine()
+        machine.spawn("req", _one_step)
+        machine.run()
+        image = snapshot.capture(machine)
+        assert image.nbytes > 0
+        restored, = snapshot.restore(image)
+        assert restored.engine.now_us == machine.engine.now_us
+
+    def test_facade_snapshot_with_faults_raises(self):
+        spec = fig6.plan(policies=("fifo",), workloads=("B",),
+                         scale=YCSB_SCALE)
+        with pytest.raises(ValueError, match="snapshot"):
+            api.run(spec, snapshot=True, faults=FaultPlan(seed=1))
+
+    def test_facade_auto_falls_back_with_faults(self):
+        # "auto" + faults silently runs cold instead of raising.
+        spec = fig6.plan(policies=("fifo",), workloads=("B",),
+                         scale=YCSB_SCALE)
+        report = api.run(spec, snapshot="auto", faults=FaultPlan(seed=9))
+        assert report.result.rows
