@@ -14,9 +14,9 @@ module collapses that to two entry points:
 * :func:`run` — one call that takes an experiment (a name like
   ``"fig6"`` or a prepared
   :class:`~repro.experiments.harness.ExperimentSpec`), an execution
-  ``mode`` (``"full"`` | ``"replay"`` | ``"auto"``), an optional
-  policy filter and an optional fault plan, and returns the merged
-  :class:`~repro.experiments.parallel.ExecutionReport`.
+  ``mode`` (``"full"`` | ``"replay"`` | ``"scan"`` | ``"auto"``), an
+  optional policy filter and an optional fault plan, and returns the
+  merged :class:`~repro.experiments.parallel.ExecutionReport`.
 
 Example::
 
@@ -33,6 +33,12 @@ Mode rules (enforced here and in :mod:`repro.replay`):
 
 * ``mode="replay"`` runs replay-capable cells on the trace-replay
   fast path; payloads are bit-identical to the full engine.
+* ``mode="scan"`` runs scan-capable sweeps on the approximate
+  decision-level stepper (:mod:`repro.scan`) — one multi-cell pass
+  per shared stream; hit ratios land within a documented tolerance,
+  timing/latency columns are decision-level virtual time.  Anything
+  that needs the engine — ``faults``, ``trace``, ``breakdown`` —
+  raises :class:`repro.scan.ScanUnsupportedError`.
 * ``faults`` requires the full engine — combining a fault plan with
   ``mode="replay"`` raises, and ``mode="auto"`` quietly falls back.
 * ``breakdown`` (latency attribution) likewise needs the full engine.
@@ -65,9 +71,10 @@ class MachineConfig:
       (previously ``machine.fs.bulk_io_enabled = ...``);
     * ``burst_enabled`` — the engine's burst-scheduling fast path
       (previously ``machine.engine.burst_enabled = ...``);
-    * ``mode`` — ``"full"`` or ``"replay"``
-      (:func:`repro.replay.enable_replay` applied before anything
-      else touches the machine);
+    * ``mode`` — ``"full"``, ``"replay"``, or ``"scan"`` (both of the
+      latter apply :func:`repro.replay.enable_replay` before anything
+      else touches the machine; the scan stepper drives a
+      replay-trimmed machine);
     * ``cgroups`` — ``(name, limit_pages)`` pairs created at build.
 
     Frozen, so one config can stamp out any number of machines (use
@@ -84,13 +91,13 @@ class MachineConfig:
 
     def build(self) -> Machine:
         from repro.kernel.block import BlockDevice
-        if self.mode not in ("full", "replay"):
+        if self.mode not in ("full", "replay", "scan"):
             raise ValueError(f"unknown machine mode {self.mode!r}")
         machine = Machine(
             kernel_policy=self.kernel_policy,
             disk=BlockDevice(**self.disk) if self.disk else None,
             costs=self.costs)
-        if self.mode == "replay":
+        if self.mode in ("replay", "scan"):
             from repro.replay import enable_replay
             enable_replay(machine)
         machine.fs.bulk_io_enabled = self.bulk_io_enabled
@@ -127,9 +134,14 @@ def run(spec: Union[str, object], *, mode: str = "full",
         prepared :class:`~repro.experiments.harness.ExperimentSpec`.
     mode:
         ``"full"`` (reference engine), ``"replay"`` (trace-replay fast
-        path for cells that opt in — bit-identical payloads), or
-        ``"auto"`` (replay unless ``trace``/``breakdown``/``faults``
-        need the full instrumentation).
+        path for cells that opt in — bit-identical payloads),
+        ``"scan"`` (approximate decision-level stepper, one multi-cell
+        pass per shared stream — hit ratios within a documented
+        tolerance; refuses ``faults``/``trace``/``breakdown`` with
+        :class:`repro.scan.ScanUnsupportedError`), or ``"auto"``
+        (replay unless ``trace``/``breakdown``/``faults`` need the
+        full instrumentation; scan only when the spec declares itself
+        hit-ratio-only).
     policy:
         Only run cells whose id matches this policy (grid cell ids are
         ``workload/policy``); any :func:`fnmatch` glob also works.
@@ -163,6 +175,13 @@ def run(spec: Union[str, object], *, mode: str = "full",
         timeout_s = DEFAULT_TIMEOUT_S
     observer = None
     if faults is not None:
+        if mode == "scan":
+            from repro.scan import ScanUnsupportedError
+            raise ScanUnsupportedError(
+                "mode='scan' cannot honor faults=: the decision-level "
+                "stepper drops the engine paths fault plans hook; use "
+                "mode='full' (or mode='auto', which falls back to the "
+                "full engine when a fault plan is armed)")
         if mode == "replay":
             raise ValueError(
                 "fault injection needs the full engine; replay mode "

@@ -25,9 +25,8 @@ QUICK_SCALE = {"nkeys": 6000, "cgroup_pages": 192, "nops": 4000,
                "warmup_ops": 1000, "nthreads": 4}
 
 
-def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
-            warmup_ops: int, nthreads: int, seed: int = 42,
-            mode: str = "full", snapshot: bool = False):
+def _build_env(filtered: bool, nkeys: int, cgroup_pages: int,
+               mode: str, snapshot: bool):
     from repro.apps.lsm import DbOptions
     # A small memtable keeps flushes frequent so background compaction
     # actually runs inside the measured window (the paper's RocksDB
@@ -42,6 +41,19 @@ def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
         tid_map = ops.user_maps["compaction_tids"]
         for thread in env.db.compaction_threads:
             tid_map.update(thread.tid, 1)
+    return env
+
+
+def run_one(filtered: bool, nkeys: int, cgroup_pages: int, nops: int,
+            warmup_ops: int, nthreads: int, seed: int = 42,
+            mode: str = "full", snapshot: bool = False):
+    env = _build_env(filtered, nkeys, cgroup_pages, mode, snapshot)
+    if mode == "scan":
+        from repro.scan import ycsb_scan
+        result = ycsb_scan([env], YCSB_WORKLOADS["uniform-rw"],
+                           nkeys=nkeys, nops=nops, nthreads=nthreads,
+                           warmup_ops=warmup_ops, seed=seed)[0]
+        return result, env
     runner = YcsbRunner(env.db, YCSB_WORKLOADS["uniform-rw"],
                         nkeys=nkeys, nops=nops, nthreads=nthreads,
                         warmup_ops=warmup_ops, seed=seed)
@@ -59,13 +71,35 @@ def prepare_snapshot(nkeys: int = 0, cgroup_pages: int = 0,
                          mode=mode)
 
 
-def cell(filtered: bool, **params) -> dict:
-    result, env = run_one(filtered, **params)
+def _payload(result, env) -> dict:
     metrics = env.cgroup.metrics()
     return {"throughput": result.throughput,
             "p99_read_us": result.p99_read_us,
             "admission_rejects": metrics.stats["admission_rejects"],
             "hit_ratio": metrics.hit_ratio}
+
+
+def cell(filtered: bool, **params) -> dict:
+    result, env = run_one(filtered, **params)
+    return _payload(result, env)
+
+
+def scan_cells(ids: list, cells: list, snapshot: bool = False,
+               prepares=None) -> dict:
+    """Baseline + admission-filter as one multi-cell scan pass (both
+    cells replay the same uniform-R/W stream)."""
+    from repro.scan import ycsb_scan
+    first = cells[0]
+    envs = [_build_env(kw["filtered"], kw["nkeys"], kw["cgroup_pages"],
+                       "scan", snapshot or kw.get("snapshot", False))
+            for kw in cells]
+    results = ycsb_scan(envs, YCSB_WORKLOADS["uniform-rw"],
+                        nkeys=first["nkeys"], nops=first["nops"],
+                        nthreads=first["nthreads"],
+                        warmup_ops=first["warmup_ops"],
+                        seed=first.get("seed", 42))
+    return {cell_id: _payload(result, env)
+            for cell_id, result, env in zip(ids, results, envs)}
 
 
 def plan(quick: bool = False, scale: dict = None) -> ExperimentSpec:
@@ -76,11 +110,16 @@ def plan(quick: bool = False, scale: dict = None) -> ExperimentSpec:
                       "admission-filter" if filtered else "baseline",
                       cell, dict(filtered=filtered, **params),
                       supports_replay=True, supports_snapshot=True,
-                      snapshot_prepare=prepare_snapshot)
+                      snapshot_prepare=prepare_snapshot,
+                      supports_scan=True)
              for filtered in (False, True)]
     return ExperimentSpec("admission", cells, _merge,
                           meta={"labels": ["baseline",
-                                           "admission-filter"]})
+                                           "admission-filter"],
+                                "scan": {"fn": scan_cells,
+                                         "rows": [("uniform-rw",
+                                                   ["baseline",
+                                                    "admission-filter"])]}})
 
 
 def _merge(meta: dict, payloads: dict) -> ExperimentResult:

@@ -44,11 +44,9 @@ VARIANTS = (
 )
 
 
-def run_one(label: str, policy: str, fadvise_mode: Optional[str],
-            nkeys: int, cgroup_pages: int, n_gets: int, scan_len: int,
-            get_threads: int, scan_threads: int,
-            zipf_theta: float = 1.5, seed: int = 5,
-            mode: str = "full", snapshot: bool = False):
+def _build_env(policy: str, nkeys: int, cgroup_pages: int,
+               mode: str, snapshot: bool):
+    """Environment + (optional) GET-SCAN ops, TID map unfilled."""
     if policy == "get-scan":
         # The TID map must be filled after threads exist, so load the
         # policy here rather than through attach_policy.
@@ -58,11 +56,37 @@ def run_one(label: str, policy: str, fadvise_mode: Optional[str],
         ops = make_get_scan_policy(map_entries=max(4 * cgroup_pages,
                                                    1024))
         load_policy(env.machine, env.cgroup, ops)
-    else:
-        env = make_db_env(policy, cgroup_pages=cgroup_pages,
-                          nkeys=nkeys, compaction_thread=True,
-                          mode=mode, snapshot=snapshot)
-        ops = None
+        return env, ops
+    env = make_db_env(policy, cgroup_pages=cgroup_pages,
+                      nkeys=nkeys, compaction_thread=True,
+                      mode=mode, snapshot=snapshot)
+    return env, None
+
+
+def _register_scan_tids(ops, tids) -> None:
+    if ops is None:
+        return
+    scan_tids = ops.user_maps["scan_tids"]
+    for tid in tids:
+        scan_tids.update(tid, 1)
+
+
+def run_one(label: str, policy: str, fadvise_mode: Optional[str],
+            nkeys: int, cgroup_pages: int, n_gets: int, scan_len: int,
+            get_threads: int, scan_threads: int,
+            zipf_theta: float = 1.5, seed: int = 5,
+            mode: str = "full", snapshot: bool = False):
+    env, ops = _build_env(policy, nkeys, cgroup_pages, mode, snapshot)
+    if mode == "scan":
+        from repro.scan import getscan_scan
+        result = getscan_scan(
+            [env], nkeys=nkeys, n_gets=n_gets,
+            get_threads=get_threads, scan_threads=scan_threads,
+            scan_len=scan_len, fadvise_mode=fadvise_mode,
+            zipf_theta=zipf_theta, seed=seed,
+            on_threads=lambda _env, tids: _register_scan_tids(ops, tids),
+        )[0]
+        return result, env
     workload = GetScanWorkload(env.db, nkeys=nkeys, n_gets=n_gets,
                                get_threads=get_threads,
                                scan_threads=scan_threads,
@@ -70,9 +94,7 @@ def run_one(label: str, policy: str, fadvise_mode: Optional[str],
                                fadvise_mode=fadvise_mode, seed=seed)
     workload.spawn()
     if ops is not None:
-        scan_tids = ops.user_maps["scan_tids"]
-        for tid in workload.scan_tids:
-            scan_tids.update(tid, 1)
+        _register_scan_tids(ops, workload.scan_tids)
     env.machine.run()
     return workload.result, env
 
@@ -86,6 +108,37 @@ def cell(label: str, policy: str, fadvise_mode: Optional[str],
             "hit_ratio": env.cgroup.metrics().hit_ratio}
 
 
+def scan_cells(ids: list, cells: list, snapshot: bool = False,
+               prepares=None) -> dict:
+    """All six variants as one multi-cell scan pass.
+
+    The variants replay identical GET/SCAN streams and differ only in
+    policy and fadvise advice, so one decode serves the whole figure;
+    :func:`repro.scan.getscan_scan` takes the per-cell fadvise modes
+    and ``on_threads`` fills each GET-SCAN variant's TID map."""
+    from repro.scan import getscan_scan
+    first = cells[0]
+    built = [_build_env(kw["policy"], kw["nkeys"], kw["cgroup_pages"],
+                        "scan", snapshot or kw.get("snapshot", False))
+             for kw in cells]
+    envs = [env for env, _ops in built]
+    ops_by_env = {id(env): ops for env, ops in built}
+    results = getscan_scan(
+        envs, nkeys=first["nkeys"], n_gets=first["n_gets"],
+        get_threads=first["get_threads"],
+        scan_threads=first["scan_threads"],
+        scan_len=first["scan_len"],
+        fadvise_mode=[kw["fadvise_mode"] for kw in cells],
+        zipf_theta=first["zipf_theta"], seed=first.get("seed", 5),
+        on_threads=lambda env, tids: _register_scan_tids(
+            ops_by_env[id(env)], tids))
+    return {cell_id: {"get_throughput": result.get_throughput,
+                      "get_p99_us": result.get_p99_us,
+                      "scan_throughput": result.scan_throughput,
+                      "hit_ratio": env.cgroup.metrics().hit_ratio}
+            for cell_id, result, env in zip(ids, results, envs)}
+
+
 def plan(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
          scale: dict = None) -> ExperimentSpec:
     params = dict(QUICK_SCALE if quick else FULL_SCALE)
@@ -96,8 +149,10 @@ def plan(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
                       dict(label=label, policy=policy,
                            fadvise_mode=fadv, **params),
                       supports_replay=True, supports_snapshot=True,
-                      snapshot_prepare=prepare_db_env_snapshot)
+                      snapshot_prepare=prepare_db_env_snapshot,
+                      supports_scan=True)
              for label, policy, fadv in variants]
+    scan_rows = [("variants", [v[0] for v in variants])]
 
     def prepare() -> None:
         # All six variants replay the same GET/SCAN streams.
@@ -109,7 +164,9 @@ def plan(quick: bool = False, variants: Iterable[tuple] = VARIANTS,
             seed=params.get("seed", 5))
 
     return ExperimentSpec("fig10", cells, _merge,
-                          meta={"labels": [v[0] for v in variants]},
+                          meta={"labels": [v[0] for v in variants],
+                                "scan": {"fn": scan_cells,
+                                         "rows": scan_rows}},
                           prepare=prepare)
 
 

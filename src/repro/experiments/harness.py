@@ -72,7 +72,9 @@ def build_machine(policy: str, mode: str = "full") -> Machine:
     kernel = "mglru" if policy == "mglru" else "default"
     machine = Machine(kernel_policy=kernel,
                       disk=BlockDevice(**EXPERIMENT_DISK))
-    if mode == "replay":
+    if mode in ("replay", "scan"):
+        # Scan mode (repro.scan) steps the machine directly and never
+        # runs the engine; its machine is exactly the replay machine.
         from repro.replay import enable_replay
         enable_replay(machine)
     elif mode != "full":
@@ -196,6 +198,8 @@ def warm_db_env_snapshot(policy: str, cgroup_pages: int, nkeys: int,
     inherit the image bytes copy-on-write."""
     if db_options is None:
         db_options = DbOptions(memtable_entries=512)
+    if mode == "scan":
+        mode = "replay"
     kernel = "mglru" if policy == "mglru" else "default"
     _env_image(kernel, cgroup_pages, nkeys, db_options, cgroup_name,
                mode)
@@ -238,9 +242,17 @@ def make_db_env(policy: str, cgroup_pages: int, nkeys: int,
     bulk load.  The restored graph is fresh and independent per call;
     payloads are byte-identical to a cold build
     (``tests/test_snapshot.py``).
+
+    ``mode="scan"`` builds the *same* environment as ``"replay"`` (the
+    scan steppers in :mod:`repro.scan` drive a replay machine directly
+    and never run the engine), so the two modes share snapshot images
+    and the plan cache; it is normalized here so every image key and
+    cache line is hit by both.
     """
     if db_options is None:
         db_options = DbOptions(memtable_entries=512)
+    if mode == "scan":
+        mode = "replay"
     if snapshot:
         kernel = "mglru" if policy == "mglru" else "default"
         image = _env_image(kernel, cgroup_pages, nkeys, db_options,
@@ -288,6 +300,13 @@ class CellSpec:
     #: cell.  The runner calls it in the parent before forking so
     #: workers inherit the image copy-on-write.
     snapshot_prepare: Optional[Callable[..., None]] = None
+    #: Whether ``fn`` accepts ``mode="scan"`` — the approximate
+    #: decision-level stepper (:mod:`repro.scan`).  Unlike replay, scan
+    #: payloads are *not* bit-identical to the full engine's: hit
+    #: ratios carry a documented tolerance and time-derived fields are
+    #: approximations.  The runner's ``--mode scan`` only rewrites
+    #: cells that opt in, and refuses when tracing/breakdown is armed.
+    supports_scan: bool = False
 
     def execute(self) -> dict:
         return self.fn(**self.kwargs)

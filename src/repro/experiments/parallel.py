@@ -92,6 +92,72 @@ class _LookupCounter:
         return {"hits": self.hits, "misses": self.misses}
 
 
+def _scan_group_prepare(ids=None, cells=None, prepares=None,
+                        snapshot=False, **_ignored) -> None:
+    """``snapshot_prepare`` companion for grouped scan rows: warm each
+    member cell's image with its own prepare fn and kwargs."""
+    for kwargs, prep in zip(cells or (), prepares or ()):
+        if prep is not None:
+            prep(**kwargs)
+
+
+def _apply_scan(spec: ExperimentSpec) -> ExperimentSpec:
+    """Rewrite a plan onto the multi-cell scan stepper.
+
+    Cells that share one op stream (``meta["scan"]["rows"]``) are
+    grouped into a single row cell running the experiment's
+    ``meta["scan"]["fn"]`` — one stream decode fans out to every
+    policy cell of the row (:mod:`repro.scan`).  The merge is wrapped
+    to flatten each row's ``{cell_id: payload}`` back into the grid
+    the original merge expects.  Rows are independent and internally
+    serial, so tables stay bit-identical across runs and ``--jobs``.
+    """
+    from repro.scan import ScanUnsupportedError
+    scan_info = spec.meta.get("scan")
+    if scan_info is None or not any(c.supports_scan for c in spec.cells):
+        raise ScanUnsupportedError(
+            f"experiment {spec.name!r} has no scan plan (its cells "
+            f"measure quantities the decision-level stepper cannot "
+            f"approximate); use --mode replay or --mode full")
+    by_id = {cell.cell_id: cell for cell in spec.cells}
+    grouped: set = set()
+    new_cells, row_ids = [], set()
+    for row_id, ids in scan_info["rows"]:
+        members = [by_id[i] for i in ids if i in by_id]
+        if not members:
+            continue  # --cells filtered the whole row away
+        ids = [m.cell_id for m in members]
+        grouped.update(ids)
+        row_ids.add(row_id)
+        new_cells.append(CellSpec(
+            spec.name, row_id, scan_info["fn"],
+            dict(ids=ids,
+                 # mode rides along so snapshot warmers hit the same
+                 # image keys the row's env builds will (scan and
+                 # replay share images — see harness.make_db_env).
+                 cells=[{**m.kwargs, "mode": "scan"} for m in members],
+                 prepares=[m.snapshot_prepare for m in members]),
+            supports_snapshot=all(m.supports_snapshot for m in members),
+            snapshot_prepare=_scan_group_prepare,
+            supports_scan=True))
+    # Cells outside every row (none in the built-in plans) run as-is.
+    new_cells.extend(cell for cell in spec.cells
+                     if cell.cell_id not in grouped)
+    inner_merge = spec.merge
+
+    def merge(meta: dict, payloads: dict):
+        flat = {}
+        for cell_id, payload in payloads.items():
+            if cell_id in row_ids:
+                flat.update(payload)
+            else:
+                flat[cell_id] = payload
+        return inner_merge(meta, flat)
+
+    return ExperimentSpec(spec.name, new_cells, merge, meta=spec.meta,
+                          prepare=spec.prepare)
+
+
 def apply_mode(spec: ExperimentSpec, mode: str, trace: bool = False,
                breakdown: bool = False) -> ExperimentSpec:
     """Rewrite a plan for the requested execution mode.
@@ -102,17 +168,40 @@ def apply_mode(spec: ExperimentSpec, mode: str, trace: bool = False,
       :mod:`repro.replay`); cells that don't opt in run full.
       Combining with ``breakdown`` is refused — latency attribution is
       exactly the instrumentation replay strips.
+    * ``"scan"`` — cells that declare ``supports_scan`` are *grouped*
+      onto the approximate decision-level stepper (:mod:`repro.scan`):
+      one multi-cell pass per shared-stream row.  Hit ratios carry a
+      documented tolerance (see EXPERIMENTS.md) and time-derived
+      columns are decision-level approximations — combining with
+      ``trace`` or ``breakdown`` raises
+      :class:`repro.scan.ScanUnsupportedError` (scan drops the engine
+      loop those consumers hook), as does an experiment with no scan
+      plan.
     * ``"auto"`` — like ``"replay"``, but silently falls back to the
-      full engine when ``trace`` or ``breakdown`` is requested.
+      full engine when ``trace`` or ``breakdown`` is requested; picks
+      scan instead of replay only when the experiment declares itself
+      hit-ratio-only (``meta["hit_ratio_only"]`` — none of the paper
+      figures do, since their tables report throughput and latency).
 
-    Payloads are bit-identical across modes for opted-in cells
-    (enforced by ``tests/test_replay.py``), so the merge result never
-    depends on the mode chosen.
+    Payloads are bit-identical across full/replay/snapshot for
+    opted-in cells (enforced by ``tests/test_replay.py``), so the
+    merge result never depends on choosing those; scan is the explicit
+    exception and must be asked for by name (or via the auto rule
+    above).
     """
     if mode == "full":
         return spec
-    if mode not in ("replay", "auto"):
+    if mode not in ("replay", "auto", "scan"):
         raise ValueError(f"unknown execution mode {mode!r}")
+    if mode == "scan":
+        if trace or breakdown:
+            from repro.scan import ScanUnsupportedError
+            flag = "--breakdown" if breakdown else "--trace"
+            raise ScanUnsupportedError(
+                f"mode='scan' cannot honor {flag}: scan mode drops "
+                f"the engine loop that tracepoints and spans hook; "
+                f"use --mode full (or --mode replay for --trace)")
+        return _apply_scan(spec)
     if trace or breakdown:
         if mode == "auto":
             return spec
@@ -121,6 +210,9 @@ def apply_mode(spec: ExperimentSpec, mode: str, trace: bool = False,
                 "mode='replay' cannot record latency breakdowns "
                 "(replay strips span instrumentation); use "
                 "mode='full' or mode='auto'")
+    if mode == "auto" and spec.meta.get("hit_ratio_only") \
+            and spec.meta.get("scan") is not None:
+        return _apply_scan(spec)
     cells = [dataclasses.replace(
                  cell, kwargs={**cell.kwargs, "mode": "replay"})
              if cell.supports_replay else cell
@@ -484,6 +576,86 @@ def breakdown_collapsed(report: ExecutionReport) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+# ----------------------------------------------------------------------
+# scan drift artifact
+# ----------------------------------------------------------------------
+def _exact_reference(experiment: str, scale: str) -> dict:
+    """Committed exact hit ratios for one experiment, if available.
+
+    The drift report compares scan-mode hit ratios against the exact
+    engine's.  The committed ``BENCH_core.json`` carries the exact
+    (full-engine) per-cell hit ratios at its recorded scale; when it
+    matches the run's scale, its cells are the reference.  Otherwise
+    the report still lists every scan cell, with ``exact_hit_ratio``
+    null — an artifact consumer can fill it from its own exact run.
+    """
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    for candidate in (os.path.join(repo_root, "BENCH_core.json"),
+                      os.path.join(os.getcwd(), "BENCH_core.json")):
+        try:
+            with open(candidate) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if doc.get("scale") != scale:
+            continue
+        entry = doc.get("experiments", {}).get(experiment)
+        if entry and entry.get("hit_ratios"):
+            return entry["hit_ratios"]
+    return {}
+
+
+def scan_drift_report(result: ExperimentResult, experiment: str,
+                      scale: str) -> str:
+    """The ``--mode scan`` drift artifact (JSON, deterministic).
+
+    One entry per table row keyed like the bench baselines
+    (``workload/policy``): the scan hit ratio, the exact reference (or
+    null when no committed reference matches the scale), and their
+    absolute delta in percentage points.
+    """
+    reference = _exact_reference(experiment, scale)
+    cells: dict = {}
+    if "hit_ratio" in result.headers:
+        idx = result.headers.index("hit_ratio")
+        for row in result.rows:
+            key = _row_key(result.headers, row)
+            scan_hr = row[idx]
+            exact = reference.get(key)
+            cells[key] = {
+                "scan_hit_ratio": scan_hr,
+                "exact_hit_ratio": exact,
+                "drift_pp": (round(abs(scan_hr - exact) * 100, 4)
+                             if exact is not None else None),
+            }
+    drifts = [c["drift_pp"] for c in cells.values()
+              if c["drift_pp"] is not None]
+    doc = {
+        "experiment": experiment,
+        "mode": "scan",
+        "scale": scale,
+        "reference": "BENCH_core.json" if reference else None,
+        "max_drift_pp": max(drifts) if drifts else None,
+        "cells": cells,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _row_key(headers: list, row: list) -> str:
+    """Identify a table row by its leading label columns (the same
+    keying the bench baselines use: ``workload/policy``).  Metric
+    columns are rounded floats, so the first float ends the label
+    prefix — integer labels like fig8's cluster number stay part of
+    the key."""
+    labels = []
+    for header, value in zip(headers, row):
+        if isinstance(value, float):
+            break
+        labels.append(str(value))
+    return "/".join(labels) if labels else str(row[0])
+
+
 def _subset_merge(meta: dict, payloads: dict) -> ExperimentResult:
     """Merge for ``--cells``-filtered runs: experiment merges assume
     the full grid, so a subset is rendered as raw per-cell payloads."""
@@ -534,13 +706,20 @@ def main(argv: Optional[list] = None) -> int:
                         help="reduced sizes (CI smoke)")
     parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
                         help="per-cell timeout in seconds")
-    parser.add_argument("--mode", choices=("full", "replay", "auto"),
+    parser.add_argument("--mode",
+                        choices=("full", "replay", "scan", "auto"),
                         default="full",
                         help="execution engine: 'replay' runs "
                              "replay-capable cells on the trace-replay "
                              "fast path (bit-identical payloads); "
-                             "'auto' does so unless --trace/--breakdown "
-                             "need the full instrumentation")
+                             "'scan' runs scan-capable cells on the "
+                             "approximate decision-level stepper, one "
+                             "multi-cell pass per shared stream "
+                             "(hit ratios within a documented "
+                             "tolerance; a drift report is written "
+                             "next to the table); 'auto' picks replay "
+                             "unless --trace/--breakdown need the "
+                             "full instrumentation")
     parser.add_argument("--snapshot", choices=("off", "on", "auto"),
                         default="off",
                         help="sweep-level machine snapshots: 'on' "
@@ -562,6 +741,11 @@ def main(argv: Optional[list] = None) -> int:
                              "per-cell payloads")
     parser.add_argument("-o", "--output", default=None,
                         help="also write the table to this file")
+    parser.add_argument("--drift-report", default=None, metavar="PATH",
+                        help="with --mode scan: where to write the "
+                             "per-cell |scan - exact| hit-ratio drift "
+                             "artifact (default: next to --output, or "
+                             "<experiment>-scan-drift.json)")
     args = parser.parse_args(argv)
 
     module = _load_experiment(args.experiment)
@@ -571,10 +755,14 @@ def main(argv: Optional[list] = None) -> int:
             spec = filter_cells(spec, args.cells)
         except ValueError as exc:
             parser.error(str(exc))
-    report = execute(spec, jobs=args.jobs, serial=args.serial,
-                     timeout_s=args.timeout, trace=args.trace,
-                     breakdown=args.breakdown is not None,
-                     mode=args.mode, snapshot=args.snapshot)
+    from repro.scan import ScanUnsupportedError
+    try:
+        report = execute(spec, jobs=args.jobs, serial=args.serial,
+                         timeout_s=args.timeout, trace=args.trace,
+                         breakdown=args.breakdown is not None,
+                         mode=args.mode, snapshot=args.snapshot)
+    except ScanUnsupportedError as exc:
+        parser.error(str(exc))
     table = report.result.format_table()
     print(table)
     if args.breakdown:
@@ -595,6 +783,15 @@ def main(argv: Optional[list] = None) -> int:
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(table + "\n")
+    if args.mode == "scan":
+        drift_path = args.drift_report or (
+            args.output + ".drift.json" if args.output
+            else f"{args.experiment}-scan-drift.json")
+        with open(drift_path, "w") as fh:
+            fh.write(scan_drift_report(
+                report.result, args.experiment,
+                "quick" if args.quick else "full"))
+        print(f"drift report: {drift_path}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,881 @@
+"""Approximate decision-level scan mode for hit-ratio-only sweeps.
+
+The exact modes (``full`` and ``replay``) schedule worker threads on
+the virtual-time engine heap: with 8 clients the op interleaving is a
+function of clock comparisons, which is what makes the tables exact —
+and what bounds how fast a sweep cell can go.  ``scan`` mode trades
+that interleaving away.  It never calls :meth:`Machine.run`; instead a
+single host thread walks the pre-generated workload streams
+(:mod:`repro.workloads.streams`) in a *deterministic canonical order*
+(round-robin, one op per logical worker per round) and drives the page
+cache + attached policy directly, per op:
+
+* the op's logical worker thread is installed as the engine-level
+  current thread (policies, cgroup charging and the block device
+  resolve it exactly as under the engine), its virtual clock advanced
+  by the same charges the exact modes apply;
+* point lookups go through a **shared plan oracle**: the LSM structure
+  (memtable + levels) evolves identically in every cell of a sweep —
+  puts, flushes and compactions do not depend on cache state — so the
+  table walk (range check, bloom probe, index bisect) is computed once
+  per ``(key, struct_version)`` and replayed positionally against each
+  cell, leaving only the per-cell page-cache accesses;
+* writes, scans and compaction run the real code paths (``db.put`` /
+  ``db.scan`` / ``compaction_step``), with the compaction thread
+  drained to completion after each flush (canonical order again: the
+  exact modes interleave compaction steps with foreground ops).
+
+What is preserved: every page-cache decision surface — lookups,
+misses, readahead, admission, eviction, policy hook sequence per
+access — and hence hit ratios, to a documented tolerance (the drift
+comes only from op interleaving and compaction timing, see
+EXPERIMENTS.md).  What is not: cross-thread timing.  Throughput and
+latency fields are still filled from the virtual clocks but are
+decision-level approximations; experiments that measure *time* (or
+need faults, spans, or tracing, all of which hook the engine loop)
+must refuse scan mode — see :class:`ScanUnsupportedError`.
+
+On top of the single-cell loop, the steppers are **multi-cell**: one
+pass over a shared stream decodes each op once and fans it out to N
+policy cells (one restored machine per cell, via PR 7's snapshot
+images), so a whole fig6 policy row costs one stream decode and one
+oracle walk per op instead of eight.  A single-cell scan is the same
+code with N=1, which is why ``multi-cell == N x single-cell`` holds
+bitwise (tests/test_scan.py).
+
+Results are bit-reproducible run-to-run and independent of ``--jobs``:
+the canonical order is a pure function of the stream arrays.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Optional
+
+from repro.apps.lsm.format import BloomFilter
+from repro.kernel.stats import LatencyRecorder
+from repro.sim import engine as _engine_mod
+from repro.workloads import streams
+from repro.workloads.getscan import GetScanResult
+from repro.workloads.twitter import ClusterProfile, TwitterResult
+from repro.workloads.ycsb import YcsbResult, YcsbSpec, key_of
+
+
+class ScanUnsupportedError(ValueError):
+    """A requested feature needs the engine that scan mode drops.
+
+    Raised (rather than silently ignoring the flag) when scan mode is
+    combined with fault injection, tracing, or span breakdowns, and by
+    experiments whose cells measure quantities scan cannot approximate.
+    The message always names the working alternative.
+    """
+
+
+#: Rounds between lockstep barriers (see ScanCell.round_sync).  1 is
+#: the tightest sync; the drift study in EXPERIMENTS.md picked the
+#: committed value against the exact fig6/fig8 tables.
+_BARRIER_EVERY = 1
+
+
+def _parked_step(thread) -> bool:
+    """Step fn for scan-owned logical threads: the engine never runs
+    in scan mode, but if it ever did, these threads retire at once."""
+    return False
+
+
+def check_scan_machine(machine) -> None:
+    """Refuse machines whose configuration needs the engine loop."""
+    if machine.faults is not None:
+        raise ScanUnsupportedError(
+            "scan mode drops the engine loop, so an armed fault plan "
+            "would never fire; use mode='full' for fault injection")
+    if any(tp.enabled for tp in machine.trace.match()):
+        raise ScanUnsupportedError(
+            "scan mode drops the engine loop, so tracepoints/spans "
+            "cannot fire; use mode='full' (or 'replay') for trace= / "
+            "--breakdown")
+
+
+# ---------------------------------------------------------------------------
+# Shared plan oracle
+# ---------------------------------------------------------------------------
+
+class PlanOracle:
+    """Positional point-lookup plans shared across a sweep's cells.
+
+    The LSM structure is cache-state-independent: every cell applies
+    the same puts in the same canonical order, so memtable contents,
+    flush points, table layouts and compactions are identical.  The
+    oracle mirrors :meth:`LsmDb._get_tables` as a pure in-memory walk
+    over a reference cell's structures — range check, bloom probe
+    (false positives included, exactly like ``SSTable.get``), index
+    bisect — and records *positional* plans ``((level, table_pos,
+    page), ...)`` that each cell resolves against its own table files
+    for the page-cache accesses.
+
+    Plans are cached per key and invalidated wholesale when the
+    reference ``_struct_version`` bumps (flush/compaction), the same
+    contract as the db's own plan cache.
+    """
+
+    __slots__ = ("db", "_version", "_cache")
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self._version = db._struct_version
+        self._cache: dict = {}
+
+    def lookup(self, key: str):
+        """``(found, value, plan)`` for ``key`` against the reference
+        cell's *tables* (the caller probes the memtable first).
+
+        ``found`` is True for tombstones too (``value is None`` then),
+        mirroring the probe-stops-at-newest-version rule; ``plan`` is
+        the positional page-read list, recorded for every bloom-passing
+        table probed, found or not."""
+        db = self.db
+        if db._struct_version != self._version:
+            self._version = db._struct_version
+            self._cache.clear()
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._cache[key] = self._walk(key)
+        return cached
+
+    def _walk(self, key: str):
+        db = self.db
+        reads: list = []
+        # L0 newest-first, overlapping tables: probe in order.
+        for pos, table in enumerate(db.levels[0]):
+            found, value = self._probe(table, 0, pos, key, reads)
+            if found:
+                return (True, value, tuple(reads))
+        # Deeper levels: non-overlapping, at most one candidate each.
+        levels = db.levels
+        for idx in range(1, len(levels)):
+            if not levels[idx]:
+                continue
+            pos = bisect_right(db._level_minkeys(idx), key) - 1
+            if pos < 0:
+                continue
+            table = levels[idx][pos]
+            if key > table.max_key:
+                continue
+            found, value = self._probe(table, idx, pos, key, reads)
+            if found:
+                return (True, value, tuple(reads))
+        return (False, None, tuple(reads))
+
+    @staticmethod
+    def _probe(table, level: int, pos: int, key: str, reads: list):
+        """Mirror of ``SSTable.get`` minus the I/O: the page read is
+        *recorded* (positionally) instead of performed."""
+        if key < table.min_key or key > table.max_key:
+            return (False, None)
+        if not BloomFilter.test_chunks(table.bloom_chunks,
+                                       table.bloom_nbits, key):
+            return (False, None)
+        page = bisect_right(table.index, key) - 1
+        if page < 0:
+            page = 0
+        # Recorded before the found-check, exactly like SSTable.get
+        # appends to `reads` before bisecting — bloom false positives
+        # cost a page read in every mode.
+        reads.append((level, pos, page))
+        entries = table.file.store[page]
+        epos = bisect_left(entries, (key,))
+        if epos < len(entries) and entries[epos][0] == key:
+            return (True, entries[epos][1])
+        return (False, None)
+
+
+# ---------------------------------------------------------------------------
+# Per-cell state + the page-access primitive
+# ---------------------------------------------------------------------------
+
+class ScanCell:
+    """One policy cell's machine wired for direct stepping."""
+
+    __slots__ = ("env", "machine", "engine", "cache", "fs", "disk",
+                 "db", "memcg", "app_op_us", "threads", "comp_thread",
+                 "last_flushes", "result", "window_start",
+                 "_agent_rb", "_agent_prog", "_agent_thread",
+                 "_agent_cost", "_run_syscall")
+
+    def __init__(self, env) -> None:
+        machine = env.machine
+        check_scan_machine(machine)
+        self.env = env
+        self.machine = machine
+        self.engine = machine.engine
+        self.cache = machine.page_cache
+        self.fs = machine.fs
+        self.disk = machine.disk
+        self.db = env.db
+        self.memcg = env.cgroup
+        self.app_op_us = machine.costs.app_op_us
+        self.threads: list = []
+        comp = getattr(env.db, "compaction_threads", None)
+        self.comp_thread = comp[0] if comp else None
+        self.last_flushes = env.db.n_flushes
+        self.result = None
+        self.window_start = None
+        # Userspace agents (LHD's reconfiguration daemon) live on the
+        # engine heap, which scan mode never runs; their ring-buffer
+        # work is serviced synchronously at round boundaries instead
+        # (see round_sync) — without this, LHD's densities freeze at
+        # the neutral prior and its hit ratios drift by whole points.
+        self._agent_rb = self._agent_prog = self._agent_thread = None
+        self._agent_cost = 0.0
+        self._run_syscall = None
+        ops = getattr(env, "ops", None)
+        user_maps = getattr(ops, "user_maps", None) or {}
+        if "reconfig_rb" in user_maps and "reconfigure" in user_maps:
+            agents = [t for t in machine.engine._threads
+                      if t.name == "lhd-agent" and not t.done]
+            if agents:
+                from repro.ebpf.runtime import run_syscall_prog
+                from repro.policies.lhd import RECONFIG_COST_US
+                self._agent_rb = user_maps["reconfig_rb"]
+                self._agent_prog = user_maps["reconfigure"]
+                self._agent_thread = agents[-1]
+                self._agent_cost = RECONFIG_COST_US
+                self._run_syscall = run_syscall_prog
+
+    def service_agent(self) -> None:
+        """Service pending userspace-agent ring-buffer work on the
+        agent's own thread, mirroring its engine step function."""
+        rb = self._agent_rb
+        if rb is not None and rb.drain():
+            agent = self._agent_thread
+            bar = self.threads[0].clock_us
+            for t in self.threads[1:]:
+                if t.clock_us > bar:
+                    bar = t.clock_us
+            if agent.clock_us < bar:
+                agent.clock_us = bar
+            _engine_mod._current = agent
+            self.engine.now_us = agent.clock_us
+            self._run_syscall(self._agent_prog)
+            agent.advance(self._agent_cost)
+            _engine_mod._current = None
+
+    def round_sync(self) -> None:
+        """Lockstep barrier + synchronous agent service, per round.
+
+        All workers enter the round at the same virtual time: the
+        exact engine's min-clock scheduling keeps worker clocks within
+        ~one op charge of each other, and without the barrier strict
+        round-robin lets them drift thousands of us apart, corrupting
+        the cross-thread access-gap ages time-based policies (LHD)
+        compute from ``ktime_us()``.  The barrier is the *max* of the
+        worker clocks: it stretches virtual time (each round advances
+        by the slowest worker's charge), but the stretch is a
+        near-uniform scaling, which log-bucketed age features absorb
+        as a constant bucket shift — mean-based barriers keep the
+        exact time rate but distort gaps non-uniformly (or run clocks
+        backwards), which measures strictly worse on LHD.  Throughput
+        is decision-level approximate in scan mode; hit ratios are
+        the contract.  Any pending userspace-agent ring-buffer work
+        is then serviced on the agent's own thread, mirroring its
+        engine step function."""
+        threads = self.threads
+        bar = threads[0].clock_us
+        for t in threads[1:]:
+            if t.clock_us > bar:
+                bar = t.clock_us
+        for t in threads:
+            t.clock_us = bar
+        self.service_agent()
+
+    def spawn_workers(self, prefix: str, count: int) -> list:
+        self.threads = [
+            self.machine.spawn(f"{prefix}-{w}", _parked_step,
+                               cgroup=self.db.cgroup)
+            for w in range(count)]
+        return self.threads
+
+    def install(self, thread) -> None:
+        """Make ``thread`` the current thread at its own clock — the
+        same state the engine loop establishes before a step."""
+        _engine_mod._current = thread
+        self.engine.now_us = thread.clock_us
+
+    def drain_compaction(self, foreground_thread) -> None:
+        """Run the compaction daemon to completion if a flush landed.
+
+        The exact modes interleave compaction steps with foreground
+        ops on the heap; the canonical order runs it to quiescence
+        right after the triggering flush, on the compaction thread's
+        own clock (synced forward to the flusher so folio timestamps
+        stay ordered)."""
+        db = self.db
+        if db.n_flushes == self.last_flushes:
+            return
+        self.last_flushes = db.n_flushes
+        comp = self.comp_thread
+        if comp is None:
+            return
+        if foreground_thread.clock_us > comp.clock_us:
+            comp.clock_us = foreground_thread.clock_us
+        engine = self.engine
+        _engine_mod._current = comp
+        engine.now_us = comp.clock_us
+        while db.compaction_step():
+            engine.now_us = comp.clock_us
+        _engine_mod._current = foreground_thread
+        engine.now_us = foreground_thread.clock_us
+
+    def finish(self) -> None:
+        """Settle the engine clock to the last thread to act (metrics
+        report ``now_us``; nothing else reads it after a scan)."""
+        clocks = [t.clock_us for t in self.threads]
+        if self.comp_thread is not None:
+            clocks.append(self.comp_thread.clock_us)
+        if clocks:
+            self.engine.now_us = max(self.engine.now_us, max(clocks))
+
+
+def access_page(cell: ScanCell, thread, f, page: int) -> None:
+    """One page-cache access — the scan-mode mirror of the exact
+    :meth:`Filesystem.read_page` hot path.
+
+    Same decision sequence per access: sequential-streak update,
+    mapping lookup, ``mark_accessed`` on hit; on miss the cgroup +
+    global accounting of ``_account_misses``, the readahead probe,
+    ``add_folio`` (admission filters may reject → direct-I/O charge),
+    readahead inserts, one device read for the batch.  The branches
+    scan mode cannot take are omitted rather than approximated:
+    deleted/EOF guards (scan streams never read past EOF), the span
+    open (refused up front), and the fault-retry path (refused up
+    front).  ``cell.install(thread)`` must be in effect — policies and
+    the device resolve the current thread exactly as under the engine.
+    """
+    if page == f.last_read_index + 1:
+        f.seq_streak += 1
+    else:
+        f.seq_streak = 0
+    f.last_read_index = page
+    folio = f.mapping._folios.get(page)
+    cache = cell.cache
+    if folio is not None:
+        cache.mark_accessed(folio, update_recency=not f.noreuse)
+        return
+    memcg = cell.memcg
+    mstats = memcg.stats
+    mstats.misses += 1
+    mstats.lookups += 1
+    stats = cache.stats
+    stats.misses += 1
+    stats.lookups += 1
+    if memcg.ext_policy is None and (not f.ra_enabled
+                                     or f.seq_streak < 2):
+        ra_indices = ()
+    else:
+        ra_indices = cell.fs._readahead_indices(f, page, memcg)
+    folio = cache.add_folio(f.mapping, page, memcg)
+    if folio is None:
+        contiguous = page == f._last_direct_read + 1
+        cell.disk.read(thread, 1, contiguous=contiguous)
+        f._last_direct_read = page
+        return
+    folio.pin_count += 1
+    inserted = 1
+    for ra_index in ra_indices:
+        if cache.add_folio(f.mapping, ra_index, memcg) is not None:
+            inserted += 1
+    cell.disk.read(thread, inserted)
+    folio.pin_count -= 1
+
+
+class _ScanLoop:
+    """Context manager restoring the engine-current slot on exit."""
+
+    def __enter__(self):
+        self._saved = _engine_mod._current
+        return self
+
+    def __exit__(self, *exc):
+        _engine_mod._current = self._saved
+        return False
+
+
+# ---------------------------------------------------------------------------
+# YCSB (fig6 / fig7 / admission)
+# ---------------------------------------------------------------------------
+
+def ycsb_scan(envs, spec: YcsbSpec, *, nkeys: int, nops: int,
+              nthreads: int = 8, seed: int = 42, warmup_ops: int = 0,
+              zipf_theta: float = 0.99,
+              latest_theta: float = 1.4) -> list:
+    """Multi-cell canonical-order YCSB pass; one decode, N cells.
+
+    Mirrors :meth:`YcsbRunner._replay_step` per op — same streams,
+    same charges, same latest-clamp, same counter/window bookkeeping —
+    with the engine's clock-driven interleaving replaced by strict
+    round-robin over the logical workers.  Returns one
+    :class:`YcsbResult` per env, in order.
+    """
+    per_thread = nops // nthreads
+    warmup = warmup_ops // nthreads
+    total = warmup + per_thread
+    worker_streams = [
+        streams.ycsb_stream(spec, nkeys, total, seed, w,
+                            zipf_theta, latest_theta)
+        for w in range(nthreads)]
+    kinds_w = [s.kinds for s in worker_streams]
+    indices_w = [s.indices for s in worker_streams]
+    lengths_w = [s.lengths for s in worker_streams]
+    keys = streams.key_strings(nkeys)
+
+    cells = [ScanCell(env) for env in envs]
+    for cell in cells:
+        cell.spawn_workers(f"scan-ycsb-{spec.name}", nthreads)
+        cell.result = YcsbResult(spec.name)
+        # Warmup ops book into a throwaway sink, like _replay_step.
+        cell.window_start = [0.0] * nthreads
+    discards = [YcsbResult(spec.name) for _ in cells]
+    oracle = PlanOracle(cells[0].db)
+    ref_mem = cells[0].db.mem
+    insert_counter = nkeys
+
+    with _ScanLoop():
+        for i in range(total):
+            measured = i >= warmup
+            if i % _BARRIER_EVERY == 0:
+                for cell in cells:
+                    cell.round_sync()
+            else:
+                for cell in cells:
+                    cell.service_agent()
+            for w0 in range(nthreads):
+                # Rotate the within-round worker order: a fixed order
+                # would systematically favor low-numbered workers at
+                # equal clocks, a bias the engine's seq tie-breaking
+                # does not have.
+                w = (i + w0) % nthreads
+                kind = kinds_w[w][i]
+                # --- shared decode (once per op, not per cell) ---
+                if kind == streams.OP_INSERT:
+                    index = insert_counter
+                    insert_counter += 1
+                    key = key_of(index)
+                    found = value = plan = None
+                else:
+                    index = indices_w[w][i]
+                    limit = insert_counter - 1
+                    if index > limit:
+                        index = limit
+                    key = keys[index] if index < nkeys else key_of(index)
+                    if kind == streams.OP_READ or kind == streams.OP_RMW:
+                        found, value = ref_mem.get(key)
+                        if found:
+                            plan = ()
+                        else:
+                            found, value, plan = oracle.lookup(key)
+                    else:
+                        found = value = plan = None
+                # --- fan out to cells ---
+                for c, cell in enumerate(cells):
+                    thread = cell.threads[w]
+                    cell.install(thread)
+                    result = cell.result if measured else discards[c]
+                    counts = result.op_counts
+                    name = streams.OP_NAMES[kind]
+                    counts[name] = counts.get(name, 0) + 1
+                    thread.clock_us += cell.app_op_us
+                    thread.cpu_us += cell.app_op_us
+                    counter = result.ops if measured else 0
+                    db = cell.db
+                    if kind == streams.OP_INSERT:
+                        db.put(key, ("new", counter))
+                        cell.drain_compaction(thread)
+                    elif kind == streams.OP_READ:
+                        start = thread.clock_us
+                        db.n_gets += 1
+                        for li, ti, page in plan:
+                            access_page(cell, thread,
+                                        db.levels[li][ti].file, page)
+                        result.read_latency.samples_us.append(
+                            thread.clock_us - start)
+                        if value is None:
+                            result.missing_keys += 1
+                    elif kind == streams.OP_UPDATE:
+                        db.put(key, ("u", counter))
+                        cell.drain_compaction(thread)
+                    elif kind == streams.OP_SCAN:
+                        db.scan(key, lengths_w[w][i]
+                                if lengths_w[w] is not None else 0)
+                    else:  # rmw
+                        start = thread.clock_us
+                        db.n_gets += 1
+                        for li, ti, page in plan:
+                            access_page(cell, thread,
+                                        db.levels[li][ti].file, page)
+                        result.read_latency.samples_us.append(
+                            thread.clock_us - start)
+                        if value is None:
+                            result.missing_keys += 1
+                        db.put(key, ("rmw", counter))
+                        cell.drain_compaction(thread)
+                    if measured:
+                        result.ops += 1
+                        elapsed = thread.clock_us - cell.window_start[w]
+                        if elapsed > result.elapsed_us:
+                            result.elapsed_us = elapsed
+                    else:
+                        cell.window_start[w] = thread.clock_us
+
+    for cell in cells:
+        cell.finish()
+    return [cell.result for cell in cells]
+
+
+# ---------------------------------------------------------------------------
+# Twitter cluster traces (fig8)
+# ---------------------------------------------------------------------------
+
+def twitter_scan(envs, profile: ClusterProfile, *, nkeys: int,
+                 nops: int, warmup_ops: int = 0, seed: int = 11,
+                 nthreads: int = 4) -> list:
+    """Multi-cell canonical-order Twitter-trace pass.
+
+    The exact runner's threads race over one shared stream; the
+    canonical order assigns op ``i`` to worker ``i % nthreads``.
+    Mirrors :meth:`TwitterRunner` stepping otherwise.
+    """
+    total = warmup_ops + nops
+    stream = streams.twitter_stream(profile, nkeys, total, seed)
+    kinds, indices = stream.kinds, stream.indices
+    keys = streams.key_strings(nkeys)
+
+    cells = [ScanCell(env) for env in envs]
+    for cell in cells:
+        cell.spawn_workers(f"scan-twitter-{profile.name}", nthreads)
+        cell.result = TwitterResult(profile.name)
+        cell.window_start = 0.0
+    oracle = PlanOracle(cells[0].db)
+    ref_mem = cells[0].db.mem
+
+    with _ScanLoop():
+        for i in range(total):
+            warm = i < warmup_ops
+            w = i % nthreads
+            if w == 0:
+                for cell in cells:
+                    cell.round_sync()
+            update = kinds[i] == streams.OP_UPDATE
+            key = keys[indices[i]]
+            if update:
+                value = plan = None
+            else:
+                found, value = ref_mem.get(key)
+                plan = ()
+                if not found:
+                    found, value, plan = oracle.lookup(key)
+            for cell in cells:
+                thread = cell.threads[w]
+                cell.install(thread)
+                result = cell.result
+                thread.clock_us += cell.app_op_us
+                thread.cpu_us += cell.app_op_us
+                if not update:
+                    start = thread.clock_us
+                    cell.db.n_gets += 1
+                    for li, ti, page in plan:
+                        access_page(cell, thread,
+                                    cell.db.levels[li][ti].file, page)
+                    if not warm:
+                        if value is None:
+                            result.missing_keys += 1
+                        result.read_latency.record(
+                            thread.clock_us - start)
+                else:
+                    cell.db.put(key, ("u", result.ops))
+                    cell.drain_compaction(thread)
+                if warm:
+                    if thread.clock_us > cell.window_start:
+                        cell.window_start = thread.clock_us
+                else:
+                    result.ops += 1
+                    elapsed = thread.clock_us - cell.window_start
+                    if elapsed > result.elapsed_us:
+                        result.elapsed_us = elapsed
+
+    for cell in cells:
+        cell.finish()
+    return [cell.result for cell in cells]
+
+
+# ---------------------------------------------------------------------------
+# GET-SCAN (fig10)
+# ---------------------------------------------------------------------------
+
+def getscan_scan(envs, *, nkeys: int, n_gets: int,
+                 get_threads: int = 4, scan_threads: int = 2,
+                 scan_fraction: float = 0.0005, scan_len: int = 1500,
+                 fadvise_mode=None,
+                 zipf_theta: float = 1.2, seed: int = 5,
+                 on_threads: Optional[Callable] = None) -> list:
+    """Multi-cell canonical-order GET-SCAN pass.
+
+    Gets run round-robin over the get workers; each scan is released
+    at the same gets-progress points as the exact runner's pacing
+    (``release_at = issued_total * gets_per_scan``) but then runs *to
+    completion at once* on its scan thread — the documented
+    canonical-order approximation of the exact runner's 64-entry
+    chunked interleaving.  ``on_threads(env, tids)`` is invoked per
+    cell after threads exist and before any op runs, so callers can
+    register scan-thread tids with an attached policy (fig10's
+    GET-SCAN policy keys admission on them).  ``fadvise_mode`` may be
+    one value for every cell or a list with one entry per env (fig10's
+    variant row mixes fadvise modes in a single pass — the streams are
+    identical across variants, only the advice differs).
+    """
+    if isinstance(fadvise_mode, (list, tuple)):
+        fadvise_modes = list(fadvise_mode)
+        if len(fadvise_modes) != len(envs):
+            raise ValueError("fadvise_mode list must match envs")
+    else:
+        fadvise_modes = [fadvise_mode] * len(envs)
+    for fm in fadvise_modes:
+        if fm not in (None, "dontneed", "noreuse", "sequential"):
+            raise ValueError(f"unknown fadvise mode: {fm!r}")
+    from repro.kernel.vfs import FAdvice
+
+    per_get_thread = n_gets // get_threads
+    n_scans = max(1, round(n_gets * scan_fraction))
+    per_scan_thread = max(1, n_scans // scan_threads)
+    gets_per_scan = max(1, int(n_gets / max(n_scans, 1)))
+    scan_advices = [fm if fm in ("dontneed", "noreuse") else None
+                    for fm in fadvise_modes]
+    keys = streams.key_strings(nkeys)
+    get_indices = [
+        streams.zipfian_indices(nkeys, zipf_theta, seed * 31 + w,
+                                per_get_thread)
+        for w in range(get_threads)]
+    scan_starts = [
+        streams.uniform_indices(nkeys, seed * 97 + w, per_scan_thread)
+        for w in range(scan_threads)]
+
+    cells = [ScanCell(env) for env in envs]
+    for env, cell, fm in zip(envs, cells, fadvise_modes):
+        gets = cell.spawn_workers("scan-get", get_threads)
+        scans = [cell.machine.spawn(f"scan-scan-{w}", _parked_step,
+                                    cgroup=cell.db.cgroup)
+                 for w in range(scan_threads)]
+        cell.threads = gets + scans
+        cell.result = GetScanResult()
+        if fm == "sequential":
+            for level in cell.db.levels:
+                for table in level:
+                    cell.fs.fadvise(table.file, FAdvice.SEQUENTIAL)
+        if on_threads is not None:
+            on_threads(env, [t.tid for t in scans])
+    oracle = PlanOracle(cells[0].db)
+
+    scan_done = [0] * scan_threads
+    gets_done = 0
+
+    def run_scan(sw: int, k: int) -> None:
+        start_key = keys[scan_starts[sw][k]]
+        for cell, scan_advice in zip(cells, scan_advices):
+            thread = cell.threads[get_threads + sw]
+            # Scans release after the gets have progressed; sync the
+            # scan thread's clock forward so its folios timestamp in
+            # order with foreground traffic (the exact runner's pacing
+            # loop achieves the same alignment).
+            front = max(cell.threads[w].clock_us
+                        for w in range(get_threads))
+            if front > thread.clock_us:
+                thread.clock_us = front
+            cell.install(thread)
+            started = thread.clock_us
+            it = cell.db.scan_iter(start_key, advice=scan_advice)
+            left = scan_len
+            for _ in it:
+                left -= 1
+                if left <= 0:
+                    break
+            it.close()
+            result = cell.result
+            result.scans += 1
+            result.scan_latency.record(thread.clock_us - started)
+            if thread.clock_us > result.scan_elapsed_us:
+                result.scan_elapsed_us = thread.clock_us
+
+    def release_due() -> None:
+        nonlocal gets_done
+        progress = True
+        while progress:
+            progress = False
+            for sw in range(scan_threads):
+                if scan_done[sw] >= per_scan_thread:
+                    continue
+                issued_total = scan_done[sw] * scan_threads + sw
+                release_at = issued_total * gets_per_scan
+                if gets_done >= release_at or gets_done >= n_gets:
+                    k = scan_done[sw]
+                    scan_done[sw] = k + 1
+                    run_scan(sw, k)
+                    progress = True
+
+    with _ScanLoop():
+        for g in range(per_get_thread):
+            for cell in cells:
+                cell.round_sync()
+            for w in range(get_threads):
+                release_due()
+                key = keys[get_indices[w][g]]
+                found, value = cells[0].db.mem.get(key)
+                if found:
+                    plan = ()
+                else:
+                    found, value, plan = oracle.lookup(key)
+                for cell in cells:
+                    thread = cell.threads[w]
+                    cell.install(thread)
+                    thread.clock_us += cell.app_op_us
+                    thread.cpu_us += cell.app_op_us
+                    start = thread.clock_us
+                    cell.db.n_gets += 1
+                    for li, ti, page in plan:
+                        access_page(cell, thread,
+                                    cell.db.levels[li][ti].file, page)
+                    result = cell.result
+                    if value is None:
+                        result.missing_keys += 1
+                    result.get_latency.record(thread.clock_us - start)
+                    result.gets += 1
+                    if thread.clock_us > result.get_elapsed_us:
+                        result.get_elapsed_us = thread.clock_us
+                gets_done += 1
+        # Gets exhausted: release everything still pending.
+        gets_done = n_gets
+        release_due()
+
+    for cell in cells:
+        cell.finish()
+    return [cell.result for cell in cells]
+
+
+# ---------------------------------------------------------------------------
+# Raw page-access traces (repro.tools.cachesim)
+# ---------------------------------------------------------------------------
+
+class TraceCell:
+    """One trace-replay cell: a machine + memcg + file table, no LSM.
+
+    The cachesim counterpart of :class:`ScanCell` — same stepping
+    surface (``install`` / ``threads`` / ``cache`` / ``fs`` / ``disk``
+    / ``memcg``), with the file table the trace's ids resolve
+    against.  Pass the attached policy's ``ops`` so userspace agents
+    (LHD's reconfiguration daemon) are serviced synchronously, the
+    way :class:`ScanCell` does at round boundaries."""
+
+    __slots__ = ("machine", "engine", "cache", "fs", "disk", "memcg",
+                 "threads", "files", "_agent_rb", "_agent_prog",
+                 "_agent_thread", "_agent_cost", "_run_syscall")
+
+    def __init__(self, machine, memcg, files: dict, ops=None) -> None:
+        check_scan_machine(machine)
+        self.machine = machine
+        self.engine = machine.engine
+        self.cache = machine.page_cache
+        self.fs = machine.fs
+        self.disk = machine.disk
+        self.memcg = memcg
+        self.files = files
+        self.threads = [machine.spawn("scan-trace", _parked_step,
+                                      cgroup=memcg)]
+        self._agent_rb = self._agent_prog = self._agent_thread = None
+        self._agent_cost = 0.0
+        self._run_syscall = None
+        user_maps = getattr(ops, "user_maps", None) or {}
+        if "reconfig_rb" in user_maps and "reconfigure" in user_maps:
+            agents = [t for t in machine.engine._threads
+                      if t.name == "lhd-agent" and not t.done]
+            if agents:
+                from repro.ebpf.runtime import run_syscall_prog
+                from repro.policies.lhd import RECONFIG_COST_US
+                self._agent_rb = user_maps["reconfig_rb"]
+                self._agent_prog = user_maps["reconfigure"]
+                self._agent_thread = agents[-1]
+                self._agent_cost = RECONFIG_COST_US
+                self._run_syscall = run_syscall_prog
+
+    def install(self, thread) -> None:
+        _engine_mod._current = thread
+        self.engine.now_us = thread.clock_us
+
+    def service_agent(self) -> None:
+        """Mirror of :meth:`ScanCell.service_agent` for the single
+        trace thread."""
+        rb = self._agent_rb
+        if rb is not None and rb.drain():
+            agent = self._agent_thread
+            thread = self.threads[0]
+            if agent.clock_us < thread.clock_us:
+                agent.clock_us = thread.clock_us
+            _engine_mod._current = agent
+            self.engine.now_us = agent.clock_us
+            self._run_syscall(self._agent_prog)
+            agent.advance(self._agent_cost)
+            _engine_mod._current = thread
+            self.engine.now_us = thread.clock_us
+
+    def finish(self) -> None:
+        thread = self.threads[0]
+        if thread.clock_us > self.engine.now_us:
+            self.engine.now_us = thread.clock_us
+
+
+def trace_scan(cells, accesses) -> None:
+    """Drive pre-parsed ``(file, page, is_write)`` accesses through N
+    cells' page caches — the cachesim core.
+
+    One logical thread per cell; the trace is single-threaded, so
+    unlike the workload steppers there is *no* interleaving
+    approximation here: results are exactly those of stepping the
+    same accesses under the engine.  ``cells`` entries must provide
+    ``threads[0]`` and a ``files`` dict (set up by cachesim); reads
+    mirror :meth:`Filesystem.read_page`, writes
+    :meth:`Filesystem.write_page` (dirty-marking hit path included).
+    """
+    with _ScanLoop():
+        for cell in cells:
+            thread = cell.threads[0]
+            cell.install(thread)
+            files = cell.files
+            cache = cell.cache
+            for file_id, page, is_write in accesses:
+                f = files[file_id]
+                cell.engine.now_us = thread.clock_us
+                cell.service_agent()
+                if not is_write:
+                    access_page(cell, thread, f, page)
+                    continue
+                # write_page mirror (store already materialized).
+                if page >= f.npages:
+                    f.npages = page + 1
+                folio = f.mapping._folios.get(page)
+                if folio is not None:
+                    folio.dirty = True
+                    cache.mark_accessed(
+                        folio, update_recency=not f.noreuse)
+                    continue
+                memcg = cell.memcg
+                mstats = memcg.stats
+                mstats.misses += 1
+                mstats.lookups += 1
+                stats = cache.stats
+                stats.misses += 1
+                stats.lookups += 1
+                folio = cache.add_folio(f.mapping, page, memcg)
+                if folio is None:
+                    contiguous = page == f._last_direct_write + 1
+                    cell.disk.write(thread, 1, contiguous=contiguous)
+                    f._last_direct_write = page
+                    continue
+                folio.dirty = True
+            cell.finish()
