@@ -63,8 +63,14 @@ DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_core.json")
 #: hit-ratio drift vs the exact fig6 table (bit-reproducible
 #: run-to-run, so still a deterministic baseline field) and its
 #: speedup over the replay entry.
+#: ``timeseries_off`` pins the telemetry sampler's disabled cost the
+#: same way: with no sampler attached the run executes zero sampler
+#: code, so this cell must track ``spans_off``-class timing exactly —
+#: if plumbing the ``--timeseries`` option ever leaks work into
+#: unsampled runs, this entry regresses in isolation.
 CORE_SUITE = ("fig6", "replay", "snapshot", "scan", "fig9",
-              "admission", "table4", "spans_off", "faults_off")
+              "admission", "table4", "spans_off", "faults_off",
+              "timeseries_off")
 
 SCHEMA = 1
 
@@ -175,6 +181,36 @@ def run_faults_off(calibration_s: float) -> dict:
     }
 
 
+def run_timeseries_off(calibration_s: float) -> dict:
+    """Time one fig6-sized cell with the telemetry sampler not attached.
+
+    Disabled-mode telemetry (:mod:`repro.obs.timeseries`) must be
+    free: no sampler thread is spawned, no tracepoint subscribed, no
+    frame closed.  A third (policy, workload) pair so the
+    zero-overhead cells (:func:`run_spans_off`, :func:`run_faults_off`)
+    don't shadow each other in the baseline.
+    """
+    from repro.obs.guard import run_cell, virtual_signature
+
+    t0 = time.perf_counter()
+    measurement = run_cell(policy="s3fifo", workload="B")
+    wall_s = time.perf_counter() - t0
+    signature = virtual_signature(measurement)
+    table = json.dumps(signature, sort_keys=True)
+    return {
+        "cells": 1,
+        "rows": 1,
+        "table_sha256": hashlib.sha256(table.encode()).hexdigest(),
+        "ops_per_sec": {"B/s3fifo": round(signature["ops_per_sec"], 1)},
+        "hit_ratios": {"B/s3fifo": round(signature["hit_ratio"], 4)},
+        "timing": {
+            "wall_s": round(wall_s, 3),
+            "work_units": round(wall_s / calibration_s, 2),
+            "jobs": 1,
+        },
+    }
+
+
 def run_experiment(name: str, quick: bool, jobs: Optional[int],
                    calibration_s: float) -> dict:
     from repro.experiments.parallel import execute
@@ -183,6 +219,8 @@ def run_experiment(name: str, quick: bool, jobs: Optional[int],
         return run_spans_off(calibration_s)
     if name == "faults_off":
         return run_faults_off(calibration_s)
+    if name == "timeseries_off":
+        return run_timeseries_off(calibration_s)
     mode = "full"
     snapshot = "off"
     if name == "replay":

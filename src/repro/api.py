@@ -46,6 +46,10 @@ Mode rules (enforced here and in :mod:`repro.replay`):
   shared post-load machine image (:mod:`repro.snapshot`) instead of
   re-running the load — byte-identical tables; combining with
   ``faults`` raises (``snapshot="auto"`` falls back to cold builds).
+* ``timeseries`` (continuous telemetry frames,
+  :mod:`repro.obs.timeseries`) also needs the full engine —
+  ``mode="replay"`` raises, ``mode="scan"`` raises, ``"auto"`` falls
+  back; it composes with both ``faults`` and ``snapshot``.
 """
 
 from __future__ import annotations
@@ -121,7 +125,8 @@ def run(spec: Union[str, object], *, mode: str = "full",
         policy: Optional[str] = None, faults=None, quick: bool = False,
         jobs: Optional[int] = None, serial: Optional[bool] = None,
         trace: bool = False, breakdown: bool = False,
-        timeout_s: Optional[float] = None, snapshot=False):
+        timeout_s: Optional[float] = None, snapshot=False,
+        timeseries=False):
     """Run one experiment end to end; returns the
     :class:`~repro.experiments.parallel.ExecutionReport` (merged table
     in ``.result``, per-cell timings, trace counts, breakdowns).
@@ -160,6 +165,20 @@ def run(spec: Union[str, object], *, mode: str = "full",
         unless a fault plan needs pristine cold builds).  Combining
         ``snapshot=True`` with ``faults`` raises: a captured image
         cannot carry armed fault state.
+    timeseries:
+        ``False`` (no sampling, the zero-cost default), ``True``
+        (continuous telemetry frames at the default 10 ms virtual
+        cadence), or a sample interval in virtual µs.  Frames land in
+        ``report.timeseries`` (export with
+        :func:`repro.experiments.parallel.timeseries_jsonl`, analyze
+        with :mod:`repro.obs.analyze`).  Needs the full engine:
+        ``mode="replay"`` raises ``ValueError``, ``mode="scan"``
+        raises :class:`repro.scan.ScanUnsupportedError`, ``"auto"``
+        falls back to the full engine.  Composes with ``faults`` (the
+        sampler chains behind the fault-plan observer, so the injected
+        windows appear in the frames' ``active_faults`` column) and
+        with ``snapshot`` (frames are byte-identical cold vs
+        restored).
     """
     from repro.experiments import harness
     from repro.experiments.parallel import (DEFAULT_TIMEOUT_S, execute,
@@ -209,7 +228,7 @@ def run(spec: Union[str, object], *, mode: str = "full",
         return execute(resolved, jobs=jobs, serial=serial,
                        timeout_s=timeout_s, trace=trace,
                        breakdown=breakdown, mode=mode,
-                       snapshot=snapshot)
+                       snapshot=snapshot, timeseries=timeseries)
     finally:
         if observer is not None:
             harness.set_cell_observer(previous)

@@ -159,7 +159,8 @@ def _apply_scan(spec: ExperimentSpec) -> ExperimentSpec:
 
 
 def apply_mode(spec: ExperimentSpec, mode: str, trace: bool = False,
-               breakdown: bool = False) -> ExperimentSpec:
+               breakdown: bool = False,
+               timeseries: bool = False) -> ExperimentSpec:
     """Rewrite a plan for the requested execution mode.
 
     * ``"full"`` — the spec unchanged (the reference engine).
@@ -178,10 +179,17 @@ def apply_mode(spec: ExperimentSpec, mode: str, trace: bool = False,
       loop those consumers hook), as does an experiment with no scan
       plan.
     * ``"auto"`` — like ``"replay"``, but silently falls back to the
-      full engine when ``trace`` or ``breakdown`` is requested; picks
-      scan instead of replay only when the experiment declares itself
-      hit-ratio-only (``meta["hit_ratio_only"]`` — none of the paper
-      figures do, since their tables report throughput and latency).
+      full engine when ``trace``, ``breakdown`` or ``timeseries`` is
+      requested; picks scan instead of replay only when the experiment
+      declares itself hit-ratio-only (``meta["hit_ratio_only"]`` —
+      none of the paper figures do, since their tables report
+      throughput and latency).
+
+    ``timeseries`` (continuous telemetry frames,
+    :mod:`repro.obs.timeseries`) needs the full engine's thread
+    scheduler to tick the sampler: ``"replay"`` refuses it (replay
+    machines reject spawned threads), ``"scan"`` refuses it (no
+    engine at all), ``"auto"`` falls back to full.
 
     Payloads are bit-identical across full/replay/snapshot for
     opted-in cells (enforced by ``tests/test_replay.py``), so the
@@ -194,15 +202,17 @@ def apply_mode(spec: ExperimentSpec, mode: str, trace: bool = False,
     if mode not in ("replay", "auto", "scan"):
         raise ValueError(f"unknown execution mode {mode!r}")
     if mode == "scan":
-        if trace or breakdown:
+        if trace or breakdown or timeseries:
             from repro.scan import ScanUnsupportedError
-            flag = "--breakdown" if breakdown else "--trace"
+            flag = ("--breakdown" if breakdown
+                    else "--trace" if trace else "--timeseries")
             raise ScanUnsupportedError(
                 f"mode='scan' cannot honor {flag}: scan mode drops "
-                f"the engine loop that tracepoints and spans hook; "
-                f"use --mode full (or --mode replay for --trace)")
+                f"the engine loop that tracepoints, spans and the "
+                f"telemetry sampler hook; use --mode full "
+                f"(or --mode replay for --trace)")
         return _apply_scan(spec)
-    if trace or breakdown:
+    if trace or breakdown or timeseries:
         if mode == "auto":
             return spec
         if breakdown:
@@ -210,6 +220,11 @@ def apply_mode(spec: ExperimentSpec, mode: str, trace: bool = False,
                 "mode='replay' cannot record latency breakdowns "
                 "(replay strips span instrumentation); use "
                 "mode='full' or mode='auto'")
+        if timeseries:
+            raise ValueError(
+                "mode='replay' cannot sample timeseries frames "
+                "(replay machines refuse the spawned sampler "
+                "thread); use mode='full' or mode='auto'")
     if mode == "auto" and spec.meta.get("hit_ratio_only") \
             and spec.meta.get("scan") is not None:
         return _apply_scan(spec)
@@ -292,9 +307,10 @@ def _run_gc_paused(fn):
 
 
 def run_cell(cell: CellSpec, trace: bool = False,
-             breakdown: bool = False) -> tuple:
+             breakdown: bool = False,
+             timeseries: Optional[float] = None) -> tuple:
     """Execute one cell in this process; returns
-    ``(payload, trace counts, latency breakdown)``.
+    ``(payload, trace counts, latency breakdown, timeseries doc)``.
 
     With ``trace=True`` a lookup counter is attached to every machine
     the cell builds (via the :func:`harness.build_machine` observer),
@@ -303,22 +319,39 @@ def run_cell(cell: CellSpec, trace: bool = False,
     :class:`~repro.obs.attr.SpanAggregator` rides along the same way —
     which *enables* span recording on the cell's machines — and the
     third element carries its JSON-safe summary plus collapsed-stack
-    text.  Both are deterministic, so serial and parallel runs of the
-    same cell produce byte-identical breakdowns.
+    text.  With ``timeseries`` (a sample interval in virtual µs) a
+    :class:`~repro.obs.timeseries.TimeseriesSampler` attaches to every
+    machine and the fourth element carries its columnar frame document.
+    All are deterministic, so serial and parallel runs of the same
+    cell produce byte-identical artifacts.
+
+    A previously installed cell observer (e.g. :func:`repro.api.run`'s
+    fault-plan armer) is chained, not replaced — faults + telemetry
+    compose, and the fault windows land in the frames.
     """
-    if not trace and not breakdown:
-        return _run_gc_paused(cell.execute), None, None
+    if not trace and not breakdown and timeseries is None:
+        return _run_gc_paused(cell.execute), None, None, None
     counter = _LookupCounter() if trace else None
     aggregator = None
     if breakdown:
         from repro.obs.attr import SpanAggregator
         aggregator = SpanAggregator()
+    sampler = None
+    if timeseries is not None:
+        from repro.obs.timeseries import TimeseriesSampler
+        sampler = TimeseriesSampler(timeseries)
+
+    previous = None
 
     def observe(machine) -> None:
+        if previous is not None:
+            previous(machine)
         if counter is not None:
             counter.attach(machine)
         if aggregator is not None:
             aggregator.attach(machine)
+        if sampler is not None:
+            sampler.attach(machine)
 
     previous = harness.set_cell_observer(observe)
     try:
@@ -329,7 +362,12 @@ def run_cell(cell: CellSpec, trace: bool = False,
     if aggregator is not None:
         bdown = {"summary": aggregator.to_dict(),
                  "collapsed": aggregator.collapsed()}
-    return payload, counter.counts() if counter is not None else None, bdown
+    tdoc = None
+    if sampler is not None:
+        sampler.finalize()
+        tdoc = sampler.to_doc()
+    return (payload, counter.counts() if counter is not None else None,
+            bdown, tdoc)
 
 
 @dataclass
@@ -352,6 +390,9 @@ class ExecutionReport:
     #: cell_id -> {"summary": ..., "collapsed": ...} latency
     #: attribution (populated with ``breakdown=True``).
     breakdown: dict = field(default_factory=dict)
+    #: cell_id -> columnar frame document (populated with
+    #: ``timeseries=...``); export with :func:`timeseries_jsonl`.
+    timeseries: dict = field(default_factory=dict)
     #: cell_ids that failed in a worker and were re-run serially.
     fallbacks: list = field(default_factory=list)
     #: cell_id -> list of worker failure messages (one per failed
@@ -378,19 +419,20 @@ class ExecutionReport:
         return "\n".join(lines)
 
 
-def _worker_main(conn, cell: CellSpec, trace: bool,
-                 breakdown: bool) -> None:
+def _worker_main(conn, cell: CellSpec, trace: bool, breakdown: bool,
+                 timeseries: Optional[float]) -> None:
     """Child entry: run one cell, send one message, exit."""
     try:
-        payload, counts, bdown = run_cell(cell, trace=trace,
-                                          breakdown=breakdown)
-        conn.send(("ok", payload, counts, bdown))
+        payload, counts, bdown, tdoc = run_cell(cell, trace=trace,
+                                                breakdown=breakdown,
+                                                timeseries=timeseries)
+        conn.send(("ok", payload, counts, bdown, tdoc))
     except BaseException as exc:  # report, don't propagate: the parent
         import traceback          # decides how to retry
         try:
             message = (f"{type(exc).__name__}: {exc}\n"
                        f"{traceback.format_exc()}")
-            conn.send(("err", message, None, None))
+            conn.send(("err", message, None, None, None))
         except Exception:
             pass
     finally:
@@ -398,12 +440,14 @@ def _worker_main(conn, cell: CellSpec, trace: bool,
 
 
 def _execute_serial(spec: ExperimentSpec, trace: bool, breakdown: bool,
+                    timeseries: Optional[float],
                     report: ExecutionReport) -> dict:
     payloads = {}
     for cell in spec.cells:
         t0 = time.perf_counter()
-        payload, counts, bdown = run_cell(cell, trace=trace,
-                                          breakdown=breakdown)
+        payload, counts, bdown, tdoc = run_cell(cell, trace=trace,
+                                                breakdown=breakdown,
+                                                timeseries=timeseries)
         report.timings.append(
             CellTiming(cell.cell_id, time.perf_counter() - t0, "serial"))
         payloads[cell.cell_id] = payload
@@ -411,11 +455,14 @@ def _execute_serial(spec: ExperimentSpec, trace: bool, breakdown: bool,
             report.trace[cell.cell_id] = counts
         if bdown is not None:
             report.breakdown[cell.cell_id] = bdown
+        if tdoc is not None:
+            report.timeseries[cell.cell_id] = tdoc
     return payloads
 
 
 def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
                       trace: bool, breakdown: bool,
+                      timeseries: Optional[float],
                       report: ExecutionReport) -> dict:
     ctx = multiprocessing.get_context("fork")
     pending = list(spec.cells)
@@ -438,10 +485,10 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
     def reap(conn, cell, proc, started) -> None:
         wall = time.perf_counter() - started
         try:
-            status, value, counts, bdown = conn.recv()
+            status, value, counts, bdown, tdoc = conn.recv()
         except (EOFError, OSError):
-            status, value, counts, bdown = \
-                "err", "worker died without a result", None, None
+            status, value, counts, bdown, tdoc = \
+                "err", "worker died without a result", None, None, None
         conn.close()
         proc.join()
         if status == "ok":
@@ -452,6 +499,8 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
                 report.trace[cell.cell_id] = counts
             if bdown is not None:
                 report.breakdown[cell.cell_id] = bdown
+            if tdoc is not None:
+                report.timeseries[cell.cell_id] = tdoc
         else:
             record_failure(cell, value)
 
@@ -460,7 +509,8 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
             cell = pending.pop(0)
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_worker_main,
-                               args=(child_conn, cell, trace, breakdown),
+                               args=(child_conn, cell, trace, breakdown,
+                                     timeseries),
                                name=f"cell-{cell.cell_id}")
             proc.start()
             child_conn.close()
@@ -484,8 +534,9 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
     order = {cell.cell_id: i for i, cell in enumerate(spec.cells)}
     for cell, error in sorted(failed, key=lambda f: order[f[0].cell_id]):
         t0 = time.perf_counter()
-        payload, counts, bdown = run_cell(cell, trace=trace,
-                                          breakdown=breakdown)
+        payload, counts, bdown, tdoc = run_cell(cell, trace=trace,
+                                                breakdown=breakdown,
+                                                timeseries=timeseries)
         report.timings.append(
             CellTiming(cell.cell_id, time.perf_counter() - t0,
                        "fallback", error=error))
@@ -495,20 +546,28 @@ def _execute_parallel(spec: ExperimentSpec, jobs: int, timeout_s: float,
             report.trace[cell.cell_id] = counts
         if bdown is not None:
             report.breakdown[cell.cell_id] = bdown
+        if tdoc is not None:
+            report.timeseries[cell.cell_id] = tdoc
     return payloads
 
 
 def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
             serial: bool = False, timeout_s: float = DEFAULT_TIMEOUT_S,
             trace: bool = False, breakdown: bool = False,
-            mode: str = "full", snapshot="off") -> ExecutionReport:
+            mode: str = "full", snapshot="off",
+            timeseries=None) -> ExecutionReport:
     """Run every cell of ``spec`` and merge; returns the full report.
 
     ``serial=True`` (or ``jobs=1``, or a platform without ``fork``)
     runs cells in-process in plan order — the escape hatch and the
     reference behaviour the parallel path must reproduce byte for
     byte.  ``breakdown=True`` records a per-cell latency-attribution
-    summary in :attr:`ExecutionReport.breakdown`.  ``mode`` selects
+    summary in :attr:`ExecutionReport.breakdown`.  ``timeseries``
+    (``True`` for the default cadence, or a sample interval in virtual
+    µs) records per-cell telemetry frames in
+    :attr:`ExecutionReport.timeseries` — export with
+    :func:`timeseries_jsonl`; byte-identical serial vs ``--jobs`` and
+    cold vs snapshot-restored.  ``mode`` selects
     the execution engine per :func:`apply_mode` (``"replay"`` /
     ``"auto"`` route opted-in cells through the trace-replay fast
     path, with bit-identical payloads).  ``snapshot`` selects
@@ -516,7 +575,18 @@ def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
     (opted-in cells restore the shared post-load image instead of
     rebuilding it — byte-identical payloads again).
     """
-    spec = apply_mode(spec, mode, trace=trace, breakdown=breakdown)
+    if timeseries in (False, None):
+        timeseries = None
+    elif timeseries is True:
+        from repro.obs.timeseries import DEFAULT_SAMPLE_INTERVAL_US
+        timeseries = DEFAULT_SAMPLE_INTERVAL_US
+    else:
+        timeseries = float(timeseries)
+        if timeseries <= 0:
+            raise ValueError(
+                f"sample interval must be positive: {timeseries}")
+    spec = apply_mode(spec, mode, trace=trace, breakdown=breakdown,
+                      timeseries=timeseries is not None)
     spec = apply_snapshot(spec, snapshot)
     if jobs is None:
         jobs = default_jobs()
@@ -539,10 +609,11 @@ def execute(spec: ExperimentSpec, jobs: Optional[int] = None,
         gc.freeze()
     if serial or jobs <= 1 or len(spec.cells) <= 1 or not can_fork:
         report.jobs = 1
-        payloads = _execute_serial(spec, trace, breakdown, report)
+        payloads = _execute_serial(spec, trace, breakdown, timeseries,
+                                   report)
     else:
         payloads = _execute_parallel(spec, jobs, timeout_s, trace,
-                                     breakdown, report)
+                                     breakdown, timeseries, report)
     report.result = spec.merge(spec.meta, payloads)
     report.wall_s = time.perf_counter() - t0
     return report
@@ -574,6 +645,21 @@ def breakdown_collapsed(report: ExecutionReport) -> str:
         for line in report.breakdown[cell_id]["collapsed"].splitlines():
             lines.append(f"{cell_id};{line}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# timeseries artifact
+# ----------------------------------------------------------------------
+def timeseries_jsonl(report: ExecutionReport) -> str:
+    """The ``--timeseries`` frames artifact: every cell's frames as
+    JSONL (meta line + one row per frame x scope), cells in sorted
+    order — serial and parallel runs serialize byte-identically."""
+    import io
+
+    from repro.obs.timeseries import write_frames_jsonl
+    buf = io.StringIO()
+    write_frames_jsonl(report.timeseries, buf)
+    return buf.getvalue()
 
 
 # ----------------------------------------------------------------------
@@ -735,6 +821,15 @@ def main(argv: Optional[list] = None) -> int:
                         help="record per-cell latency attribution; "
                              "write the JSON artifact to PATH and "
                              "collapsed stacks to PATH + '.collapsed'")
+    parser.add_argument("--timeseries", default=None, metavar="PATH",
+                        help="sample continuous telemetry frames on "
+                             "every cell's machines and write the "
+                             "frames JSONL artifact to PATH (analyze "
+                             "with python -m repro.obs.analyze)")
+    parser.add_argument("--sample-interval-us", type=float,
+                        default=None, metavar="US",
+                        help="timeseries frame width in virtual "
+                             "microseconds (default 10000)")
     parser.add_argument("--cells", default=None, metavar="PATTERN",
                         help="run only cells whose id matches this glob "
                              "(e.g. 'C/mru'); the table shows raw "
@@ -755,12 +850,22 @@ def main(argv: Optional[list] = None) -> int:
             spec = filter_cells(spec, args.cells)
         except ValueError as exc:
             parser.error(str(exc))
+    if args.sample_interval_us is not None and args.timeseries is None:
+        parser.error("--sample-interval-us needs --timeseries PATH")
+    timeseries = None
+    if args.timeseries is not None:
+        timeseries = (args.sample_interval_us
+                      if args.sample_interval_us is not None else True)
+        if args.mode == "replay":
+            parser.error("--timeseries needs the full engine to tick "
+                         "the sampler; use --mode full or --mode auto")
     from repro.scan import ScanUnsupportedError
     try:
         report = execute(spec, jobs=args.jobs, serial=args.serial,
                          timeout_s=args.timeout, trace=args.trace,
                          breakdown=args.breakdown is not None,
-                         mode=args.mode, snapshot=args.snapshot)
+                         mode=args.mode, snapshot=args.snapshot,
+                         timeseries=timeseries)
     except ScanUnsupportedError as exc:
         parser.error(str(exc))
     table = report.result.format_table()
@@ -772,6 +877,14 @@ def main(argv: Optional[list] = None) -> int:
             fh.write(breakdown_collapsed(report))
         print(f"breakdown: {args.breakdown} "
               f"(+ {args.breakdown}.collapsed)", file=sys.stderr)
+    if args.timeseries:
+        with open(args.timeseries, "w") as fh:
+            fh.write(timeseries_jsonl(report))
+        frames = sum(m["n_frames"]
+                     for doc in report.timeseries.values()
+                     for m in doc["machines"])
+        print(f"timeseries: {args.timeseries} ({frames} frames, "
+              f"{len(report.timeseries)} cells)", file=sys.stderr)
     if args.trace:
         for cell_id in sorted(report.trace):
             counts = report.trace[cell_id]

@@ -246,6 +246,20 @@ class Machine(SnapshotFriendly):
     # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
+    def attach_timeseries(self, interval_us: Optional[float] = None):
+        """Attach a continuous telemetry sampler to this machine.
+
+        Returns the armed :class:`repro.obs.timeseries.TimeseriesSampler`
+        (call ``finalize()`` after the run, then export).  Convenience
+        for the direct-Machine API; experiment sweeps should use
+        ``--timeseries`` / ``api.run(timeseries=...)`` instead.
+        """
+        from repro.obs.timeseries import (DEFAULT_SAMPLE_INTERVAL_US,
+                                          TimeseriesSampler)
+        if interval_us is None:
+            interval_us = DEFAULT_SAMPLE_INTERVAL_US
+        return TimeseriesSampler(interval_us).attach(self)
+
     def metrics(self) -> MachineMetrics:
         """One typed snapshot of the whole machine (stats + I/O +
         per-cgroup policy health); see :mod:`repro.obs.metrics`."""

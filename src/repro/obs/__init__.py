@@ -17,6 +17,11 @@ better, and this package is how:
 * :mod:`repro.obs.spans` / :mod:`repro.obs.attr` — span-based latency
   attribution: every request's virtual duration decomposed exactly
   into named components, aggregated per cgroup/policy/kind;
+* :mod:`repro.obs.timeseries` — the continuous telemetry plane:
+  deterministic fixed-interval frames of per-machine and per-cgroup
+  metrics over virtual time, with JSONL/npz export;
+* :mod:`repro.obs.analyze` — offline phase/warm-up/brownout episode
+  detection over those frames;
 * :mod:`repro.obs.guard` — the <5% disabled-tracing overhead guard.
 
 See DESIGN.md ("Observability") for the mapping from each tracepoint
@@ -30,6 +35,11 @@ from repro.obs.collectors import (Collector, EventCounter, Histogram,
 from repro.obs.metrics import (CgroupMetrics, MachineMetrics, PolicyMetrics,
                                snapshot_cgroup, snapshot_machine)
 from repro.obs.spans import COMPONENTS, Span, SpanRecorder
+from repro.obs.timeseries import (DEFAULT_SAMPLE_INTERVAL_US, FRAME_COLUMNS,
+                                  LookupTimeline, MetricFrameBuffer,
+                                  TimeseriesSampler, frame_totals,
+                                  read_frames_jsonl, write_frames_jsonl,
+                                  write_frames_npz)
 from repro.obs.trace import (NULL_TRACEPOINT, TraceEvent, Tracepoint,
                              TraceRegistry, TraceSession, read_jsonl)
 
@@ -42,4 +52,7 @@ __all__ = [
     "snapshot_machine", "snapshot_cgroup",
     "COMPONENTS", "Span", "SpanRecorder",
     "SpanAggregator", "SpanStats", "format_breakdown",
+    "TimeseriesSampler", "MetricFrameBuffer", "LookupTimeline",
+    "DEFAULT_SAMPLE_INTERVAL_US", "FRAME_COLUMNS", "frame_totals",
+    "read_frames_jsonl", "write_frames_jsonl", "write_frames_npz",
 ]

@@ -13,13 +13,14 @@ a :class:`~repro.obs.trace.TraceSession` is active.
 * :class:`InterReferenceCollector` — per-cgroup inter-reference
   distance (accesses between successive touches of the same page),
   the locality profile cache-policy papers plot;
-* :class:`HitRatioTimeline` — per-cgroup hit ratio over time in fixed
-  virtual-time windows, the time-resolved metric the paper could only
-  approximate through disk-access counts (§6.1.1).
+* :class:`HitRatioTimeline` — deprecated shim over
+  :class:`repro.obs.timeseries.LookupTimeline`, the event-driven
+  sibling of the continuous telemetry plane that absorbed it.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.obs.trace import TraceEvent
@@ -118,6 +119,13 @@ class WindowedSeries:
     virtual-time window containing its timestamp; :meth:`series`
     returns one point per non-empty window.  Windows are aligned to
     multiples of ``window_us`` so identical runs bucket identically.
+
+    Window boundaries are **half-open**: window ``k`` covers
+    ``[k * window_us, (k + 1) * window_us)``, so a sample timestamped
+    exactly at a boundary belongs to the *following* window
+    (``int(ts // window)``).  The sampler frames in
+    :mod:`repro.obs.timeseries` use the same ``[t, t + interval)``
+    convention; ``tests/test_timeseries.py`` pins both.
     """
 
     __slots__ = ("window_us", "_windows")
@@ -260,38 +268,42 @@ class InterReferenceCollector(Collector):
 
 
 class HitRatioTimeline(Collector):
-    """Per-cgroup hit ratio over virtual time, in fixed windows.
+    """Deprecated: use :class:`repro.obs.timeseries.LookupTimeline`
+    (event-driven, identical semantics) or the
+    :class:`~repro.obs.timeseries.TimeseriesSampler` frames, which
+    carry hit/miss rates alongside every other per-cgroup metric.
 
-    This is the metric the real page cache cannot give you ("the page
-    cache doesn't expose system-wide hit-rate metrics", §6.1.1, which
-    is why the paper falls back to disk-access counts) and the one a
-    simulator owes its users.  ``cachestat()`` (Linux 6.5) exposes the
-    same counters per file; we aggregate per cgroup per window.
+    This shim delegates to ``LookupTimeline`` and will be removed one
+    release after PR 9.  The import is deferred to construction so the
+    collectors module (imported by timeseries) stays cycle-free.
     """
 
     tracepoints = ("cache:lookup",)
 
     def __init__(self, window_us: float = 100_000.0) -> None:
-        self.window_us = window_us
-        self.per_cgroup: dict[str, WindowedSeries] = {}
+        warnings.warn(
+            "HitRatioTimeline is deprecated; use "
+            "repro.obs.timeseries.LookupTimeline (same semantics) or "
+            "the TimeseriesSampler frames",
+            DeprecationWarning, stacklevel=2)
+        from repro.obs.timeseries import LookupTimeline
+        self._delegate = LookupTimeline(window_us)
+
+    @property
+    def window_us(self) -> float:
+        return self._delegate.window_us
+
+    @property
+    def per_cgroup(self) -> dict:
+        return self._delegate.per_cgroup
 
     def handle(self, event: TraceEvent) -> None:
-        series = self.per_cgroup.get(event.cgroup)
-        if series is None:
-            series = self.per_cgroup[event.cgroup] = \
-                WindowedSeries(self.window_us)
-        series.add(event.ts_us, num=event.data.get("hit", 0), den=1)
+        self._delegate.handle(event)
 
     def series(self, cgroup: str) -> list[tuple]:
         """``(window_start_us, hit_ratio)`` points for one cgroup."""
-        ws = self.per_cgroup.get(cgroup)
-        return ws.ratios() if ws is not None else []
+        return self._delegate.series(cgroup)
 
     def overall(self, cgroup: str) -> Optional[float]:
         """Whole-run hit ratio for one cgroup (None if unseen)."""
-        ws = self.per_cgroup.get(cgroup)
-        if ws is None:
-            return None
-        hits = sum(num for _start, num, _den in ws.series())
-        lookups = sum(den for _start, _num, den in ws.series())
-        return hits / lookups if lookups else 0.0
+        return self._delegate.overall(cgroup)

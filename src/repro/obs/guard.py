@@ -50,13 +50,16 @@ DEFAULT_THRESHOLD = 0.05
 
 def run_cell(policy: str = "mru", workload: str = "C",
              counter: EventCounter = None, scale: dict = None,
-             collectors=()) -> dict:
+             collectors=(), sampler=None) -> dict:
     """One fig6-style (policy, workload) cell; returns measurements.
 
     With ``counter`` (or any ``collectors``) given, a collector-only
     :class:`TraceSession` (no buffering) is active for the measured
     window, so the consumers see every event the enabled registry
-    dispatches.
+    dispatches.  With ``sampler`` (a
+    :class:`~repro.obs.timeseries.TimeseriesSampler`) given, it is
+    attached to the cell's machine before the run and finalized after,
+    so its frames cover the measured window.
     """
     from repro.experiments.fig6 import QUICK_SCALE
     from repro.experiments.harness import make_db_env
@@ -67,6 +70,8 @@ def run_cell(policy: str = "mru", workload: str = "C",
         params.update(scale)
     env = make_db_env(policy, cgroup_pages=params["cgroup_pages"],
                       nkeys=params["nkeys"], compaction_thread=True)
+    if sampler is not None:
+        sampler.attach(env.machine)
     runner = YcsbRunner(env.db, YCSB_WORKLOADS[workload],
                         nkeys=params["nkeys"], nops=params["nops"],
                         nthreads=params["nthreads"],
@@ -85,6 +90,8 @@ def run_cell(policy: str = "mru", workload: str = "C",
     wall_s = time.perf_counter() - t0
     if session is not None:
         session.stop()
+    if sampler is not None:
+        sampler.finalize()
     metrics = env.machine.metrics()
     return {
         "wall_s": wall_s,
@@ -204,6 +211,88 @@ def run_spans_check(policy: str = "mru", workload: str = "C",
     }
 
 
+def run_timeseries_check(policy: str = "mru", workload: str = "C",
+                         scale: dict = None,
+                         interval_us: float = 2_000.0,
+                         overhead_threshold: float = 3.0) -> dict:
+    """Assert the telemetry sampler is free when off and honest when on.
+
+    Mirrors :func:`run_spans_check` for :mod:`repro.obs.timeseries`:
+
+    1. **bit-identity** — a run with the sampler attached must produce
+       the same virtual-time results as a run without it (the sampler
+       only waits and reads; disabled mode runs zero sampler code, so
+       this is the whole perturbation surface);
+    2. **liveness + determinism** — frames were recorded, and two
+       sampled runs serialize byte-identically;
+    3. **exact totals** — summing the frames' integer counters
+       reproduces the run's end-of-run measurements (hit ratio from
+       summed hits/lookups bit-exactly, disk pages exactly): no
+       double counting across frame boundaries;
+    4. **bounded enabled overhead** — the sampled run's wall time stays
+       within ``overhead_threshold`` x the best unsampled run.  The
+       bound is generous because the dominant enabled cost is span
+       recording (the sampler's latency quantiles subscribe to
+       ``span:close``), and because the signal is a structural
+       regression, not CI noise.
+    """
+    import io
+
+    from repro.obs.timeseries import (TimeseriesSampler, frame_totals,
+                                      read_frames_jsonl)
+
+    base1 = run_cell(policy, workload, scale=scale)
+    base2 = run_cell(policy, workload, scale=scale)
+
+    def sampled_run():
+        sampler = TimeseriesSampler(interval_us)
+        measurement = run_cell(policy, workload, scale=scale,
+                               sampler=sampler)
+        buf = io.StringIO()
+        sampler.write_jsonl(buf, cell=f"{workload}/{policy}")
+        return measurement, sampler.frames_recorded, buf.getvalue()
+
+    sampled, frames, artifact1 = sampled_run()
+    _again, _frames2, artifact2 = sampled_run()
+
+    identical = virtual_signature(base1) == virtual_signature(sampled)
+    deterministic = artifact1 == artifact2
+
+    _meta, rows = read_frames_jsonl(io.StringIO(artifact1))
+    machine_tot = frame_totals(rows, scope="machine")["totals"]
+    app_tot = frame_totals(rows, scope="app")["totals"]
+    lookups = app_tot["lookups"]
+    frames_hit_ratio = app_tot["hits"] / lookups if lookups else 0.0
+    frames_disk_pages = (machine_tot["io_read_pages"]
+                         + machine_tot["io_write_pages"])
+    totals_match = (frames_hit_ratio == sampled["hit_ratio"]
+                    and frames_disk_pages == sampled["disk_pages"])
+
+    base_wall = min(base1["wall_s"], base2["wall_s"])
+    overhead_ratio = (sampled["wall_s"] / base_wall
+                      if base_wall > 0 else 1.0)
+
+    return {
+        "policy": policy,
+        "workload": workload,
+        "interval_us": interval_us,
+        "virtual_results": virtual_signature(base1),
+        "timeseries_identical": identical,
+        "frames": frames,
+        "frames_deterministic": deterministic,
+        "frames_hit_ratio": frames_hit_ratio,
+        "frames_disk_pages": frames_disk_pages,
+        "totals_match": totals_match,
+        "base_wall_s": [base1["wall_s"], base2["wall_s"]],
+        "enabled_wall_s": sampled["wall_s"],
+        "overhead_ratio": overhead_ratio,
+        "overhead_threshold": overhead_threshold,
+        "passed": (identical and deterministic and frames > 0
+                   and totals_match
+                   and overhead_ratio < overhead_threshold),
+    }
+
+
 def run_faults_check(scenarios=("flaky-disk", "buggy-policy"),
                      workload: str = "A") -> dict:
     """Assert fault injection is deterministic on chaos-sized runs.
@@ -249,6 +338,26 @@ def format_faults_report(report: dict) -> str:
                      f"{c['n_fired']:,} faults fired "
                      f"({', '.join(sorted(c['fired']))})")
     lines.append("PASS" if report["passed"] else "FAIL")
+    return "\n".join(lines)
+
+
+def format_timeseries_report(report: dict) -> str:
+    lines = [
+        f"timeseries guard: fig6-sized run "
+        f"(policy={report['policy']}, workload={report['workload']}, "
+        f"interval={report['interval_us']:.0f}us)",
+        f"  virtual results identical : "
+        f"{'yes' if report['timeseries_identical'] else 'NO  <-- sampler perturbed time'}",
+        f"  frames recorded           : {report['frames']:,} "
+        f"({'byte-identical reruns' if report['frames_deterministic'] else 'NON-DETERMINISTIC  <-- frames diverged'})",
+        f"  frame totals vs metrics   : "
+        f"{'exact' if report['totals_match'] else 'MISMATCH  <-- double counting'}"
+        f" (hit {report['frames_hit_ratio']:.4f}, "
+        f"{report['frames_disk_pages']:,} disk pages)",
+        f"  enabled/disabled wall     : {report['overhead_ratio']:.2f}x"
+        f"  (threshold {report['overhead_threshold']:.1f}x)",
+        "PASS" if report["passed"] else "FAIL",
+    ]
     return "\n".join(lines)
 
 
@@ -311,7 +420,22 @@ def main(argv=None) -> int:
                              "instead: two runs of a fault-armed chaos "
                              "cell must be byte-identical, with faults "
                              "actually fired")
+    parser.add_argument("--timeseries", action="store_true",
+                        help="check the telemetry sampler instead: "
+                             "sampled vs unsampled runs must be "
+                             "bit-identical, frames must be "
+                             "deterministic with totals exactly "
+                             "matching end-of-run metrics, and enabled "
+                             "overhead must stay bounded")
     args = parser.parse_args(argv)
+
+    if args.timeseries:
+        report = run_timeseries_check(args.policy, args.workload)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_timeseries_report(report))
+        return 0 if report["passed"] else 1
 
     if args.faults:
         report = run_faults_check()

@@ -196,5 +196,11 @@ class Disk:
         self.stats.write_pages += npages
         return completion
 
+    def busy_channels(self, now_us: float) -> int:
+        """Channels still servicing a request at ``now_us`` — the
+        instantaneous queue-depth gauge the telemetry sampler records
+        (same definition as ``IoCompletion.queue_depth`` at issue)."""
+        return sum(1 for t in self._free_at if t > now_us)
+
     def reset_stats(self) -> None:
         self.stats = DiskStats()

@@ -8,6 +8,8 @@ JSONL export::
     python -m repro.tools.cachetop run.jsonl
     python -m repro.tools.cachetop run.jsonl --window-ms 50   # frames
     python -m repro.tools.cachetop run.jsonl --latency        # biolatency
+    python -m repro.tools.cachetop --replay frames.jsonl      # scrub
+    python -m repro.tools.cachetop --replay frames.jsonl --at 40
     python -m repro.tools.cachetop --selftest
 
 One row per cgroup: lookups, hits, hit%, insertions, evictions,
@@ -19,6 +21,12 @@ window — the "live" display replayed from the trace.
 The numbers are exact, not sampled: ``hit%`` computed from a full
 trace matches ``cgroup.stats.hit_ratio`` bit-for-bit, which
 ``--selftest`` asserts end-to-end (simulate, export, re-read, compare).
+
+``--replay`` takes a :mod:`repro.obs.timeseries` frames file (a run
+recorded with ``--timeseries``) instead of a raw trace and renders
+each fixed-interval frame as one cachetop refresh — the live view
+scrubbed offline, without the event-level trace.  ``--at MS`` jumps
+to the frame covering one virtual-time instant.
 """
 
 from __future__ import annotations
@@ -183,6 +191,123 @@ def frames(events: list, window_us: float):
         yield boundary, summarize(pending)
 
 
+# ----------------------------------------------------------------------
+# frame replay (--replay): scrub a recorded telemetry timeline
+# ----------------------------------------------------------------------
+def replay_frames(rows: list) -> list:
+    """Group telemetry rows into ``(cell, t_us, rows)`` frames.
+
+    ``rows`` is the row list from
+    :func:`repro.obs.timeseries.read_frames_jsonl`; one frame is every
+    scope row sharing a ``(cell, t_us)`` pair.  File order is
+    preserved, so frames come out cell-by-cell in time order exactly
+    as the sampler emitted them.
+    """
+    grouped: dict = {}
+    order: list = []
+    for row in rows:
+        key = (row.get("cell", ""), row["t_us"])
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(row)
+    return [(cell, t_us, grouped[(cell, t_us)]) for cell, t_us in order]
+
+
+def format_frame(cell: str, t_us: float, rows: list) -> str:
+    """One cachetop-style refresh for one recorded telemetry frame.
+
+    Same column layout as :func:`format_views`, but fed from
+    :mod:`repro.obs.timeseries` frame rows (per-frame counter deltas)
+    instead of raw trace events.  Frames carry no per-request latency
+    histogram, so the LAT_US column is replaced by the frame's reclaim
+    stall (RSTALL); the machine-scope row is rendered as a trailer
+    with the device gauges (queue depth, active faults, service
+    quantiles) that have no per-cgroup equivalent.
+    """
+    machine_row = None
+    cgroup_rows = []
+    for row in rows:
+        if row["scope"] == "machine":
+            machine_row = row
+        else:
+            cgroup_rows.append(row)
+    dur = rows[0].get("dur_us", 0.0) if rows else 0.0
+    title = f"--- t = {t_us / 1000.0:.1f}..{(t_us + dur) / 1000.0:.1f} ms"
+    if cell:
+        title += f"  [{cell}]"
+    lines = [title + " ---",
+             f"{'CGROUP':<14s} {'LOOKUPS':>8s} {'HITS':>8s} {'HIT%':>7s} "
+             f"{'INSERT':>7s} {'EVICT':>7s} {'REFLT':>6s} "
+             f"{'IO_RD':>7s} {'IO_WR':>7s} {'RSTALL':>8s}"]
+    for row in sorted(cgroup_rows, key=lambda r: r["scope"]):
+        lookups = row.get("lookups", 0)
+        hits = row.get("hits", 0)
+        ratio = hits / lookups if lookups else 0.0
+        lines.append(
+            f"{row['scope']:<14.14s} {lookups:>8d} {hits:>8d} "
+            f"{100.0 * ratio:>6.2f}% {row.get('insertions', 0):>7d} "
+            f"{row.get('evictions', 0):>7d} {row.get('refaults', 0):>6d} "
+            f"{row.get('io_read_pages', 0):>7d} "
+            f"{row.get('io_write_pages', 0):>7d} "
+            f"{row.get('reclaim_stall_us', 0.0):>8.1f}")
+        unhealthy = (row.get("fallback_evictions", 0)
+                     or row.get("kfunc_errors", 0)
+                     or row.get("watchdog_detaches", 0))
+        if unhealthy:
+            lines.append(
+                f"{'':<14s} !! fallback={row.get('fallback_evictions', 0)} "
+                f"kfunc_errors={row.get('kfunc_errors', 0)} "
+                f"watchdog_detaches={row.get('watchdog_detaches', 0)}")
+    if machine_row is not None:
+        m = machine_row
+        lines.append(
+            f"machine: qdepth={m.get('queue_depth', 0)} "
+            f"active_faults={m.get('active_faults', 0)} "
+            f"fired={m.get('faults_fired', 0)} "
+            f"io_err={m.get('io_errors', 0)} "
+            f"dserv p50/p99="
+            f"{m.get('device_service_p50_us', 0.0):.0f}/"
+            f"{m.get('device_service_p99_us', 0.0):.0f}us "
+            f"resident={m.get('charged_pages', 0)}pg")
+    return "\n".join(lines)
+
+
+def select_frames(frame_list: list, at_us: float) -> list:
+    """The frame covering ``at_us`` for each cell (scrub to one instant).
+
+    Frames are contiguous half-open windows, so the frame covering
+    ``at_us`` is the last one starting at or before it; past the end
+    of a cell's timeline the last frame wins, before the start the
+    first.
+    """
+    per_cell: dict = {}
+    for cell, t_us, rows in frame_list:
+        chosen = per_cell.get(cell)
+        if chosen is None or t_us <= at_us:
+            per_cell[cell] = (t_us, rows)
+    return [(cell, t_us, rows)
+            for cell, (t_us, rows) in per_cell.items()]
+
+
+def render_replay(path, at_ms: Optional[float] = None) -> str:
+    """Render a recorded frames file as a sequence of refreshes."""
+    from repro.obs.timeseries import read_frames_jsonl
+
+    meta, rows = read_frames_jsonl(path)
+    frame_list = replay_frames(rows)
+    if not frame_list:
+        return "(no frames recorded)"
+    if at_ms is not None:
+        frame_list = select_frames(frame_list, at_ms * 1000.0)
+    blocks = [format_frame(cell, t_us, frows)
+              for cell, t_us, frows in frame_list]
+    interval = meta.get("interval_us", 0.0)
+    blocks.append(f"{len(frame_list)} frame(s), sample interval "
+                  f"{interval / 1000.0:.1f} ms")
+    return "\n\n".join(blocks)
+
+
 def format_latency(views: dict) -> str:
     """biolatency-style per-cgroup latency histograms."""
     chunks = []
@@ -270,14 +395,34 @@ def main(argv: Optional[list] = None) -> int:
                         help="render one frame per virtual-time window")
     parser.add_argument("--latency", action="store_true",
                         help="also print per-cgroup I/O latency histograms")
+    parser.add_argument("--replay", metavar="FRAMES",
+                        help="scrub a recorded repro.obs.timeseries "
+                             "frames file instead of reading a trace")
+    parser.add_argument("--at", type=float, metavar="MS", default=None,
+                        help="with --replay: show only the frame "
+                             "covering this virtual-time instant (ms)")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in end-to-end check and exit")
     args = parser.parse_args(argv)
 
     if args.selftest:
         return selftest()
+    if args.replay:
+        if args.trace:
+            parser.error("--replay reads frames, not a trace; "
+                         "give one or the other")
+        import sys
+        try:
+            rendered = render_replay(args.replay, at_ms=args.at)
+        except (OSError, ValueError) as exc:
+            print(f"cachetop: {exc}", file=sys.stderr)
+            return 1
+        print(rendered)
+        return 0
+    if args.at is not None:
+        parser.error("--at only applies to --replay")
     if not args.trace:
-        parser.error("a trace file is required (or --selftest)")
+        parser.error("a trace file is required (or --replay/--selftest)")
 
     import sys
     try:

@@ -15,6 +15,15 @@ Offline against a recorded trace, or live against a chaos cell::
     python -m repro.tools.faultstat run.jsonl
     python -m repro.tools.faultstat run.jsonl --window-ms 20
     python -m repro.tools.faultstat --live --scenario flaky-disk
+    python -m repro.tools.faultstat --frames frames.jsonl
+
+With ``--frames`` (a :mod:`repro.obs.timeseries` export, alone or next
+to a trace) the tool renders the *observed* side of the story: one
+line per telemetry frame showing the armed fault windows
+(``active_faults``), fired injections, I/O errors and the device
+service metric, with frames inside analyzer-detected degradation
+episodes (:mod:`repro.obs.analyze`) marked — injected cause and
+measured effect side by side.
 """
 
 from __future__ import annotations
@@ -109,6 +118,66 @@ def format_faultstat(collector: FaultStatCollector) -> str:
     return "\n".join(lines)
 
 
+def format_frames_view(meta: dict, rows: list, **analyze_kwargs) -> str:
+    """Fault windows and degradation episodes, side by side.
+
+    ``meta``/``rows`` come from
+    :func:`repro.obs.timeseries.read_frames_jsonl`.  Renders one line
+    per machine-scope frame — active fault windows, fired injections,
+    I/O errors, queue depth and the per-frame device service metric —
+    and marks every frame that falls inside a degradation episode the
+    analyzer detected, then appends the analyzer's episode report so
+    the injected timeline and its measured effect read together.
+    """
+    from repro.obs import analyze
+
+    doc = analyze.analyze_rows(meta, rows, **analyze_kwargs)
+    machine_rows: dict[tuple, list] = {}
+    for row in rows:
+        if row.get("scope") != "machine":
+            continue
+        key = (row.get("cell", ""), row.get("machine", 0))
+        machine_rows.setdefault(key, []).append(row)
+    if not machine_rows:
+        return "(no machine-scope frames in file)"
+
+    degradations: dict[tuple, list] = {}
+    for group in doc["groups"]:
+        key = (group["cell"], group["machine"])
+        degradations[key] = [ep for ep in group["episodes"]
+                             if ep["type"] == "degradation"]
+
+    lines = []
+    for key in sorted(machine_rows):
+        cell, machine = key
+        if lines:
+            lines.append("")
+        title = cell or "(run)"
+        lines.append(f"{title} machine {machine}")
+        lines.append(f"{'TIME_MS':>10s} {'ACTIVE':>7s} {'FIRED':>6s} "
+                     f"{'IO_ERR':>7s} {'QDEPTH':>7s} {'SERV_US':>8s}")
+        episodes = degradations.get(key, ())
+        for row in machine_rows[key]:
+            t_us = row["t_us"]
+            degraded = any(ep["start_us"] <= t_us < ep["end_us"]
+                           for ep in episodes)
+            marks = []
+            if row.get("active_faults", 0) > 0:
+                marks.append("fault")
+            if degraded:
+                marks.append("DEGRADED")
+            lines.append(
+                f"{t_us / 1000.0:>10.1f} {row.get('active_faults', 0):>7d} "
+                f"{row.get('faults_fired', 0):>6d} "
+                f"{row.get('io_errors', 0):>7d} "
+                f"{row.get('queue_depth', 0):>7d} "
+                f"{analyze._service_metric(row):>8.1f}"
+                + (f"  << {' + '.join(marks)}" if marks else ""))
+    lines.append("")
+    lines.append(analyze.format_report(doc))
+    return "\n".join(lines)
+
+
 def run_live(scenario: str, workload: str,
              window_us: float) -> FaultStatCollector:
     """Run one quick-scale chaos cell with the collector attached."""
@@ -153,14 +222,33 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--workload", default="A",
                         help="workload for --live: a YCSB letter or "
                              "twNN (default: A)")
+    parser.add_argument("--frames", metavar="FRAMES",
+                        help="also render a repro.obs.timeseries frames "
+                             "file: fault windows next to analyzer-"
+                             "detected degradation episodes")
     args = parser.parse_args(argv)
+
+    if args.frames:
+        from repro.obs.timeseries import read_frames_jsonl
+        try:
+            meta, rows = read_frames_jsonl(args.frames)
+        except (OSError, ValueError) as exc:
+            print(f"faultstat: {exc}", file=sys.stderr)
+            return 1
+        frames_view = format_frames_view(meta, rows)
+        if not args.trace and not args.live:
+            print(frames_view)
+            return 0
+    else:
+        frames_view = None
 
     window_us = args.window_ms * 1000.0
     if args.live:
         collector = run_live(args.scenario, args.workload, window_us)
     else:
         if not args.trace:
-            parser.error("a trace file is required (or --live)")
+            parser.error("a trace file is required "
+                         "(or --live / --frames)")
         try:
             if args.trace == "-":
                 events = TraceSession.load(sys.stdin)
@@ -171,6 +259,9 @@ def main(argv: Optional[list] = None) -> int:
             return 1
         collector = FaultStatCollector(window_us).replay(events)
     print(format_faultstat(collector))
+    if frames_view is not None:
+        print()
+        print(frames_view)
     return 0
 
 

@@ -267,7 +267,8 @@ class TestCollectors:
 
     def test_hit_ratio_timeline_overall_matches_stats(self):
         machine, cg, f = make_env(limit=16)
-        timeline = HitRatioTimeline(window_us=50.0)
+        with pytest.warns(DeprecationWarning):  # shim onto LookupTimeline
+            timeline = HitRatioTimeline(window_us=50.0)
         with TraceSession(machine, collectors=[timeline], buffer=False):
             run_reads(machine, f, cg, [i % 24 for i in range(200)])
         assert timeline.overall("t") == cg.stats.hit_ratio

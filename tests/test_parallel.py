@@ -98,9 +98,10 @@ def test_trace_counts_are_real():
 
 
 def test_untraced_run_attaches_nothing():
-    payload, counts, bdown = run_cell(fig9.plan(quick=True).cells[0])
+    payload, counts, bdown, tdoc = run_cell(fig9.plan(quick=True).cells[0])
     assert counts is None
     assert bdown is None
+    assert tdoc is None
     assert payload["seconds"] > 0
 
 

@@ -1,0 +1,319 @@
+"""Telemetry plane contracts: exact frames, zero perturbation,
+byte-identical artifacts.
+
+The virtual-time sampler (:mod:`repro.obs.timeseries`) promises:
+
+* **exact totals** — summing each integer counter column across a
+  run's frames reproduces the end-of-run ``Machine.metrics()``
+  numbers exactly (no double counting at frame boundaries, no missed
+  tail);
+* **zero perturbation** — a sampled run's virtual-time results are
+  bit-identical to an unsampled run's (the sampler only waits and
+  reads);
+* **byte-identical artifacts** — the JSONL export is the same bytes
+  serial vs ``--jobs`` and cold vs snapshot-restored;
+* **typed refusals** — replay and scan modes refuse the sampler with
+  a typed error, ``mode="auto"`` falls back to the full engine;
+* **fault localization** — the analyzer (:mod:`repro.obs.analyze`)
+  localizes an injected device brownout to within one sample
+  interval, via the frames alone.
+"""
+
+import io
+import json
+import warnings
+
+import pytest
+
+from repro import api
+from repro.experiments import fig6
+from repro.experiments.harness import make_db_env
+from repro.experiments.parallel import execute, timeseries_jsonl
+from repro.faults.plan import DeviceFault, FaultPlan
+from repro.kernel.machine import Machine
+from repro.obs import analyze, guard
+from repro.obs.collectors import HitRatioTimeline, WindowedSeries
+from repro.obs.timeseries import (LookupTimeline, TimeseriesSampler,
+                                  frame_totals, read_frames_jsonl)
+from repro.replay import enable_replay
+from repro.scan import ScanUnsupportedError
+from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbRunner
+
+# Small-but-busy YCSB scale: enough traffic to cross many frame
+# boundaries, fast enough for CI.
+SCALE = dict(nkeys=2000, cgroup_pages=96, nops=2000, warmup_ops=1000,
+             nthreads=2, zipf_theta=1.1)
+
+
+def sampled_cell(interval_us=2_000.0, policy="mru", workload="C"):
+    """One fig6-style cell with a sampler attached; returns
+    ``(machine_metrics, app_cgroup_name, sampler)``."""
+    env = make_db_env(policy, cgroup_pages=SCALE["cgroup_pages"],
+                      nkeys=SCALE["nkeys"], compaction_thread=True)
+    sampler = TimeseriesSampler(interval_us).attach(env.machine)
+    YcsbRunner(env.db, YCSB_WORKLOADS[workload], nkeys=SCALE["nkeys"],
+               nops=SCALE["nops"], nthreads=SCALE["nthreads"],
+               warmup_ops=SCALE["warmup_ops"],
+               zipf_theta=SCALE["zipf_theta"]).run()
+    sampler.finalize()
+    return env.machine.metrics(), env.cgroup.name, sampler
+
+
+def sampler_rows(sampler, cell=""):
+    buf = io.StringIO()
+    sampler.write_jsonl(buf, cell=cell)
+    buf.seek(0)
+    return read_frames_jsonl(buf)
+
+
+class TestExactTotals:
+    """Frame counter sums == end-of-run metrics, exactly."""
+
+    def test_machine_counters_match_metrics(self):
+        metrics, _app, sampler = sampled_cell()
+        _meta, rows = sampler_rows(sampler)
+        totals = frame_totals(rows, scope="machine")
+        assert totals["frames"] > 5
+        t = totals["totals"]
+        for key in ("lookups", "hits", "misses", "insertions",
+                    "evictions", "refaults", "io_errors"):
+            assert t[key] == metrics.stats[key], key
+        assert t["io_read_pages"] + t["io_write_pages"] \
+            == metrics.disk["total_pages"]
+        assert t["disk_reads"] == metrics.disk["reads"]
+        assert t["disk_writes"] == metrics.disk["writes"]
+
+    def test_app_cgroup_counters_and_hit_ratio(self):
+        metrics, app, sampler = sampled_cell()
+        _meta, rows = sampler_rows(sampler)
+        totals = frame_totals(rows, scope=app)
+        t = totals["totals"]
+        cg = metrics.cgroup(app)
+        assert t["lookups"] == cg.lookups
+        assert t["hits"] == cg.hits
+        # Bit-exact, not approximately equal: the frames alone
+        # reconstruct the reported hit ratio.
+        assert t["hits"] / t["lookups"] == cg.hit_ratio
+        assert t["io_read_pages"] == cg.io_read_pages
+
+    def test_charged_pages_gauge_is_last_not_summed(self):
+        metrics, app, sampler = sampled_cell()
+        _meta, rows = sampler_rows(sampler)
+        totals = frame_totals(rows, scope=app)
+        assert totals["last"]["charged_pages"] \
+            == metrics.cgroup(app).charged_pages
+
+
+class TestNonPerturbation:
+    def test_sampled_run_is_bit_identical_to_unsampled(self):
+        base = guard.run_cell(scale=SCALE)
+        sampler = TimeseriesSampler(2_000.0)
+        sampled = guard.run_cell(scale=SCALE, sampler=sampler)
+        assert sampler.frames_recorded > 0
+        assert guard.virtual_signature(base) \
+            == guard.virtual_signature(sampled)
+
+
+class TestArtifactDeterminism:
+    """Byte-identical JSONL across execution strategies."""
+
+    def spec(self):
+        return fig6.plan(quick=True, policies=("mru", "lfu"),
+                         workloads=("C",),
+                         scale=dict(fig6.QUICK_SCALE, **SCALE))
+
+    def test_serial_vs_jobs_byte_identical(self):
+        serial = execute(self.spec(), serial=True, timeseries=2_000.0)
+        parallel = execute(self.spec(), jobs=2, serial=False,
+                           timeseries=2_000.0)
+        art_serial = timeseries_jsonl(serial)
+        assert art_serial
+        assert art_serial == timeseries_jsonl(parallel)
+
+    def test_cold_vs_snapshot_byte_identical(self):
+        cold = execute(self.spec(), serial=True, timeseries=2_000.0)
+        restored = execute(self.spec(), serial=True, timeseries=2_000.0,
+                           snapshot=True)
+        assert timeseries_jsonl(cold) == timeseries_jsonl(restored)
+
+
+class TestRefusals:
+    def test_replay_mode_refused(self):
+        with pytest.raises(ValueError, match="replay"):
+            api.run("fig6", quick=True, mode="replay", policy="mru",
+                    timeseries=True)
+
+    def test_scan_mode_refused(self):
+        with pytest.raises(ScanUnsupportedError):
+            api.run("fig6", quick=True, mode="scan", policy="mru",
+                    timeseries=True)
+
+    def test_auto_mode_falls_back_to_full(self):
+        spec = fig6.plan(quick=True, policies=("mru",), workloads=("C",),
+                         scale=dict(fig6.QUICK_SCALE, **SCALE))
+        report = api.run(spec, mode="auto", timeseries=2_000.0)
+        assert report.timeseries
+        doc = next(iter(report.timeseries.values()))
+        assert doc["machines"][0]["n_frames"] > 0
+
+    def test_attach_on_replay_machine_refused(self):
+        machine = Machine()
+        enable_replay(machine)
+        with pytest.raises(ValueError, match="replay"):
+            TimeseriesSampler().attach(machine)
+
+    def test_nonpositive_interval_refused(self):
+        with pytest.raises(ValueError):
+            TimeseriesSampler(0.0)
+
+
+class TestFaultLocalization:
+    """An injected brownout is visible — and localized — in frames."""
+
+    INTERVAL = 5_000.0
+    START, END = 30_000.0, 60_000.0
+
+    def frames_doc(self):
+        spec = fig6.plan(quick=True, policies=("mru",), workloads=("C",),
+                         scale=dict(fig6.QUICK_SCALE, **SCALE))
+        plan = FaultPlan(device=(DeviceFault(
+            kind="latency", start_us=self.START, end_us=self.END,
+            latency_mult=8.0),))
+        report = api.run(spec, faults=plan, timeseries=self.INTERVAL)
+        buf = io.StringIO(timeseries_jsonl(report))
+        return read_frames_jsonl(buf)
+
+    def test_analyzer_localizes_brownout_within_one_interval(self):
+        meta, rows = self.frames_doc()
+        doc = analyze.analyze_rows(meta, rows)
+        degradations = [ep for ep in doc["episodes"]
+                        if ep["type"] == "degradation"]
+        assert len(degradations) == 1
+        ep = degradations[0]
+        assert ep["fault_overlap"]
+        assert abs(ep["start_us"] - self.START) <= self.INTERVAL
+        assert abs(ep["end_us"] - self.END) <= self.INTERVAL
+
+    def test_chaos_brownout_scenario_localized(self):
+        # The real chaos scenario, not a hand-built plan: open-ended
+        # 8x latency + one channel down from 0.2 * horizon.  The
+        # analyzer must localize the onset from the frames alone.
+        from repro.experiments import chaos
+
+        params = dict(chaos.QUICK_SCALE)
+        horizon = params.pop("horizon_us")
+        env = make_db_env(chaos.POLICY,
+                          cgroup_pages=params["cgroup_pages"],
+                          nkeys=params["nkeys"], compaction_thread=True)
+        plan = chaos.scenario_plan("brownout", horizon)
+        fault = plan.device[0]
+        env.machine.arm_faults(plan)
+        sampler = TimeseriesSampler(self.INTERVAL).attach(env.machine)
+        chaos._run_workload(env, "A", params)
+        sampler.finalize()
+        meta, rows = sampler_rows(sampler)
+        doc = analyze.analyze_rows(meta, rows)
+        degradations = [ep for ep in doc["episodes"]
+                        if ep["type"] == "degradation"]
+        assert degradations
+        first = degradations[0]
+        assert first["fault_overlap"]
+        assert abs(first["start_us"] - fault.start_us) <= self.INTERVAL
+
+    def test_active_faults_column_tracks_armed_window(self):
+        _meta, rows = self.frames_doc()
+        for row in rows:
+            if row["scope"] != "machine":
+                continue
+            overlaps = (row["t_us"] < self.END
+                        and row["t_us"] + row["dur_us"] > self.START)
+            assert (row["active_faults"] > 0) == overlaps, row["t_us"]
+
+
+class TestCollectorsCompat:
+    def test_hit_ratio_timeline_shim_warns_and_delegates(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            timeline = HitRatioTimeline(window_us=50_000.0)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert timeline.window_us == 50_000.0
+        # Same events -> same series as the replacement.
+        direct = LookupTimeline(window_us=50_000.0)
+
+        class Event:
+            name = "cache:lookup"
+            cgroup = "app"
+
+            def __init__(self, ts_us, hit):
+                self.ts_us = ts_us
+                self.data = {"hit": hit}
+
+        for ts, hit in ((0.0, 1), (10_000.0, 0), (60_000.0, 1)):
+            timeline.handle(Event(ts, hit))
+            direct.handle(Event(ts, hit))
+        assert timeline.series("app") == direct.series("app")
+        assert timeline.overall("app") == direct.overall("app") == 2 / 3
+
+    def test_windowed_series_boundaries_are_half_open(self):
+        series = WindowedSeries(window_us=100.0)
+        series.add(0.0, num=1.0)
+        series.add(99.999, num=1.0)   # still window 0
+        series.add(100.0, num=5.0)    # exactly on a boundary -> window 1
+        series.add(199.999, num=5.0)  # still window 1
+        series.add(200.0, num=9.0)    # -> window 2
+        assert series.series() == [(0.0, 2.0, 2.0),
+                                   (100.0, 10.0, 2.0),
+                                   (200.0, 9.0, 1.0)]
+        assert series.ratios() == [(0.0, 1.0), (100.0, 5.0), (200.0, 9.0)]
+
+
+class TestGuardAndTools:
+    def test_guard_timeseries_check_passes(self):
+        report = guard.run_timeseries_check(scale=SCALE,
+                                            overhead_threshold=25.0)
+        assert report["timeseries_identical"]
+        assert report["frames_deterministic"]
+        assert report["totals_match"]
+        assert report["frames"] > 0
+        assert report["passed"]
+
+    @pytest.fixture()
+    def frames_path(self, tmp_path):
+        spec = fig6.plan(quick=True, policies=("mru",), workloads=("C",),
+                         scale=dict(fig6.QUICK_SCALE, **SCALE))
+        report = execute(spec, serial=True, timeseries=2_000.0)
+        path = tmp_path / "frames.jsonl"
+        path.write_text(timeseries_jsonl(report))
+        return str(path)
+
+    def test_cachetop_replay_renders_frames(self, frames_path, capsys):
+        from repro.tools import cachetop
+        assert cachetop.main(["--replay", frames_path]) == 0
+        out = capsys.readouterr().out
+        assert "CGROUP" in out and "app" in out
+        assert "sample interval 2.0 ms" in out
+
+    def test_cachetop_replay_at_selects_one_frame(self, frames_path,
+                                                  capsys):
+        from repro.tools import cachetop
+        assert cachetop.main(["--replay", frames_path, "--at", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("--- t = ") == 1
+        assert "t = 4.0..6.0 ms" in out
+
+    def test_faultstat_frames_view(self, frames_path, capsys):
+        from repro.tools import faultstat
+        assert faultstat.main(["--frames", frames_path]) == 0
+        out = capsys.readouterr().out
+        assert "ACTIVE" in out and "SERV_US" in out
+        assert "primary scope app" in out
+
+    def test_analyze_cli_writes_episodes_json(self, frames_path,
+                                              tmp_path, capsys):
+        out_path = tmp_path / "episodes.json"
+        assert analyze.main([frames_path, "-o", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["format"] == "repro.obs.analyze"
+        assert doc["groups"]
+        assert "C/mru" in capsys.readouterr().out
